@@ -1,0 +1,28 @@
+//! T1 micro-benchmark: compile one SALES template and one TPC-H-like template
+//! with the real optimizer, reporting wall time (compile memory is asserted
+//! in the test suite and printed by table1_workload_characteristics).
+use criterion::{criterion_group, criterion_main, Criterion};
+use throttledb_catalog::{sales_schema, tpch_schema, SalesScale};
+use throttledb_optimizer::Optimizer;
+use throttledb_sqlparse::parse;
+use throttledb_workload::{sales_templates, tpch_like_templates};
+
+fn bench_compiles(c: &mut Criterion) {
+    let sales_cat = sales_schema(SalesScale::paper());
+    let sales_stmt = parse(&sales_templates()[0].sql).unwrap();
+    let tpch_cat = tpch_schema(30.0);
+    let tpch_stmt = parse(&tpch_like_templates()[2].sql).unwrap();
+
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    group.bench_function("sales_q01_full_optimization", |b| {
+        b.iter(|| Optimizer::new(&sales_cat).optimize(&sales_stmt).unwrap().stats.peak_memory_bytes)
+    });
+    group.bench_function("tpch_q5_like_full_optimization", |b| {
+        b.iter(|| Optimizer::new(&tpch_cat).optimize(&tpch_stmt).unwrap().stats.peak_memory_bytes)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiles);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Micro-benchmark: gateway-ladder admission decisions (the per-allocation
+//! overhead the paper claims is "extremely small").
+use criterion::{criterion_group, criterion_main, Criterion};
+use throttledb_core::{GatewayLadder, ThrottleConfig};
+use throttledb_sim::SimTime;
+
+fn bench_ladder(c: &mut Criterion) {
+    c.bench_function("ladder_report_memory_1000_tasks", |b| {
+        b.iter(|| {
+            let mut ladder = GatewayLadder::new(ThrottleConfig::paper_machine());
+            let tasks: Vec<_> = (0..1000).map(|_| ladder.begin_task()).collect();
+            for (i, t) in tasks.iter().enumerate() {
+                let bytes = (1 + i as u64 % 200) << 20;
+                let _ = ladder.report_memory(*t, bytes, SimTime::from_secs(i as u64));
+            }
+            for t in &tasks {
+                let _ = ladder.finish_task(*t, SimTime::from_secs(2000));
+            }
+            ladder.stats().clone()
+        })
+    });
+}
+
+criterion_group!(benches, bench_ladder);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 1: the memory-monitor ladder (thresholds up, concurrency down).
+use throttledb_core::ThrottleConfig;
+
+fn main() {
+    let cfg = ThrottleConfig::paper_machine();
+    println!("== Figure 1: Memory Monitors (8-CPU / 4 GB configuration) ==");
+    println!("{:>8} {:>16} {:>22} {:>12}", "monitor", "threshold (MB)", "concurrent holders", "timeout (s)");
+    println!("{:>8} {:>16} {:>22} {:>12}", "exempt", format!("<= {}", cfg.exempt_bytes >> 20), "unlimited", "-");
+    for (i, m) in cfg.monitors.iter().enumerate() {
+        println!(
+            "{:>8} {:>16} {:>22} {:>12}",
+            i + 1,
+            format!("> {}", m.threshold_bytes >> 20),
+            m.concurrency.resolve(cfg.cpus),
+            m.timeout.as_secs()
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 2: compilation-throttling example (per-query compile-memory timelines).
+use throttledb_engine::figure2_timeline;
+
+fn main() {
+    println!("== Figure 2: Compilation Throttling Example ==");
+    println!("(memory in MB; flat spans are gateway waits)");
+    let timelines = figure2_timeline();
+    println!("{:>8} {:>10} {:>10} {:>10}", "t (s)", "Q1", "Q2", "Q3");
+    for second in (0..240).step_by(5) {
+        let t = throttledb_sim::SimTime::from_secs(second);
+        let v: Vec<String> = timelines
+            .iter()
+            .map(|(_, g)| g.value_at(t).map(|b| format!("{:.0}", b as f64 / 1e6)).unwrap_or_else(|| "-".into()))
+            .collect();
+        println!("{:>8} {:>10} {:>10} {:>10}", second, v[0], v[1], v[2]);
+    }
+    for (name, g) in &timelines {
+        println!("{name}: peak {:.0} MB, longest blocked span {}", g.max_value() as f64 / 1e6, g.longest_plateau());
+    }
+}

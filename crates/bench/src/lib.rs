@@ -1,0 +1,39 @@
+//! # throttledb-bench
+//!
+//! Shared helpers for the benchmark harness: the criterion micro-benchmarks
+//! live in `benches/`, and one binary per paper figure/table lives in
+//! `src/bin/` (see `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! The figure binaries accept two optional positional arguments:
+//! `quick|paper` (scale) and a seed, e.g.
+//! `cargo run --release -p throttledb-bench --bin figure3_throughput_30 -- quick 7`.
+
+#![warn(missing_docs)]
+
+use throttledb_engine::ServerConfig;
+
+/// Parse the common CLI arguments of the figure binaries.
+pub fn experiment_config(default_clients: u32) -> (ServerConfig, u32) {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args.get(1).map(String::as_str).unwrap_or("paper");
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let mut cfg = match scale {
+        "quick" => ServerConfig::quick(default_clients, true),
+        _ => ServerConfig::paper(default_clients, true),
+    };
+    cfg.seed = seed;
+    (cfg, default_clients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_experiment_config_is_paper_scale() {
+        let (cfg, clients) = experiment_config(30);
+        assert_eq!(clients, 30);
+        assert!(cfg.duration.as_secs() >= 28_800);
+    }
+}

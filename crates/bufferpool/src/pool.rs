@@ -1,0 +1,291 @@
+//! A page-level buffer pool with CLOCK replacement.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use throttledb_membroker::Clerk;
+
+/// Size of one database page.
+pub const PAGE_BYTES: u64 = 8 * 1024;
+
+/// Identifies a page: (table id, page number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Table identifier.
+    pub table: u32,
+    /// Page number within the table.
+    pub page: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    page: PageId,
+    referenced: bool,
+    pinned: u32,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    frames: Vec<Frame>,
+    by_page: HashMap<PageId, usize>,
+    clock_hand: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A buffer pool bounded by a page capacity that can be resized at runtime
+/// (e.g. in response to broker shrink notifications).
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity_pages: Mutex<usize>,
+    state: Mutex<PoolState>,
+    clerk: Option<Clerk>,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity_pages` pages, optionally reporting
+    /// its memory to a broker clerk.
+    pub fn new(capacity_pages: usize, clerk: Option<Clerk>) -> Self {
+        assert!(capacity_pages > 0, "buffer pool needs at least one page");
+        BufferPool {
+            capacity_pages: Mutex::new(capacity_pages),
+            state: Mutex::new(PoolState::default()),
+            clerk,
+        }
+    }
+
+    /// Current capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        *self.capacity_pages.lock()
+    }
+
+    /// Pages currently resident.
+    pub fn resident_pages(&self) -> usize {
+        self.state.lock().frames.len()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_pages() as u64 * PAGE_BYTES
+    }
+
+    /// Lifetime (hits, misses, evictions).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let s = self.state.lock();
+        (s.hits, s.misses, s.evictions)
+    }
+
+    /// Hit rate so far (0 when nothing was accessed).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m, _) = self.counters();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Access a page: returns `true` on a hit, `false` when the page had to
+    /// be "read from disk" (and possibly evicted another page). The page is
+    /// left unpinned.
+    pub fn access(&self, page: PageId) -> bool {
+        let capacity = *self.capacity_pages.lock();
+        let mut s = self.state.lock();
+        if let Some(&idx) = s.by_page.get(&page) {
+            s.frames[idx].referenced = true;
+            s.hits += 1;
+            return true;
+        }
+        s.misses += 1;
+        // Room available?
+        if s.frames.len() < capacity {
+            let idx = s.frames.len();
+            s.frames.push(Frame {
+                page,
+                referenced: true,
+                pinned: 0,
+            });
+            s.by_page.insert(page, idx);
+            if let Some(clerk) = &self.clerk {
+                clerk.allocate(PAGE_BYTES);
+            }
+            return false;
+        }
+        // CLOCK eviction: find an unpinned, unreferenced victim.
+        let n = s.frames.len();
+        for _ in 0..2 * n {
+            let hand = s.clock_hand % n;
+            s.clock_hand = (s.clock_hand + 1) % n;
+            if s.frames[hand].pinned > 0 {
+                continue;
+            }
+            if s.frames[hand].referenced {
+                s.frames[hand].referenced = false;
+                continue;
+            }
+            // Victim found.
+            let old = s.frames[hand].page;
+            s.by_page.remove(&old);
+            s.frames[hand] = Frame {
+                page,
+                referenced: true,
+                pinned: 0,
+            };
+            s.by_page.insert(page, hand);
+            s.evictions += 1;
+            return false;
+        }
+        // Everything pinned: the access proceeds without caching.
+        false
+    }
+
+    /// Pin a resident page (it will not be evicted until unpinned).
+    /// Returns false when the page is not resident.
+    pub fn pin(&self, page: PageId) -> bool {
+        let mut s = self.state.lock();
+        match s.by_page.get(&page).copied() {
+            Some(idx) => {
+                s.frames[idx].pinned += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Unpin a previously pinned page.
+    pub fn unpin(&self, page: PageId) {
+        let mut s = self.state.lock();
+        if let Some(&idx) = s.by_page.get(&page) {
+            let f = &mut s.frames[idx];
+            debug_assert!(f.pinned > 0, "unpin without pin");
+            f.pinned = f.pinned.saturating_sub(1);
+        }
+    }
+
+    /// Resize the pool. Shrinking evicts unpinned pages immediately (the
+    /// "shrink" response to a broker notification); growing just raises the
+    /// ceiling. Returns the number of pages evicted.
+    pub fn resize(&self, new_capacity_pages: usize) -> usize {
+        assert!(new_capacity_pages > 0);
+        *self.capacity_pages.lock() = new_capacity_pages;
+        let mut s = self.state.lock();
+        let mut evicted = 0;
+        while s.frames.len() > new_capacity_pages {
+            // Evict the first unpinned frame (preferring unreferenced ones).
+            let victim = s
+                .frames
+                .iter()
+                .position(|f| f.pinned == 0 && !f.referenced)
+                .or_else(|| s.frames.iter().position(|f| f.pinned == 0));
+            let Some(idx) = victim else {
+                break; // everything pinned
+            };
+            let frame = s.frames.swap_remove(idx);
+            s.by_page.remove(&frame.page);
+            // Fix the index of the frame that was swapped into `idx`.
+            if idx < s.frames.len() {
+                let moved = s.frames[idx].page;
+                s.by_page.insert(moved, idx);
+            }
+            s.evictions += 1;
+            evicted += 1;
+        }
+        if evicted > 0 {
+            if let Some(clerk) = &self.clerk {
+                clerk.free(evicted as u64 * PAGE_BYTES);
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use throttledb_membroker::{BrokerConfig, MemoryBroker, SubcomponentKind};
+
+    fn page(table: u32, page: u64) -> PageId {
+        PageId { table, page }
+    }
+
+    #[test]
+    fn repeated_access_hits_after_first_miss() {
+        let pool = BufferPool::new(10, None);
+        assert!(!pool.access(page(1, 0)));
+        assert!(pool.access(page(1, 0)));
+        assert!(pool.access(page(1, 0)));
+        assert_eq!(pool.counters(), (2, 1, 0));
+        assert!(pool.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn capacity_bound_is_respected_and_clock_evicts() {
+        let pool = BufferPool::new(4, None);
+        for i in 0..8 {
+            pool.access(page(1, i));
+        }
+        assert_eq!(pool.resident_pages(), 4);
+        let (_, misses, evictions) = pool.counters();
+        assert_eq!(misses, 8);
+        assert_eq!(evictions, 4);
+    }
+
+    #[test]
+    fn hot_pages_survive_a_scan() {
+        let pool = BufferPool::new(8, None);
+        // Touch a hot page repeatedly while streaming many cold pages through.
+        pool.access(page(1, 0));
+        for i in 1..100 {
+            pool.access(page(2, i));
+            pool.access(page(1, 0)); // keep it referenced
+        }
+        // The hot page should still be resident.
+        assert!(pool.access(page(1, 0)), "hot page should not have been evicted");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let pool = BufferPool::new(2, None);
+        pool.access(page(1, 0));
+        assert!(pool.pin(page(1, 0)));
+        for i in 1..50 {
+            pool.access(page(2, i));
+        }
+        assert!(pool.access(page(1, 0)), "pinned page must remain resident");
+        pool.unpin(page(1, 0));
+        assert!(!pool.pin(page(9, 9)), "cannot pin a non-resident page");
+    }
+
+    #[test]
+    fn resize_shrinks_and_reports_to_clerk() {
+        let broker = MemoryBroker::new(BrokerConfig::with_total_memory(1 << 30));
+        let clerk = broker.register(SubcomponentKind::BufferPool);
+        let pool = BufferPool::new(100, Some(clerk.clone()));
+        for i in 0..100 {
+            pool.access(page(1, i));
+        }
+        assert_eq!(clerk.used_bytes(), 100 * PAGE_BYTES);
+        let evicted = pool.resize(30);
+        assert_eq!(evicted, 70);
+        assert_eq!(pool.resident_pages(), 30);
+        assert_eq!(clerk.used_bytes(), 30 * PAGE_BYTES);
+        // Growing does not admit pages by itself.
+        assert_eq!(pool.resize(200), 0);
+        assert_eq!(pool.resident_pages(), 30);
+    }
+
+    #[test]
+    fn hit_rate_improves_with_larger_pool() {
+        let run = |capacity: usize| {
+            let pool = BufferPool::new(capacity, None);
+            // Cyclic access over 50 distinct pages, 10 rounds.
+            for _ in 0..10 {
+                for i in 0..50 {
+                    pool.access(page(1, i));
+                }
+            }
+            pool.hit_rate()
+        };
+        assert!(run(60) > run(10), "bigger pool must hit more on a cyclic workload");
+    }
+}

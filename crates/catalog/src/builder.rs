@@ -1,0 +1,162 @@
+//! A fluent builder for table definitions.
+//!
+//! The schema builders in [`crate::warehouse`] declare dozens of tables; the
+//! builder keeps those declarations compact and fills in sensible column
+//! statistics (dense keys, uniform attributes) automatically.
+
+use crate::column::ColumnDef;
+use crate::index::IndexDef;
+use crate::statistics::{ColumnStatistics, TableStatistics};
+use crate::table::TableDef;
+use crate::types::DataType;
+
+/// Builds a [`TableDef`] column by column.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    row_count: u64,
+    columns: Vec<ColumnDef>,
+    indexes: Vec<IndexDef>,
+    stats: Vec<(String, ColumnStatistics)>,
+}
+
+impl TableBuilder {
+    /// Start a table with the given name and full-scale row count.
+    pub fn new(name: impl Into<String>, row_count: u64) -> Self {
+        TableBuilder {
+            name: name.into(),
+            row_count,
+            columns: Vec::new(),
+            indexes: Vec::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// A dense surrogate-key column (`0..row_count` distinct values) with a
+    /// unique clustered primary-key index.
+    pub fn key(mut self, name: &str) -> Self {
+        self.columns.push(ColumnDef::new(name, DataType::BigInt));
+        self.stats
+            .push((name.to_string(), ColumnStatistics::key_column(self.row_count)));
+        self.indexes
+            .push(IndexDef::primary(format!("pk_{}", self.name.to_ascii_lowercase()), vec![name]));
+        self
+    }
+
+    /// A foreign-key column referencing a dimension of `referenced_rows`
+    /// rows, with a secondary index (the typical star-schema layout).
+    pub fn foreign_key(mut self, name: &str, referenced_rows: u64) -> Self {
+        self.columns.push(ColumnDef::new(name, DataType::BigInt));
+        self.stats
+            .push((name.to_string(), ColumnStatistics::key_column(referenced_rows)));
+        self.indexes.push(IndexDef::secondary(
+            format!("ix_{}_{}", self.name.to_ascii_lowercase(), name.to_ascii_lowercase()),
+            vec![name],
+        ));
+        self
+    }
+
+    /// A plain attribute column with `distinct` distinct values uniformly
+    /// spread over `[0, distinct)`.
+    pub fn attribute(mut self, name: &str, data_type: DataType, distinct: u64) -> Self {
+        self.columns.push(ColumnDef::new(name, data_type));
+        self.stats.push((
+            name.to_string(),
+            ColumnStatistics::uniform(distinct, 0.0, distinct.saturating_sub(1) as f64),
+        ));
+        self
+    }
+
+    /// A numeric measure column (e.g. sales amount) with many distinct
+    /// values.
+    pub fn measure(mut self, name: &str) -> Self {
+        self.columns.push(ColumnDef::new(name, DataType::Decimal));
+        self.stats.push((
+            name.to_string(),
+            ColumnStatistics::uniform(self.row_count.max(1000) / 10, 0.0, 1.0e6),
+        ));
+        self
+    }
+
+    /// A date column covering roughly `years` years of days.
+    pub fn date(mut self, name: &str, years: u64) -> Self {
+        let days = years * 365;
+        self.columns.push(ColumnDef::new(name, DataType::Date));
+        self.stats.push((
+            name.to_string(),
+            ColumnStatistics::uniform(days.max(1), 0.0, days.saturating_sub(1) as f64),
+        ));
+        self
+    }
+
+    /// Add an explicit secondary index.
+    pub fn index(mut self, columns: Vec<&str>) -> Self {
+        let idx_name = format!(
+            "ix_{}_{}",
+            self.name.to_ascii_lowercase(),
+            columns.join("_").to_ascii_lowercase()
+        );
+        self.indexes.push(IndexDef::secondary(idx_name, columns));
+        self
+    }
+
+    /// Finish building the table.
+    pub fn build(self) -> TableDef {
+        assert!(!self.columns.is_empty(), "a table needs at least one column");
+        let mut table = TableDef::new(self.name, self.columns, self.row_count);
+        table.indexes = self.indexes;
+        let mut stats = TableStatistics::new(self.row_count);
+        for (name, column_stats) in self.stats {
+            stats = stats.with_column(name, column_stats);
+        }
+        table.statistics = stats;
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_schema_fact_table_builds() {
+        let fact = TableBuilder::new("fact_sales", 1_000_000)
+            .key("sale_id")
+            .foreign_key("product_id", 10_000)
+            .foreign_key("store_id", 500)
+            .date("sale_date", 5)
+            .measure("amount")
+            .attribute("quantity", DataType::Int, 100)
+            .build();
+        assert_eq!(fact.columns.len(), 6);
+        assert_eq!(fact.row_count(), 1_000_000);
+        // primary + 2 FK indexes
+        assert_eq!(fact.indexes.len(), 3);
+        assert_eq!(fact.statistics.column("sale_id").unwrap().distinct_values, 1_000_000);
+        assert_eq!(fact.statistics.column("product_id").unwrap().distinct_values, 10_000);
+    }
+
+    #[test]
+    fn explicit_index_is_added() {
+        let t = TableBuilder::new("dim", 100)
+            .key("id")
+            .attribute("region", DataType::Varchar(20), 10)
+            .index(vec!["region"])
+            .build();
+        assert_eq!(t.indexes.len(), 2);
+        assert!(t.indexes_on("region").len() == 1);
+    }
+
+    #[test]
+    fn date_statistics_cover_years() {
+        let t = TableBuilder::new("d", 10).key("id").date("day", 2).build();
+        let stats = t.statistics.column("day").unwrap();
+        assert_eq!(stats.distinct_values, 730);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_table_rejected() {
+        let _ = TableBuilder::new("empty", 0).build();
+    }
+}

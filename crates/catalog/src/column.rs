@@ -1,0 +1,86 @@
+//! Column definitions.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A column of a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within its table, case-insensitive).
+    pub name: String,
+    /// Data type.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into().to_ascii_lowercase(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    /// Average stored width of this column in bytes (adds the null bitmap
+    /// overhead for nullable columns).
+    pub fn avg_width_bytes(&self) -> u32 {
+        self.data_type.avg_width_bytes() + if self.nullable { 1 } else { 0 }
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}{}",
+            self.name,
+            self.data_type,
+            if self.nullable { "" } else { " NOT NULL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_lowercased() {
+        let c = ColumnDef::new("OrderKey", DataType::BigInt);
+        assert_eq!(c.name, "orderkey");
+        assert!(!c.nullable);
+    }
+
+    #[test]
+    fn nullable_adds_width_overhead() {
+        let a = ColumnDef::new("a", DataType::Int);
+        let b = ColumnDef::nullable("b", DataType::Int);
+        assert_eq!(a.avg_width_bytes(), 4);
+        assert_eq!(b.avg_width_bytes(), 5);
+    }
+
+    #[test]
+    fn display_includes_nullability() {
+        assert_eq!(
+            ColumnDef::new("id", DataType::BigInt).to_string(),
+            "id BIGINT NOT NULL"
+        );
+        assert_eq!(
+            ColumnDef::nullable("note", DataType::Varchar(10)).to_string(),
+            "note VARCHAR(10)"
+        );
+    }
+}

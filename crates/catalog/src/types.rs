@@ -1,0 +1,109 @@
+//! Column data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The SQL-subset data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer (surrogate keys in the warehouse).
+    BigInt,
+    /// Fixed-point decimal; width/scale are not modelled, storage is 8 bytes.
+    Decimal,
+    /// 64-bit float.
+    Float,
+    /// Calendar date (stored as days).
+    Date,
+    /// Variable-length string with a declared maximum length.
+    Varchar(u32),
+    /// Boolean flag.
+    Bool,
+}
+
+impl DataType {
+    /// Average on-disk/in-memory width in bytes, used by the row-size model
+    /// and therefore by buffer-pool footprints and hash-table sizing.
+    pub fn avg_width_bytes(self) -> u32 {
+        match self {
+            DataType::Int => 4,
+            DataType::BigInt => 8,
+            DataType::Decimal => 8,
+            DataType::Float => 8,
+            DataType::Date => 4,
+            DataType::Bool => 1,
+            // Assume strings are on average half their declared maximum.
+            DataType::Varchar(n) => (n / 2).max(1),
+        }
+    }
+
+    /// Whether equality predicates and joins on this type are hashable in
+    /// the execution engine (everything is in this engine, but the hook keeps
+    /// the operator selection honest).
+    pub fn is_hashable(self) -> bool {
+        true
+    }
+
+    /// True for types with a natural total order usable by merge joins and
+    /// range predicates.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, DataType::Bool)
+    }
+
+    /// True for numeric types (aggregable with SUM/AVG).
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Int | DataType::BigInt | DataType::Decimal | DataType::Float
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::BigInt => write!(f, "BIGINT"),
+            DataType::Decimal => write!(f, "DECIMAL"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Date => write!(f, "DATE"),
+            DataType::Varchar(n) => write!(f, "VARCHAR({n})"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_are_sensible() {
+        assert_eq!(DataType::Int.avg_width_bytes(), 4);
+        assert_eq!(DataType::BigInt.avg_width_bytes(), 8);
+        assert_eq!(DataType::Varchar(100).avg_width_bytes(), 50);
+        assert_eq!(DataType::Varchar(1).avg_width_bytes(), 1);
+        assert_eq!(DataType::Bool.avg_width_bytes(), 1);
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Decimal.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Varchar(10).is_numeric());
+        assert!(!DataType::Date.is_numeric());
+    }
+
+    #[test]
+    fn ordering_excludes_bool() {
+        assert!(DataType::Date.is_ordered());
+        assert!(!DataType::Bool.is_ordered());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(DataType::Varchar(32).to_string(), "VARCHAR(32)");
+        assert_eq!(DataType::BigInt.to_string(), "BIGINT");
+    }
+}

@@ -1,0 +1,222 @@
+//! Throttle configuration: the gateway ladder's thresholds, concurrency
+//! limits, timeouts and dynamic-threshold fractions.
+
+use serde::{Deserialize, Serialize};
+use throttledb_sim::SimDuration;
+
+/// How many compilations may hold a gateway concurrently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Concurrency {
+    /// `n` holders per CPU (the paper's small gateway: 4 per CPU).
+    PerCpu(u32),
+    /// A fixed global limit (the paper's big gateway: 1).
+    Global(u32),
+}
+
+impl Concurrency {
+    /// Resolve to an absolute holder count for a machine with `cpus` CPUs.
+    pub fn resolve(self, cpus: u32) -> u32 {
+        match self {
+            Concurrency::PerCpu(n) => (n * cpus).max(1),
+            Concurrency::Global(n) => n.max(1),
+        }
+    }
+}
+
+/// One memory monitor (gateway) of the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Static memory threshold: a compilation must hold this gateway once
+    /// its allocated bytes exceed the threshold.
+    pub threshold_bytes: u64,
+    /// Concurrency limit.
+    pub concurrency: Concurrency,
+    /// How long a compilation may wait at this gateway before being aborted
+    /// with a timeout error. Later gateways get longer timeouts, biasing the
+    /// system toward compilations that have made the most progress.
+    pub timeout: SimDuration,
+    /// Fraction `F` of the compilation memory target that queries *below*
+    /// this gateway may collectively use before the dynamic threshold pushes
+    /// the top consumers up into this gateway's category (§4.1).
+    pub dynamic_fraction: f64,
+}
+
+/// Configuration of the whole throttle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleConfig {
+    /// Number of CPUs on the machine (8 on the paper's test server).
+    pub cpus: u32,
+    /// Whether throttling is active at all. With `enabled = false` the ladder
+    /// admits everything immediately — the paper's baseline configuration.
+    pub enabled: bool,
+    /// Compilations below this many bytes never acquire any gateway, so
+    /// small diagnostic queries always get through ("this enables an
+    /// administrator to run diagnostic queries even if the system is
+    /// overloaded").
+    pub exempt_bytes: u64,
+    /// The monitors, ordered by increasing threshold.
+    pub monitors: Vec<MonitorConfig>,
+    /// Whether §4.1 dynamic thresholds are applied to the larger gateways.
+    pub dynamic_thresholds: bool,
+    /// Whether a compilation that would exhaust memory finishes with the
+    /// best plan found so far instead of failing (§4.1 extension 2).
+    pub best_effort_plans: bool,
+    /// When `best_effort_plans` is on: fraction of the compilation target a
+    /// single compilation may reach before being told to wrap up.
+    pub best_effort_fraction: f64,
+}
+
+impl ThrottleConfig {
+    /// The paper's configuration for a machine with `cpus` CPUs: three
+    /// monitors — 4/CPU, 1/CPU, 1 global — with increasing thresholds and
+    /// timeouts, dynamic thresholds and best-effort plans enabled.
+    pub fn for_cpus(cpus: u32) -> Self {
+        ThrottleConfig {
+            cpus,
+            enabled: true,
+            exempt_bytes: 2 << 20, // 2 MiB: diagnostic/OLTP compilations sail through
+            monitors: vec![
+                MonitorConfig {
+                    threshold_bytes: 2 << 20, // small gateway: > 2 MiB
+                    concurrency: Concurrency::PerCpu(4),
+                    timeout: SimDuration::from_secs(120),
+                    dynamic_fraction: 0.45,
+                },
+                MonitorConfig {
+                    threshold_bytes: 24 << 20, // medium gateway: > 24 MiB
+                    concurrency: Concurrency::PerCpu(1),
+                    timeout: SimDuration::from_secs(300),
+                    dynamic_fraction: 0.35,
+                },
+                MonitorConfig {
+                    threshold_bytes: 120 << 20, // big gateway: > 120 MiB
+                    concurrency: Concurrency::Global(1),
+                    timeout: SimDuration::from_secs(600),
+                    dynamic_fraction: 0.20,
+                },
+            ],
+            dynamic_thresholds: true,
+            best_effort_plans: true,
+            best_effort_fraction: 0.5,
+        }
+    }
+
+    /// The paper's evaluation machine: 8 CPUs.
+    pub fn paper_machine() -> Self {
+        ThrottleConfig::for_cpus(8)
+    }
+
+    /// A configuration with throttling disabled — the paper's baseline
+    /// ("non-throttled") runs.
+    pub fn disabled(cpus: u32) -> Self {
+        ThrottleConfig {
+            enabled: false,
+            ..ThrottleConfig::for_cpus(cpus)
+        }
+    }
+
+    /// Number of monitors (gateways).
+    pub fn monitor_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Panics if the configuration is inconsistent.
+    pub fn validate(&self) {
+        assert!(self.cpus > 0, "need at least one CPU");
+        assert!(!self.monitors.is_empty(), "need at least one monitor");
+        for w in self.monitors.windows(2) {
+            assert!(
+                w[0].threshold_bytes < w[1].threshold_bytes,
+                "monitor thresholds must be strictly increasing"
+            );
+            assert!(
+                w[0].timeout <= w[1].timeout,
+                "later monitors must not have shorter timeouts"
+            );
+            assert!(
+                w[0].concurrency.resolve(self.cpus) >= w[1].concurrency.resolve(self.cpus),
+                "later monitors must not allow more concurrency"
+            );
+        }
+        assert!(
+            self.exempt_bytes <= self.monitors[0].threshold_bytes,
+            "the exemption floor cannot exceed the first monitor threshold"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.best_effort_fraction),
+            "best_effort_fraction must be in [0,1]"
+        );
+        let fraction_sum: f64 = self.monitors.iter().map(|m| m.dynamic_fraction).sum();
+        assert!(
+            (0.5..=1.5).contains(&fraction_sum),
+            "dynamic fractions should roughly partition the target (sum = {fraction_sum})"
+        );
+    }
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        ThrottleConfig::paper_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_the_paper() {
+        let c = ThrottleConfig::paper_machine();
+        c.validate();
+        assert_eq!(c.cpus, 8);
+        assert_eq!(c.monitor_count(), 3);
+        // 4 per CPU, 1 per CPU, 1 global.
+        assert_eq!(c.monitors[0].concurrency.resolve(8), 32);
+        assert_eq!(c.monitors[1].concurrency.resolve(8), 8);
+        assert_eq!(c.monitors[2].concurrency.resolve(8), 1);
+        assert!(c.enabled);
+        assert!(c.dynamic_thresholds);
+        assert!(c.best_effort_plans);
+    }
+
+    #[test]
+    fn thresholds_and_timeouts_increase() {
+        let c = ThrottleConfig::paper_machine();
+        assert!(c.monitors[0].threshold_bytes < c.monitors[1].threshold_bytes);
+        assert!(c.monitors[1].threshold_bytes < c.monitors[2].threshold_bytes);
+        assert!(c.monitors[0].timeout <= c.monitors[1].timeout);
+        assert!(c.monitors[1].timeout <= c.monitors[2].timeout);
+    }
+
+    #[test]
+    fn disabled_config_keeps_shape_but_is_off() {
+        let c = ThrottleConfig::disabled(8);
+        c.validate();
+        assert!(!c.enabled);
+        assert_eq!(c.monitor_count(), 3);
+    }
+
+    #[test]
+    fn concurrency_resolution() {
+        assert_eq!(Concurrency::PerCpu(4).resolve(8), 32);
+        assert_eq!(Concurrency::PerCpu(1).resolve(1), 1);
+        assert_eq!(Concurrency::Global(1).resolve(64), 1);
+        assert_eq!(Concurrency::Global(0).resolve(4), 1, "clamped to at least one");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_thresholds_rejected() {
+        let mut c = ThrottleConfig::paper_machine();
+        c.monitors[2].threshold_bytes = 1;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more concurrency")]
+    fn increasing_concurrency_rejected() {
+        let mut c = ThrottleConfig::paper_machine();
+        c.monitors[2].concurrency = Concurrency::PerCpu(8);
+        c.validate();
+    }
+}

@@ -1,0 +1,261 @@
+//! A single memory-monitor gateway.
+//!
+//! A gateway is a counting semaphore with a FIFO wait queue, expressed as an
+//! explicit state machine so that both the threaded deployment (which blocks
+//! real threads on a condition variable) and the discrete-event engine
+//! (which schedules virtual-time events) can drive the same policy code.
+
+use crate::ladder::TaskId;
+use std::collections::VecDeque;
+
+/// Result of asking a gateway for admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayAdmission {
+    /// The task now holds the gateway.
+    Acquired,
+    /// The gateway is full; the task has been queued FIFO.
+    Queued,
+    /// The task already holds the gateway (idempotent re-request).
+    AlreadyHeld,
+}
+
+/// One gateway: capacity, current holders and the wait queue.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    capacity: u32,
+    holders: Vec<TaskId>,
+    waiters: VecDeque<TaskId>,
+}
+
+impl Gateway {
+    /// A gateway admitting at most `capacity` concurrent holders.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity >= 1, "a gateway must admit at least one task");
+        Gateway {
+            capacity,
+            holders: Vec::new(),
+            waiters: VecDeque::new(),
+        }
+    }
+
+    /// Maximum concurrent holders.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of current holders.
+    pub fn in_use(&self) -> u32 {
+        self.holders.len() as u32
+    }
+
+    /// Number of queued waiters.
+    pub fn queued(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// True when `task` currently holds this gateway.
+    pub fn holds(&self, task: TaskId) -> bool {
+        self.holders.contains(&task)
+    }
+
+    /// True when `task` is waiting in this gateway's queue.
+    pub fn is_waiting(&self, task: TaskId) -> bool {
+        self.waiters.contains(&task)
+    }
+
+    /// Ask for admission.
+    pub fn request(&mut self, task: TaskId) -> GatewayAdmission {
+        if self.holds(task) {
+            return GatewayAdmission::AlreadyHeld;
+        }
+        if self.is_waiting(task) {
+            return GatewayAdmission::Queued;
+        }
+        if (self.holders.len() as u32) < self.capacity && self.waiters.is_empty() {
+            self.holders.push(task);
+            GatewayAdmission::Acquired
+        } else if (self.holders.len() as u32) < self.capacity {
+            // Capacity exists but others are queued ahead; keep FIFO fairness.
+            self.waiters.push_back(task);
+            GatewayAdmission::Queued
+        } else {
+            self.waiters.push_back(task);
+            GatewayAdmission::Queued
+        }
+    }
+
+    /// Release the gateway held by `task`. Returns the tasks admitted from
+    /// the wait queue as a result (possibly empty).
+    pub fn release(&mut self, task: TaskId) -> Vec<TaskId> {
+        let Some(pos) = self.holders.iter().position(|t| *t == task) else {
+            return Vec::new();
+        };
+        self.holders.swap_remove(pos);
+        self.admit_waiters()
+    }
+
+    /// Remove `task` from the wait queue (it gave up, e.g. on timeout).
+    /// Returns true if it was actually waiting.
+    pub fn cancel_wait(&mut self, task: TaskId) -> bool {
+        let before = self.waiters.len();
+        self.waiters.retain(|t| *t != task);
+        before != self.waiters.len()
+    }
+
+    /// Grow or shrink capacity at runtime (used by ablation experiments).
+    /// Returns tasks admitted if capacity grew.
+    pub fn set_capacity(&mut self, capacity: u32) -> Vec<TaskId> {
+        assert!(capacity >= 1);
+        self.capacity = capacity;
+        self.admit_waiters()
+    }
+
+    fn admit_waiters(&mut self) -> Vec<TaskId> {
+        let mut admitted = Vec::new();
+        while (self.holders.len() as u32) < self.capacity {
+            let Some(next) = self.waiters.pop_front() else {
+                break;
+            };
+            self.holders.push(next);
+            admitted.push(next);
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(n: u64) -> TaskId {
+        TaskId(n)
+    }
+
+    #[test]
+    fn admits_up_to_capacity_then_queues() {
+        let mut g = Gateway::new(2);
+        assert_eq!(g.request(t(1)), GatewayAdmission::Acquired);
+        assert_eq!(g.request(t(2)), GatewayAdmission::Acquired);
+        assert_eq!(g.request(t(3)), GatewayAdmission::Queued);
+        assert_eq!(g.in_use(), 2);
+        assert_eq!(g.queued(), 1);
+    }
+
+    #[test]
+    fn requests_are_idempotent() {
+        let mut g = Gateway::new(1);
+        assert_eq!(g.request(t(1)), GatewayAdmission::Acquired);
+        assert_eq!(g.request(t(1)), GatewayAdmission::AlreadyHeld);
+        assert_eq!(g.request(t(2)), GatewayAdmission::Queued);
+        assert_eq!(g.request(t(2)), GatewayAdmission::Queued);
+        assert_eq!(g.queued(), 1);
+    }
+
+    #[test]
+    fn release_admits_waiters_fifo() {
+        let mut g = Gateway::new(1);
+        g.request(t(1));
+        g.request(t(2));
+        g.request(t(3));
+        let admitted = g.release(t(1));
+        assert_eq!(admitted, vec![t(2)]);
+        assert!(g.holds(t(2)));
+        assert!(!g.holds(t(1)));
+        let admitted = g.release(t(2));
+        assert_eq!(admitted, vec![t(3)]);
+    }
+
+    #[test]
+    fn release_of_non_holder_is_a_noop() {
+        let mut g = Gateway::new(1);
+        g.request(t(1));
+        assert!(g.release(t(99)).is_empty());
+        assert!(g.holds(t(1)));
+    }
+
+    #[test]
+    fn cancel_wait_removes_from_queue() {
+        let mut g = Gateway::new(1);
+        g.request(t(1));
+        g.request(t(2));
+        g.request(t(3));
+        assert!(g.cancel_wait(t(2)));
+        assert!(!g.cancel_wait(t(2)));
+        let admitted = g.release(t(1));
+        assert_eq!(admitted, vec![t(3)], "cancelled waiter must be skipped");
+    }
+
+    #[test]
+    fn fifo_fairness_even_with_spare_capacity() {
+        // A released slot goes to the longest waiter, and a newcomer cannot
+        // jump the queue even if capacity momentarily frees up.
+        let mut g = Gateway::new(2);
+        g.request(t(1));
+        g.request(t(2));
+        g.request(t(3)); // queued
+        g.release(t(1)); // admits 3
+        assert!(g.holds(t(3)));
+        g.request(t(4)); // full again -> queued
+        g.request(t(5));
+        g.release(t(2));
+        assert!(g.holds(t(4)), "t4 has priority over t5");
+        assert!(!g.holds(t(5)));
+    }
+
+    #[test]
+    fn growing_capacity_admits_waiters() {
+        let mut g = Gateway::new(1);
+        g.request(t(1));
+        g.request(t(2));
+        g.request(t(3));
+        let admitted = g.set_capacity(3);
+        assert_eq!(admitted, vec![t(2), t(3)]);
+        assert_eq!(g.in_use(), 3);
+    }
+
+    proptest! {
+        /// Invariant: holders never exceed capacity, and no task is both a
+        /// holder and a waiter, regardless of the operation sequence.
+        #[test]
+        fn prop_capacity_and_disjointness_invariants(
+            capacity in 1u32..6,
+            ops in proptest::collection::vec((0u8..3, 0u64..12), 1..200),
+        ) {
+            let mut g = Gateway::new(capacity);
+            for (op, task) in ops {
+                match op {
+                    0 => { g.request(TaskId(task)); }
+                    1 => { g.release(TaskId(task)); }
+                    _ => { g.cancel_wait(TaskId(task)); }
+                }
+                prop_assert!(g.in_use() <= g.capacity());
+                for holder in 0..12u64 {
+                    prop_assert!(
+                        !(g.holds(TaskId(holder)) && g.is_waiting(TaskId(holder))),
+                        "task {holder} both holds and waits"
+                    );
+                }
+            }
+        }
+
+        /// Invariant: if there is spare capacity, the wait queue is empty
+        /// after any release (work-conservation).
+        #[test]
+        fn prop_work_conservation_after_release(
+            capacity in 1u32..4,
+            tasks in proptest::collection::vec(0u64..20, 1..40),
+        ) {
+            let mut g = Gateway::new(capacity);
+            for task in &tasks {
+                g.request(TaskId(*task));
+            }
+            for task in &tasks {
+                g.release(TaskId(*task));
+                if g.in_use() < g.capacity() {
+                    prop_assert_eq!(g.queued(), 0);
+                }
+            }
+        }
+    }
+}

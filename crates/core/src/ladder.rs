@@ -1,0 +1,492 @@
+//! The gateway ladder: the throttling policy itself.
+//!
+//! The ladder is a pure, non-blocking state machine. Callers report a
+//! compilation's current memory; the ladder answers *proceed*, *wait at
+//! gateway k (with this timeout)*, or *finish with the best plan so far*.
+//! How the wait is realised — a blocked thread
+//! ([`crate::threaded::ThreadedThrottle`]) or a virtual-time event in the
+//! discrete-event engine — is the caller's business, which is what lets the
+//! figure-scale experiments and the real threaded deployment share exactly
+//! the same policy code.
+
+use crate::config::ThrottleConfig;
+use crate::dynamic::DynamicThresholds;
+use crate::gateway::{Gateway, GatewayAdmission};
+use crate::stats::ThrottleStats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use throttledb_sim::{SimDuration, SimTime};
+
+/// Identifies one compilation task registered with the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+/// The ladder's answer to a memory report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderDecision {
+    /// Keep compiling.
+    Proceed,
+    /// The compilation must wait for gateway `level`; if it is still waiting
+    /// after `timeout` it should be aborted with a timeout error.
+    Wait {
+        /// Gateway level being waited for (0-based).
+        level: usize,
+        /// That gateway's timeout.
+        timeout: SimDuration,
+    },
+    /// The compilation should stop exploring and return the best plan found
+    /// so far (§4.1: predicted memory exhaustion).
+    FinishBestEffort,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TaskState {
+    bytes: u64,
+    /// Gateways `0..held` are currently held.
+    held: usize,
+    /// Level currently queued at, if any.
+    waiting_at: Option<usize>,
+    /// When the current wait started.
+    wait_started: Option<SimTime>,
+    /// Set once the task has been told to finish best-effort.
+    best_effort: bool,
+}
+
+/// The ordered set of memory-monitor gateways plus per-task state.
+#[derive(Debug)]
+pub struct GatewayLadder {
+    config: ThrottleConfig,
+    gateways: Vec<Gateway>,
+    tasks: HashMap<TaskId, TaskState>,
+    compilation_target: Option<u64>,
+    stats: ThrottleStats,
+    next_task: u64,
+}
+
+impl GatewayLadder {
+    /// Build a ladder from a configuration.
+    pub fn new(config: ThrottleConfig) -> Self {
+        config.validate();
+        let gateways = config
+            .monitors
+            .iter()
+            .map(|m| Gateway::new(m.concurrency.resolve(config.cpus)))
+            .collect();
+        let stats = ThrottleStats::new(config.monitor_count());
+        GatewayLadder {
+            config,
+            gateways,
+            tasks: HashMap::new(),
+            compilation_target: None,
+            stats,
+            next_task: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ThrottleConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &ThrottleStats {
+        &self.stats
+    }
+
+    /// Number of live (registered, unfinished) compilations.
+    pub fn active_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of holders of gateway `level`.
+    pub fn holders_at(&self, level: usize) -> u32 {
+        self.gateways[level].in_use()
+    }
+
+    /// Number of compilations queued at gateway `level`.
+    pub fn waiting_at(&self, level: usize) -> usize {
+        self.gateways[level].queued()
+    }
+
+    /// Install (or clear) the broker's compilation-memory target used by the
+    /// dynamic thresholds. The engine refreshes this after every broker
+    /// recalculation.
+    pub fn set_compilation_target(&mut self, target: Option<u64>) {
+        self.compilation_target = target;
+    }
+
+    /// The currently effective thresholds (static, or dynamic under a target).
+    pub fn effective_thresholds(&self) -> Vec<u64> {
+        DynamicThresholds::effective(
+            &self.config,
+            self.compilation_target,
+            &self.category_counts(),
+        )
+    }
+
+    /// Number of active compilations per category (holding exactly `k`
+    /// gateways).
+    pub fn category_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.config.monitor_count() + 1];
+        for t in self.tasks.values() {
+            counts[t.held] += 1;
+        }
+        counts
+    }
+
+    /// Register a new compilation and return its task id.
+    pub fn begin_task(&mut self) -> TaskId {
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        self.tasks.insert(id, TaskState::default());
+        self.stats.compilations_started += 1;
+        id
+    }
+
+    /// Report the compilation's current allocated bytes and get a decision.
+    ///
+    /// Callers must re-invoke this after being resumed from a wait (the
+    /// ladder may require the next gateway immediately).
+    pub fn report_memory(&mut self, task: TaskId, bytes: u64, now: SimTime) -> LadderDecision {
+        if !self.config.enabled {
+            return LadderDecision::Proceed;
+        }
+        let thresholds = self.effective_thresholds();
+        let Some(state) = self.tasks.get_mut(&task) else {
+            // Unknown task: treat as unthrottled rather than panic, matching
+            // the robustness stance of a production gate.
+            return LadderDecision::Proceed;
+        };
+        state.bytes = bytes;
+
+        // Small diagnostic queries never touch the ladder.
+        if bytes <= self.config.exempt_bytes {
+            return LadderDecision::Proceed;
+        }
+
+        // §4.1 extension 2: predicted memory exhaustion -> best-effort plan.
+        if self.config.best_effort_plans && !state.best_effort {
+            if let Some(target) = self.compilation_target {
+                let limit = (target as f64 * self.config.best_effort_fraction) as u64;
+                if bytes > limit.max(self.config.monitors[0].threshold_bytes) {
+                    state.best_effort = true;
+                    self.stats.best_effort_completions += 1;
+                    return LadderDecision::FinishBestEffort;
+                }
+            }
+        }
+
+        // How many gateways should this compilation hold now?
+        let required = thresholds.iter().filter(|t| bytes > **t).count();
+
+        // Climb the ladder one gateway at a time.
+        while {
+            let held = self.tasks[&task].held;
+            held < required
+        } {
+            let level = self.tasks[&task].held;
+            match self.gateways[level].request(task) {
+                GatewayAdmission::Acquired | GatewayAdmission::AlreadyHeld => {
+                    let state = self.tasks.get_mut(&task).expect("task exists");
+                    state.held = level + 1;
+                    state.waiting_at = None;
+                    state.wait_started = None;
+                    self.stats.acquisitions[level] += 1;
+                }
+                GatewayAdmission::Queued => {
+                    let state = self.tasks.get_mut(&task).expect("task exists");
+                    if state.waiting_at != Some(level) {
+                        state.waiting_at = Some(level);
+                        state.wait_started = Some(now);
+                        self.stats.waits[level] += 1;
+                    }
+                    return LadderDecision::Wait {
+                        level,
+                        timeout: self.config.monitors[level].timeout,
+                    };
+                }
+            }
+        }
+        LadderDecision::Proceed
+    }
+
+    /// A waiting compilation gave up (its gateway timeout expired). The
+    /// caller should abort the compilation and then call
+    /// [`GatewayLadder::finish_task`] to release whatever it already held.
+    pub fn timeout_task(&mut self, task: TaskId, now: SimTime) {
+        if let Some(state) = self.tasks.get_mut(&task) {
+            if let Some(level) = state.waiting_at.take() {
+                self.gateways[level].cancel_wait(task);
+                if let Some(started) = state.wait_started.take() {
+                    self.stats.total_wait[level] += now.saturating_since(started);
+                }
+                self.stats.timeouts += 1;
+            }
+        }
+    }
+
+    /// The compilation finished (successfully, best-effort, aborted or timed
+    /// out): release every gateway it holds, in reverse order, and drop it.
+    ///
+    /// Returns the tasks that were admitted to a gateway as a result — the
+    /// caller must resume them (unblock the thread / schedule the event) and
+    /// have them re-report their memory.
+    pub fn finish_task(&mut self, task: TaskId, now: SimTime) -> Vec<TaskId> {
+        let Some(state) = self.tasks.remove(&task) else {
+            return Vec::new();
+        };
+        self.stats.compilations_finished += 1;
+        if state.bytes <= self.config.exempt_bytes {
+            self.stats.exempt_compilations += 1;
+        }
+        // If it was still queued somewhere, leave the queue.
+        if let Some(level) = state.waiting_at {
+            self.gateways[level].cancel_wait(task);
+        }
+        // Release held gateways in reverse acquisition order.
+        let mut admitted = Vec::new();
+        for level in (0..state.held).rev() {
+            admitted.extend(self.gateways[level].release(task));
+        }
+        // Update the state of every admitted task.
+        for resumed in &admitted {
+            if let Some(s) = self.tasks.get_mut(resumed) {
+                let level = s.waiting_at.take().unwrap_or(s.held);
+                if let Some(started) = s.wait_started.take() {
+                    self.stats.total_wait[level] += now.saturating_since(started);
+                }
+                s.held = s.held.max(level + 1);
+                self.stats.acquisitions[level] += 1;
+            }
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Concurrency;
+
+    const MB: u64 = 1 << 20;
+
+    /// A small ladder (1 CPU) so concurrency limits are easy to hit:
+    /// capacities 4 / 1 / 1, thresholds 2 MB / 24 MB / 120 MB.
+    fn small_ladder() -> GatewayLadder {
+        GatewayLadder::new(ThrottleConfig::for_cpus(1))
+    }
+
+    fn now(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn disabled_ladder_never_blocks() {
+        let mut l = GatewayLadder::new(ThrottleConfig::disabled(1));
+        let tasks: Vec<TaskId> = (0..50).map(|_| l.begin_task()).collect();
+        for t in &tasks {
+            assert_eq!(l.report_memory(*t, 500 * MB, now(0)), LadderDecision::Proceed);
+        }
+    }
+
+    #[test]
+    fn small_queries_are_exempt() {
+        let mut l = small_ladder();
+        let t = l.begin_task();
+        assert_eq!(l.report_memory(t, 1 * MB, now(0)), LadderDecision::Proceed);
+        assert_eq!(l.holders_at(0), 0, "no gateway acquired below the exemption floor");
+        l.finish_task(t, now(1));
+        assert_eq!(l.stats().exempt_compilations, 1);
+    }
+
+    #[test]
+    fn growing_memory_climbs_the_ladder_in_order() {
+        let mut l = small_ladder();
+        let t = l.begin_task();
+        assert_eq!(l.report_memory(t, 3 * MB, now(0)), LadderDecision::Proceed);
+        assert_eq!(l.holders_at(0), 1);
+        assert_eq!(l.holders_at(1), 0);
+        assert_eq!(l.report_memory(t, 30 * MB, now(1)), LadderDecision::Proceed);
+        assert_eq!(l.holders_at(1), 1);
+        assert_eq!(l.report_memory(t, 200 * MB, now(2)), LadderDecision::Proceed);
+        assert_eq!(l.holders_at(2), 1);
+        // Finishing releases everything.
+        l.finish_task(t, now(3));
+        assert_eq!(l.holders_at(0), 0);
+        assert_eq!(l.holders_at(1), 0);
+        assert_eq!(l.holders_at(2), 0);
+    }
+
+    #[test]
+    fn fifth_small_compilation_waits_on_one_cpu() {
+        let mut l = small_ladder();
+        let tasks: Vec<TaskId> = (0..5).map(|_| l.begin_task()).collect();
+        for t in &tasks[..4] {
+            assert_eq!(l.report_memory(*t, 5 * MB, now(0)), LadderDecision::Proceed);
+        }
+        match l.report_memory(tasks[4], 5 * MB, now(1)) {
+            LadderDecision::Wait { level, timeout } => {
+                assert_eq!(level, 0);
+                assert_eq!(timeout, l.config().monitors[0].timeout);
+            }
+            other => panic!("expected a wait, got {other:?}"),
+        }
+        assert_eq!(l.waiting_at(0), 1);
+        // When one of the holders finishes, the waiter is admitted.
+        let resumed = l.finish_task(tasks[0], now(10));
+        assert_eq!(resumed, vec![tasks[4]]);
+        assert_eq!(l.report_memory(tasks[4], 5 * MB, now(10)), LadderDecision::Proceed);
+        assert!(l.stats().total_wait[0] >= SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn big_gateway_serializes_the_largest_compilations() {
+        let mut l = small_ladder();
+        let a = l.begin_task();
+        let b = l.begin_task();
+        assert_eq!(l.report_memory(a, 200 * MB, now(0)), LadderDecision::Proceed);
+        // The second giant blocks at the big gateway (level 2)... but first it
+        // must pass levels 0 and 1, which it can (capacity 4 and 1 — level 1
+        // has capacity 1 and is held by `a`, so it actually blocks there).
+        match l.report_memory(b, 200 * MB, now(0)) {
+            LadderDecision::Wait { level, .. } => assert!(level == 1 || level == 2),
+            other => panic!("expected a wait, got {other:?}"),
+        }
+        let resumed = l.finish_task(a, now(5));
+        assert_eq!(resumed, vec![b]);
+        assert_eq!(l.report_memory(b, 200 * MB, now(5)), LadderDecision::Proceed);
+    }
+
+    #[test]
+    fn waiters_do_not_lose_already_held_gateways() {
+        let mut l = small_ladder();
+        let a = l.begin_task();
+        let b = l.begin_task();
+        assert_eq!(l.report_memory(a, 30 * MB, now(0)), LadderDecision::Proceed);
+        // b passes level 0 but blocks at level 1 (capacity 1).
+        assert!(matches!(
+            l.report_memory(b, 30 * MB, now(0)),
+            LadderDecision::Wait { level: 1, .. }
+        ));
+        assert_eq!(l.holders_at(0), 2, "b keeps holding the small gateway while queued");
+        assert_eq!(l.waiting_at(1), 1);
+    }
+
+    #[test]
+    fn timeout_cancels_the_wait_and_counts() {
+        let mut l = small_ladder();
+        let a = l.begin_task();
+        let b = l.begin_task();
+        l.report_memory(a, 30 * MB, now(0));
+        assert!(matches!(
+            l.report_memory(b, 30 * MB, now(0)),
+            LadderDecision::Wait { .. }
+        ));
+        l.timeout_task(b, now(301));
+        l.finish_task(b, now(301));
+        assert_eq!(l.stats().timeouts, 1);
+        assert_eq!(l.waiting_at(1), 0);
+        // a is unaffected.
+        assert_eq!(l.report_memory(a, 31 * MB, now(302)), LadderDecision::Proceed);
+    }
+
+    #[test]
+    fn dynamic_target_triggers_best_effort() {
+        let mut l = small_ladder();
+        // The broker says compilation may only use 40 MB in total.
+        l.set_compilation_target(Some(40 * MB));
+        let t = l.begin_task();
+        assert_eq!(l.report_memory(t, 10 * MB, now(0)), LadderDecision::Proceed);
+        // best_effort_fraction = 0.5 -> limit 20 MB.
+        assert_eq!(
+            l.report_memory(t, 25 * MB, now(1)),
+            LadderDecision::FinishBestEffort
+        );
+        // The directive is delivered once; afterwards the task proceeds to wrap up.
+        assert_eq!(l.report_memory(t, 26 * MB, now(2)), LadderDecision::Proceed);
+        assert_eq!(l.stats().best_effort_completions, 1);
+    }
+
+    #[test]
+    fn dynamic_threshold_pushes_hogs_into_higher_category() {
+        let mut l = small_ladder();
+        // Static medium threshold is 24 MB. With a 40 MB target and three
+        // active small compilations, the dynamic medium threshold drops to
+        // 40 * 0.45 / 3 = 6 MB.
+        let tasks: Vec<TaskId> = (0..3).map(|_| l.begin_task()).collect();
+        for t in &tasks {
+            l.report_memory(*t, 3 * MB, now(0));
+        }
+        l.set_compilation_target(Some(40 * MB));
+        let thresholds = l.effective_thresholds();
+        assert!(
+            thresholds[1] < 24 * MB,
+            "medium threshold should drop under pressure: {}",
+            thresholds[1]
+        );
+        // A 10 MB compilation now needs the medium gateway even though it is
+        // below the static 24 MB threshold.
+        let hog = l.begin_task();
+        l.report_memory(hog, 10 * MB, now(1));
+        assert_eq!(l.holders_at(1), 1);
+    }
+
+    #[test]
+    fn category_counts_track_held_levels() {
+        let mut l = small_ladder();
+        let a = l.begin_task();
+        let b = l.begin_task();
+        let c = l.begin_task();
+        l.report_memory(a, 1 * MB, now(0)); // exempt -> category 0
+        l.report_memory(b, 5 * MB, now(0)); // small gateway -> category 1
+        l.report_memory(c, 30 * MB, now(0)); // medium gateway -> category 2
+        let counts = l.category_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 1);
+        assert_eq!(l.active_tasks(), 3);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_unknown_tasks_are_tolerated() {
+        let mut l = small_ladder();
+        let t = l.begin_task();
+        l.report_memory(t, 5 * MB, now(0));
+        assert!(l.finish_task(t, now(1)).is_empty());
+        assert!(l.finish_task(t, now(2)).is_empty());
+        assert_eq!(
+            l.report_memory(TaskId(999), 500 * MB, now(3)),
+            LadderDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn eight_cpu_paper_config_allows_32_small_compilations() {
+        let mut l = GatewayLadder::new(ThrottleConfig::paper_machine());
+        let tasks: Vec<TaskId> = (0..33).map(|_| l.begin_task()).collect();
+        let mut waited = 0;
+        for t in &tasks {
+            if matches!(l.report_memory(*t, 5 * MB, now(0)), LadderDecision::Wait { .. }) {
+                waited += 1;
+            }
+        }
+        assert_eq!(waited, 1, "exactly the 33rd compilation must wait");
+        assert_eq!(l.holders_at(0), 32);
+    }
+
+    #[test]
+    fn per_cpu_scaling_with_custom_monitor_set() {
+        // Two-monitor ladder used by the ablation bench.
+        let mut cfg = ThrottleConfig::for_cpus(2);
+        cfg.monitors.truncate(2);
+        cfg.monitors[1].concurrency = Concurrency::Global(1);
+        let mut l = GatewayLadder::new(cfg);
+        let a = l.begin_task();
+        let b = l.begin_task();
+        assert_eq!(l.report_memory(a, 100 * MB, now(0)), LadderDecision::Proceed);
+        assert!(matches!(
+            l.report_memory(b, 100 * MB, now(0)),
+            LadderDecision::Wait { level: 1, .. }
+        ));
+    }
+}

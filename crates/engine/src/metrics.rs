@@ -1,0 +1,144 @@
+//! Run metrics: everything the figures and tables are built from.
+
+use serde::{Deserialize, Serialize};
+use throttledb_core::ThrottleStats;
+use throttledb_sim::{GaugeTimeline, SimDuration, SimTime, TimeSeries};
+
+/// Why a query failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Out-of-memory during compilation or grant acquisition.
+    OutOfMemory,
+    /// Aborted because a gateway wait exceeded its timeout.
+    CompileTimeout,
+    /// Timed out waiting for an execution memory grant.
+    GrantTimeout,
+}
+
+/// Metrics collected over one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Successful completions bucketed per slice (the paper's figures 3-5).
+    pub completed: TimeSeries,
+    /// Failures bucketed per slice.
+    pub failed: TimeSeries,
+    /// Out-of-memory failures.
+    pub oom_failures: u64,
+    /// Compile-gateway timeout failures.
+    pub compile_timeouts: u64,
+    /// Grant-wait timeout failures.
+    pub grant_timeouts: u64,
+    /// Queries completed with a best-effort plan.
+    pub best_effort_plans: u64,
+    /// Total successful completions after warm-up.
+    pub completed_after_warmup: u64,
+    /// Compilation-memory timeline (total across concurrent compilations).
+    pub compile_memory: GaugeTimeline,
+    /// Final gateway-ladder statistics.
+    pub throttle: ThrottleStats,
+    /// Warm-up boundary used by the reporting helpers.
+    pub warmup: SimTime,
+    /// Slice width.
+    pub slice: SimDuration,
+}
+
+impl RunMetrics {
+    /// Fresh metrics for a run with the given slice width and warm-up.
+    pub fn new(slice: SimDuration, warmup: SimTime, throttle_levels: usize) -> Self {
+        RunMetrics {
+            completed: TimeSeries::new("completed", slice),
+            failed: TimeSeries::new("failed", slice),
+            oom_failures: 0,
+            compile_timeouts: 0,
+            grant_timeouts: 0,
+            best_effort_plans: 0,
+            completed_after_warmup: 0,
+            compile_memory: GaugeTimeline::new("compile-memory"),
+            throttle: ThrottleStats::new(throttle_levels),
+            warmup,
+            slice,
+        }
+    }
+
+    /// Record a successful completion.
+    pub fn record_completion(&mut self, at: SimTime) {
+        self.completed.record(at);
+        if at >= self.warmup {
+            self.completed_after_warmup += 1;
+        }
+    }
+
+    /// Record a failure.
+    pub fn record_failure(&mut self, at: SimTime, kind: FailureKind) {
+        self.failed.record(at);
+        match kind {
+            FailureKind::OutOfMemory => self.oom_failures += 1,
+            FailureKind::CompileTimeout => self.compile_timeouts += 1,
+            FailureKind::GrantTimeout => self.grant_timeouts += 1,
+        }
+    }
+
+    /// Total failures.
+    pub fn total_failures(&self) -> u64 {
+        self.oom_failures + self.compile_timeouts + self.grant_timeouts
+    }
+
+    /// Mean completions per slice after warm-up (the figures' sustained level).
+    pub fn sustained_throughput_per_slice(&self) -> f64 {
+        self.completed.mean_per_bucket_from(self.warmup)
+    }
+
+    /// The `(slice start seconds, completions)` rows of a throughput figure,
+    /// post-warm-up only.
+    pub fn figure_rows(&self) -> Vec<(u64, u64)> {
+        self.completed
+            .iter()
+            .filter(|(t, _)| *t >= self.warmup)
+            .map(|(t, c)| (t.as_secs(), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics::new(SimDuration::from_secs(3600), SimTime::from_secs(7200), 3)
+    }
+
+    #[test]
+    fn completions_split_around_warmup() {
+        let mut m = metrics();
+        m.record_completion(SimTime::from_secs(100));
+        m.record_completion(SimTime::from_secs(8000));
+        m.record_completion(SimTime::from_secs(9000));
+        assert_eq!(m.completed.total(), 3);
+        assert_eq!(m.completed_after_warmup, 2);
+        assert!(m.sustained_throughput_per_slice() > 0.0);
+    }
+
+    #[test]
+    fn failures_are_classified() {
+        let mut m = metrics();
+        m.record_failure(SimTime::from_secs(10), FailureKind::OutOfMemory);
+        m.record_failure(SimTime::from_secs(20), FailureKind::CompileTimeout);
+        m.record_failure(SimTime::from_secs(30), FailureKind::CompileTimeout);
+        m.record_failure(SimTime::from_secs(40), FailureKind::GrantTimeout);
+        assert_eq!(m.oom_failures, 1);
+        assert_eq!(m.compile_timeouts, 2);
+        assert_eq!(m.grant_timeouts, 1);
+        assert_eq!(m.total_failures(), 4);
+        assert_eq!(m.failed.total(), 4);
+    }
+
+    #[test]
+    fn figure_rows_exclude_warmup_slices() {
+        let mut m = metrics();
+        m.record_completion(SimTime::from_secs(100));
+        m.record_completion(SimTime::from_secs(7300));
+        let rows = m.figure_rows();
+        assert!(rows.iter().all(|(t, _)| *t >= 7200));
+        assert_eq!(rows.iter().map(|(_, c)| *c).sum::<u64>(), 1);
+    }
+}

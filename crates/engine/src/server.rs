@@ -1,0 +1,517 @@
+//! The discrete-event DBMS server.
+
+use crate::config::ServerConfig;
+use crate::metrics::{FailureKind, RunMetrics};
+use crate::profile::{CompileProfile, WorkloadProfiles};
+use std::collections::HashMap;
+use std::sync::Arc;
+use throttledb_bufferpool::HitRateModel;
+use throttledb_core::{GatewayLadder, LadderDecision, TaskId};
+use throttledb_executor::{GrantManager, GrantOutcome, GrantRequestId};
+use throttledb_membroker::{Clerk, MemoryBroker, SubcomponentKind};
+use throttledb_plancache::PlanCache;
+use throttledb_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use throttledb_workload::{ClientModel, Uniquifier};
+
+/// Discrete events driving the simulation.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A client submits its next query.
+    Submit { client: u32 },
+    /// One compilation memory-growth step completes.
+    CompileStep { query: u64 },
+    /// A gateway wait reached its timeout.
+    CompileTimeout { query: u64, level: usize },
+    /// A grant wait reached its timeout.
+    GrantTimeout { query: u64 },
+    /// A query finished executing.
+    ExecFinish { query: u64 },
+    /// Periodic broker recalculation / housekeeping.
+    BrokerTick,
+}
+
+#[derive(Debug)]
+struct Query {
+    client: u32,
+    template: String,
+    profile: CompileProfile,
+    task: TaskId,
+    compile_step: u32,
+    compile_bytes: u64,
+    waiting_level: Option<usize>,
+    grant_id: Option<GrantRequestId>,
+    grant_requested: u64,
+}
+
+/// The simulated server: builds the paper's machine, runs the client
+/// population, and returns the run's metrics.
+pub struct Server {
+    config: ServerConfig,
+    profiles: Arc<WorkloadProfiles>,
+    broker: Arc<MemoryBroker>,
+    compile_clerk: Clerk,
+    ladder: GatewayLadder,
+    grants: GrantManager,
+    plan_cache: PlanCache<String>,
+    hit_model: HitRateModel,
+    uniquifier: Uniquifier,
+    client_model: ClientModel,
+    rng: SimRng,
+    queue: EventQueue<Event>,
+    queries: HashMap<u64, Query>,
+    task_to_query: HashMap<TaskId, u64>,
+    grant_to_query: HashMap<GrantRequestId, u64>,
+    next_query: u64,
+    running_cpu_tasks: u32,
+    metrics: RunMetrics,
+    now: SimTime,
+}
+
+impl Server {
+    /// Build a server from a configuration and pre-characterized profiles.
+    pub fn new(config: ServerConfig, profiles: Arc<WorkloadProfiles>) -> Self {
+        config.validate();
+        let broker = MemoryBroker::new(config.broker.clone());
+        let compile_clerk = broker.register(SubcomponentKind::Compilation);
+        let exec_clerk = broker.register(SubcomponentKind::Execution);
+        let cache_clerk = broker.register(SubcomponentKind::PlanCache);
+        let exec_budget = broker.target_for_kind(SubcomponentKind::Execution);
+        let grants = GrantManager::new(exec_budget, Some(exec_clerk));
+        let plan_cache = PlanCache::new(256 << 20, Some(cache_clerk));
+        let ladder = GatewayLadder::new(config.throttle.clone());
+        let metrics = RunMetrics::new(
+            config.slice,
+            SimTime::ZERO + config.warmup,
+            config.throttle.monitor_count(),
+        );
+        let mut client_model = config.client_model;
+        client_model.oltp_fraction = config.oltp_fraction;
+        Server {
+            rng: SimRng::seed_from_u64(config.seed),
+            profiles,
+            broker,
+            compile_clerk,
+            ladder,
+            grants,
+            plan_cache,
+            hit_model: HitRateModel::default(),
+            uniquifier: Uniquifier::new(),
+            client_model,
+            queue: EventQueue::new(),
+            queries: HashMap::new(),
+            task_to_query: HashMap::new(),
+            grant_to_query: HashMap::new(),
+            next_query: 0,
+            running_cpu_tasks: 0,
+            metrics,
+            now: SimTime::ZERO,
+            config,
+        }
+    }
+
+    /// Run the simulation to completion and return the metrics.
+    pub fn run(mut self) -> RunMetrics {
+        // Stagger client start-up over the first minute.
+        for client in 0..self.config.clients {
+            let offset = SimDuration::from_millis(self.rng.uniform_u64(0, 60_000));
+            self.queue.schedule(SimTime::ZERO + offset, Event::Submit { client });
+        }
+        self.queue.schedule(SimTime::ZERO, Event::BrokerTick);
+
+        let end = SimTime::ZERO + self.config.duration;
+        while let Some(ev) = self.queue.pop() {
+            if ev.at > end {
+                break;
+            }
+            self.now = ev.at;
+            match ev.payload {
+                Event::Submit { client } => self.on_submit(client),
+                Event::CompileStep { query } => self.on_compile_step(query),
+                Event::CompileTimeout { query, level } => self.on_compile_timeout(query, level),
+                Event::GrantTimeout { query } => self.on_grant_timeout(query),
+                Event::ExecFinish { query } => self.on_exec_finish(query),
+                Event::BrokerTick => self.on_broker_tick(),
+            }
+        }
+        self.metrics.throttle = self.ladder.stats().clone();
+        self.metrics
+    }
+
+    // --- event handlers ----------------------------------------------------
+
+    fn on_submit(&mut self, client: u32) {
+        let template = self
+            .client_model
+            .choose_template(&self.profiles.dss, &self.profiles.oltp, &mut self.rng)
+            .clone();
+        let profile = self.profiles.profile(&template.name).jittered(&mut self.rng);
+        let id = self.next_query;
+        self.next_query += 1;
+        let text = self
+            .uniquifier
+            .uniquify(&template.sql, &mut self.rng, id);
+
+        // The uniquifier defeats the plan cache (as in the paper); a hit can
+        // only happen for the rare literal-free diagnostic queries.
+        if self.plan_cache.get(&text).is_some() {
+            let query = Query {
+                client,
+                template: template.name.clone(),
+                profile,
+                task: self.ladder.begin_task(),
+                compile_step: self.config.compile_steps,
+                compile_bytes: 0,
+                waiting_level: None,
+                grant_id: None,
+                grant_requested: 0,
+            };
+            self.queries.insert(id, query);
+            self.finish_compile(id);
+            return;
+        }
+
+        let task = self.ladder.begin_task();
+        self.task_to_query.insert(task, id);
+        self.queries.insert(
+            id,
+            Query {
+                client,
+                template: template.name.clone(),
+                profile,
+                task,
+                compile_step: 0,
+                compile_bytes: 0,
+                waiting_level: None,
+                grant_id: None,
+                grant_requested: 0,
+            },
+        );
+        self.running_cpu_tasks += 1;
+        let step = self.compile_step_duration(&profile);
+        self.queue.schedule(self.now + step, Event::CompileStep { query: id });
+    }
+
+    fn on_compile_step(&mut self, id: u64) {
+        let Some(q) = self.queries.get(&id) else { return };
+        if q.waiting_level.is_some() {
+            // A stale step event for a query that has since blocked.
+            return;
+        }
+        let profile = q.profile;
+        let delta = (profile.peak_compile_bytes / self.config.compile_steps as u64).max(1);
+
+        // Out-of-memory: the machine genuinely has no room for this step.
+        if self.broker.available_bytes() < delta {
+            self.fail_query(id, FailureKind::OutOfMemory);
+            return;
+        }
+        let (task, bytes, step) = {
+            let q = self.queries.get_mut(&id).expect("query exists");
+            q.compile_bytes += delta;
+            q.compile_step += 1;
+            (q.task, q.compile_bytes, q.compile_step)
+        };
+        self.compile_clerk.allocate(delta);
+        self.metrics
+            .compile_memory
+            .record(self.now, self.compile_clerk.used_bytes());
+
+        match self.ladder.report_memory(task, bytes, self.now) {
+            LadderDecision::Proceed => {
+                if step >= self.config.compile_steps {
+                    self.finish_compile(id);
+                } else {
+                    let d = self.compile_step_duration(&profile);
+                    self.queue.schedule(self.now + d, Event::CompileStep { query: id });
+                }
+            }
+            LadderDecision::Wait { level, timeout } => {
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.waiting_level = Some(level);
+                }
+                self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+                self.queue
+                    .schedule(self.now + timeout, Event::CompileTimeout { query: id, level });
+            }
+            LadderDecision::FinishBestEffort => {
+                self.metrics.best_effort_plans += 1;
+                self.finish_compile(id);
+            }
+        }
+    }
+
+    fn on_compile_timeout(&mut self, id: u64, level: usize) {
+        let still_waiting = self
+            .queries
+            .get(&id)
+            .map(|q| q.waiting_level == Some(level))
+            .unwrap_or(false);
+        if !still_waiting {
+            return;
+        }
+        if let Some(q) = self.queries.get(&id) {
+            self.ladder.timeout_task(q.task, self.now);
+        }
+        self.fail_query(id, FailureKind::CompileTimeout);
+    }
+
+    fn finish_compile(&mut self, id: u64) {
+        let (task, compile_bytes, template, profile) = {
+            let q = self.queries.get(&id).expect("query exists");
+            (q.task, q.compile_bytes, q.template.clone(), q.profile)
+        };
+        // Compilation memory is freed when the plan is produced.
+        self.compile_clerk.free(compile_bytes);
+        self.metrics
+            .compile_memory
+            .record(self.now, self.compile_clerk.used_bytes());
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.compile_bytes = 0;
+        }
+        self.task_to_query.remove(&task);
+        let resumed = self.ladder.finish_task(task, self.now);
+        self.resume_tasks(resumed);
+        self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+
+        // Cache the plan (uniquified text means this rarely helps — by design).
+        self.plan_cache.insert(
+            format!("{template}-{id}"),
+            template,
+            96 << 10,
+            profile.compile_cpu_seconds,
+        );
+
+        // Ask for the execution memory grant.
+        let requested = profile.exec_grant_bytes.max(1 << 20);
+        let (grant_id, outcome) = self.grants.request(requested);
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.grant_id = Some(grant_id);
+            q.grant_requested = requested;
+        }
+        self.grant_to_query.insert(grant_id, id);
+        match outcome {
+            GrantOutcome::Granted { bytes } | GrantOutcome::Reduced { bytes } => {
+                self.start_exec(id, bytes);
+            }
+            GrantOutcome::Queued => {
+                self.queue.schedule(
+                    self.now + self.config.grant_timeout,
+                    Event::GrantTimeout { query: id },
+                );
+            }
+        }
+    }
+
+    fn on_grant_timeout(&mut self, id: u64) {
+        // Only fires if the grant was never given (start_exec removes the
+        // mapping when it runs).
+        let Some(q) = self.queries.get(&id) else { return };
+        let Some(grant_id) = q.grant_id else { return };
+        if !self.grant_to_query.contains_key(&grant_id) {
+            return;
+        }
+        if self.grants.cancel(grant_id) {
+            self.grant_to_query.remove(&grant_id);
+            self.fail_query(id, FailureKind::GrantTimeout);
+        }
+    }
+
+    fn start_exec(&mut self, id: u64, granted_bytes: u64) {
+        let Some(q) = self.queries.get(&id) else { return };
+        let profile = q.profile;
+        let requested = q.grant_requested;
+        if let Some(grant_id) = q.grant_id {
+            self.grant_to_query.remove(&grant_id);
+        }
+        self.running_cpu_tasks += 1;
+
+        // CPU time: parallelized over the machine, inflated by spills and by
+        // CPU contention.
+        let spill = if requested == 0 {
+            1.0
+        } else {
+            let fraction = (granted_bytes as f64 / requested as f64).clamp(0.05, 1.0);
+            1.0 + (1.0 / fraction - 1.0) * 0.45
+        };
+        let cpu_seconds = profile.exec_cpu_seconds * spill / self.config.exec_parallelism
+            * self.load_factor();
+
+        // I/O time: whatever memory is not claimed by compilation, grants and
+        // caches acts as the page buffer pool.
+        let pool_bytes = self
+            .config
+            .broker
+            .brokered_bytes()
+            .saturating_sub(self.broker.used_bytes());
+        let touched =
+            (profile.exec_footprint_bytes as f64 * self.config.io_touched_fraction) as u64;
+        let io_seconds = self.hit_model.io_seconds(
+            touched,
+            pool_bytes,
+            self.config.hot_working_set_bytes,
+            self.config.io_bandwidth_bytes_per_sec,
+        );
+
+        let duration = SimDuration::from_secs_f64((cpu_seconds + io_seconds).max(1.0));
+        self.queue.schedule(self.now + duration, Event::ExecFinish { query: id });
+    }
+
+    fn on_exec_finish(&mut self, id: u64) {
+        let Some(q) = self.queries.remove(&id) else { return };
+        self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+        if let Some(grant_id) = q.grant_id {
+            let admitted = self.grants.release(grant_id);
+            self.start_admitted(admitted);
+        }
+        self.metrics.record_completion(self.now);
+        let think = self.client_model.think_time(&mut self.rng);
+        self.schedule_submit(q.client, think);
+    }
+
+    fn on_broker_tick(&mut self) {
+        let decisions = self.broker.recalculate(self.now);
+        let constrained = decisions
+            .iter()
+            .any(|d| d.notification.target_bytes.is_some());
+        let compile_target = if constrained {
+            Some(self.broker.target_for_kind(SubcomponentKind::Compilation))
+        } else {
+            None
+        };
+        self.ladder.set_compilation_target(compile_target);
+        self.grants
+            .set_budget(self.broker.target_for_kind(SubcomponentKind::Execution));
+        // The plan cache responds to pressure by shrinking toward its target.
+        if let Some(target) = decisions
+            .iter()
+            .find(|d| d.notification.kind_of_component == SubcomponentKind::PlanCache)
+            .and_then(|d| d.notification.target_bytes)
+        {
+            if self.plan_cache.used_bytes() > target {
+                self.plan_cache.shrink_to(target);
+            }
+        }
+        if self.now + self.config.broker_tick < SimTime::ZERO + self.config.duration {
+            self.queue
+                .schedule(self.now + self.config.broker_tick, Event::BrokerTick);
+        }
+    }
+
+    // --- helpers -------------------------------------------------------------
+
+    fn resume_tasks(&mut self, resumed: Vec<TaskId>) {
+        for task in resumed {
+            if let Some(&qid) = self.task_to_query.get(&task) {
+                if let Some(q) = self.queries.get_mut(&qid) {
+                    q.waiting_level = None;
+                }
+                self.running_cpu_tasks += 1;
+                self.queue
+                    .schedule(self.now, Event::CompileStep { query: qid });
+            }
+        }
+    }
+
+    fn start_admitted(&mut self, admitted: Vec<(GrantRequestId, GrantOutcome)>) {
+        for (grant_id, outcome) in admitted {
+            if let Some(&qid) = self.grant_to_query.get(&grant_id) {
+                let bytes = match outcome {
+                    GrantOutcome::Granted { bytes } | GrantOutcome::Reduced { bytes } => bytes,
+                    GrantOutcome::Queued => continue,
+                };
+                self.start_exec(qid, bytes);
+            }
+        }
+    }
+
+    fn fail_query(&mut self, id: u64, kind: FailureKind) {
+        let Some(q) = self.queries.remove(&id) else { return };
+        self.compile_clerk.free(q.compile_bytes);
+        self.task_to_query.remove(&q.task);
+        if q.waiting_level.is_none() && q.compile_step < self.config.compile_steps {
+            self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+        }
+        let resumed = self.ladder.finish_task(q.task, self.now);
+        self.resume_tasks(resumed);
+        if let Some(grant_id) = q.grant_id {
+            self.grant_to_query.remove(&grant_id);
+            let admitted = self.grants.release(grant_id);
+            self.start_admitted(admitted);
+        }
+        self.metrics.record_failure(self.now, kind);
+        // "Those aborted queries likely need to be resubmitted to the system."
+        let delay = self.client_model.retry_delay(&mut self.rng);
+        self.schedule_submit(q.client, delay);
+    }
+
+    fn schedule_submit(&mut self, client: u32, delay: SimDuration) {
+        let at = self.now + delay;
+        if at <= SimTime::ZERO + self.config.duration {
+            self.queue.schedule(at, Event::Submit { client });
+        }
+    }
+
+    fn compile_step_duration(&mut self, profile: &CompileProfile) -> SimDuration {
+        let per_step = profile.compile_cpu_seconds / self.config.compile_steps as f64;
+        SimDuration::from_secs_f64((per_step * self.load_factor()).max(0.001))
+    }
+
+    fn load_factor(&self) -> f64 {
+        (self.running_cpu_tasks as f64 / self.config.cpus as f64).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles() -> Arc<WorkloadProfiles> {
+        Arc::new(WorkloadProfiles::characterize_sales(&ServerConfig::quick(8, true)))
+    }
+
+    #[test]
+    fn quick_run_completes_queries_and_is_deterministic() {
+        let profiles = profiles();
+        let run = |seed: u64| {
+            let mut cfg = ServerConfig::quick(8, true);
+            cfg.seed = seed;
+            Server::new(cfg, profiles.clone()).run()
+        };
+        let a = run(1);
+        assert!(
+            a.completed.total() > 10,
+            "an hour with 8 clients should complete queries, got {}",
+            a.completed.total()
+        );
+        let b = run(1);
+        assert_eq!(a.completed.total(), b.completed.total(), "same seed, same run");
+        let c = run(2);
+        // A different seed gives a different (but same ballpark) run.
+        assert!(c.completed.total() > 10);
+    }
+
+    #[test]
+    fn throttled_run_engages_the_gateways() {
+        let profiles = profiles();
+        let metrics = Server::new(ServerConfig::quick(16, true), profiles).run();
+        assert!(
+            metrics.throttle.acquisitions.iter().sum::<u64>() > 0,
+            "SALES compilations must acquire gateways"
+        );
+        assert!(metrics.compile_memory.max_value() > 100 << 20);
+    }
+
+    #[test]
+    fn unthrottled_run_uses_more_compile_memory_at_peak() {
+        let profiles = profiles();
+        let throttled = Server::new(ServerConfig::quick(16, true), profiles.clone()).run();
+        let unthrottled = Server::new(ServerConfig::quick(16, false), profiles).run();
+        assert!(
+            unthrottled.compile_memory.max_value() > throttled.compile_memory.max_value(),
+            "throttling must cap concurrent compilation memory: {} vs {}",
+            unthrottled.compile_memory.max_value(),
+            throttled.compile_memory.max_value()
+        );
+        assert!(throttled.throttle.compilations_started >= throttled.completed.total());
+    }
+}

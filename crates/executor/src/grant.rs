@@ -1,0 +1,295 @@
+//! Execution memory grants (the "resource semaphore").
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use throttledb_membroker::Clerk;
+
+/// Identifies a grant request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GrantRequestId(pub u64);
+
+/// Outcome of a grant request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantOutcome {
+    /// The full requested grant was given.
+    Granted {
+        /// Bytes granted.
+        bytes: u64,
+    },
+    /// A reduced grant was given (the query will spill and run slower).
+    Reduced {
+        /// Bytes granted (less than requested).
+        bytes: u64,
+    },
+    /// No memory is available; the request is queued FIFO.
+    Queued,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    id: GrantRequestId,
+    requested: u64,
+}
+
+/// FIFO memory-grant manager over a fixed budget.
+#[derive(Debug)]
+pub struct GrantManager {
+    budget_bytes: Mutex<u64>,
+    inner: Mutex<Inner>,
+    clerk: Option<Clerk>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    in_use: u64,
+    outstanding: Vec<(GrantRequestId, u64)>,
+    queue: VecDeque<Waiter>,
+    next_id: u64,
+    grants: u64,
+    reduced_grants: u64,
+    queued: u64,
+}
+
+/// A query never receives less than this fraction of its request when the
+/// manager falls back to a reduced grant.
+const MIN_GRANT_FRACTION: f64 = 0.25;
+
+impl GrantManager {
+    /// A manager over `budget_bytes` of execution memory, optionally
+    /// reporting usage to a broker clerk.
+    pub fn new(budget_bytes: u64, clerk: Option<Clerk>) -> Self {
+        GrantManager {
+            budget_bytes: Mutex::new(budget_bytes),
+            inner: Mutex::new(Inner::default()),
+            clerk,
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> u64 {
+        *self.budget_bytes.lock()
+    }
+
+    /// Change the budget (e.g. on a broker notification). Does not revoke
+    /// outstanding grants; future requests see the new value.
+    pub fn set_budget(&self, budget_bytes: u64) {
+        *self.budget_bytes.lock() = budget_bytes;
+    }
+
+    /// Bytes currently granted out.
+    pub fn in_use_bytes(&self) -> u64 {
+        self.inner.lock().in_use
+    }
+
+    /// Number of requests waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Lifetime counters: (full grants, reduced grants, queued requests).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        let inner = self.inner.lock();
+        (inner.grants, inner.reduced_grants, inner.queued)
+    }
+
+    /// Request `bytes` of execution memory. The request is granted in full
+    /// when it fits, granted reduced when at least the minimum fraction fits
+    /// and nothing else is queued, and queued otherwise.
+    pub fn request(&self, bytes: u64) -> (GrantRequestId, GrantOutcome) {
+        let budget = *self.budget_bytes.lock();
+        let mut inner = self.inner.lock();
+        let id = GrantRequestId(inner.next_id);
+        inner.next_id += 1;
+
+        let available = budget.saturating_sub(inner.in_use);
+        let wanted = bytes.max(1);
+        if inner.queue.is_empty() && wanted <= available {
+            inner.in_use += wanted;
+            inner.outstanding.push((id, wanted));
+            inner.grants += 1;
+            if let Some(c) = &self.clerk {
+                c.allocate(wanted);
+            }
+            return (id, GrantOutcome::Granted { bytes: wanted });
+        }
+        let minimum = ((wanted as f64 * MIN_GRANT_FRACTION) as u64).max(1);
+        if inner.queue.is_empty() && minimum <= available && available > 0 {
+            inner.in_use += available;
+            inner.outstanding.push((id, available));
+            inner.reduced_grants += 1;
+            if let Some(c) = &self.clerk {
+                c.allocate(available);
+            }
+            return (id, GrantOutcome::Reduced { bytes: available });
+        }
+        inner.queue.push_back(Waiter {
+            id,
+            requested: wanted,
+        });
+        inner.queued += 1;
+        (id, GrantOutcome::Queued)
+    }
+
+    /// Release the grant held by `id` (a query finished or was aborted).
+    /// Returns the queued requests that were granted as a result, with their
+    /// outcomes.
+    pub fn release(&self, id: GrantRequestId) -> Vec<(GrantRequestId, GrantOutcome)> {
+        let budget = *self.budget_bytes.lock();
+        let mut inner = self.inner.lock();
+        if let Some(pos) = inner.outstanding.iter().position(|(g, _)| *g == id) {
+            let (_, bytes) = inner.outstanding.swap_remove(pos);
+            inner.in_use = inner.in_use.saturating_sub(bytes);
+            if let Some(c) = &self.clerk {
+                c.free(bytes);
+            }
+        } else {
+            // Not outstanding: maybe it was still queued (abandoned wait).
+            inner.queue.retain(|w| w.id != id);
+            return Vec::new();
+        }
+
+        // Admit waiters FIFO while they fit.
+        let mut admitted = Vec::new();
+        while let Some(front) = inner.queue.front() {
+            let available = budget.saturating_sub(inner.in_use);
+            let wanted = front.requested;
+            let minimum = ((wanted as f64 * MIN_GRANT_FRACTION) as u64).max(1);
+            if wanted <= available {
+                let w = inner.queue.pop_front().expect("front exists");
+                inner.in_use += wanted;
+                inner.outstanding.push((w.id, wanted));
+                inner.grants += 1;
+                if let Some(c) = &self.clerk {
+                    c.allocate(wanted);
+                }
+                admitted.push((w.id, GrantOutcome::Granted { bytes: wanted }));
+            } else if minimum <= available && available > 0 {
+                let w = inner.queue.pop_front().expect("front exists");
+                inner.in_use += available;
+                inner.outstanding.push((w.id, available));
+                inner.reduced_grants += 1;
+                if let Some(c) = &self.clerk {
+                    c.allocate(available);
+                }
+                admitted.push((w.id, GrantOutcome::Reduced { bytes: available }));
+            } else {
+                break;
+            }
+        }
+        admitted
+    }
+
+    /// Abandon a queued request (the query timed out waiting for its grant —
+    /// a "resource" error to the client). Returns true if it was queued.
+    pub fn cancel(&self, id: GrantRequestId) -> bool {
+        let mut inner = self.inner.lock();
+        let before = inner.queue.len();
+        inner.queue.retain(|w| w.id != id);
+        before != inner.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use throttledb_membroker::{BrokerConfig, MemoryBroker, SubcomponentKind};
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn grants_within_budget_are_immediate() {
+        let m = GrantManager::new(100 * MB, None);
+        let (a, out_a) = m.request(40 * MB);
+        let (_b, out_b) = m.request(40 * MB);
+        assert_eq!(out_a, GrantOutcome::Granted { bytes: 40 * MB });
+        assert_eq!(out_b, GrantOutcome::Granted { bytes: 40 * MB });
+        assert_eq!(m.in_use_bytes(), 80 * MB);
+        m.release(a);
+        assert_eq!(m.in_use_bytes(), 40 * MB);
+    }
+
+    #[test]
+    fn oversized_request_gets_reduced_grant() {
+        let m = GrantManager::new(100 * MB, None);
+        let (_a, _) = m.request(70 * MB);
+        let (_b, out) = m.request(80 * MB);
+        match out {
+            GrantOutcome::Reduced { bytes } => {
+                assert_eq!(bytes, 30 * MB, "gets whatever is left");
+            }
+            other => panic!("expected a reduced grant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_queues_when_below_minimum_fraction() {
+        let m = GrantManager::new(100 * MB, None);
+        let (_a, _) = m.request(95 * MB);
+        // 5 MB available < 25% of 80 MB -> must queue.
+        let (_b, out) = m.request(80 * MB);
+        assert_eq!(out, GrantOutcome::Queued);
+        assert_eq!(m.queued(), 1);
+    }
+
+    #[test]
+    fn release_admits_waiters_in_fifo_order() {
+        let m = GrantManager::new(100 * MB, None);
+        let (a, _) = m.request(90 * MB);
+        let (b, ob) = m.request(60 * MB);
+        let (c, oc) = m.request(10 * MB);
+        assert_eq!(ob, GrantOutcome::Queued);
+        assert_eq!(oc, GrantOutcome::Queued);
+        let admitted = m.release(a);
+        // b is admitted first (FIFO); c fits in the remainder.
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(admitted[0].0, b);
+        assert!(matches!(admitted[0].1, GrantOutcome::Granted { .. }));
+        assert_eq!(admitted[1].0, c);
+    }
+
+    #[test]
+    fn fifo_prevents_starvation_of_large_requests() {
+        let m = GrantManager::new(100 * MB, None);
+        let (a, _) = m.request(90 * MB);
+        let (_big, out_big) = m.request(80 * MB);
+        assert_eq!(out_big, GrantOutcome::Queued);
+        // A small latecomer must not jump the queue.
+        let (_small, out_small) = m.request(5 * MB);
+        assert_eq!(out_small, GrantOutcome::Queued);
+        let admitted = m.release(a);
+        assert!(matches!(admitted[0].1, GrantOutcome::Granted { bytes } if bytes == 80 * MB));
+    }
+
+    #[test]
+    fn cancel_removes_from_queue() {
+        let m = GrantManager::new(10 * MB, None);
+        let (a, _) = m.request(10 * MB);
+        let (b, out) = m.request(10 * MB);
+        assert_eq!(out, GrantOutcome::Queued);
+        assert!(m.cancel(b));
+        assert!(!m.cancel(b));
+        assert!(m.release(a).is_empty());
+    }
+
+    #[test]
+    fn clerk_tracks_granted_bytes() {
+        let broker = MemoryBroker::new(BrokerConfig::with_total_memory(1 << 30));
+        let clerk = broker.register(SubcomponentKind::Execution);
+        let m = GrantManager::new(100 * MB, Some(clerk.clone()));
+        let (a, _) = m.request(30 * MB);
+        assert_eq!(clerk.used_bytes(), 30 * MB);
+        m.release(a);
+        assert_eq!(clerk.used_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_can_shrink_at_runtime() {
+        let m = GrantManager::new(100 * MB, None);
+        let (_a, _) = m.request(50 * MB);
+        m.set_budget(40 * MB);
+        let (_b, out) = m.request(30 * MB);
+        assert_eq!(out, GrantOutcome::Queued, "shrunken budget blocks new grants");
+        let (full, reduced, queued) = m.counters();
+        assert_eq!((full, reduced, queued), (1, 0, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-clerk accounting kept inside the broker.
+//!
+//! The broker holds one [`ClerkAccount`] per registered clerk: the clerk
+//! handle itself (for reading live usage and installing targets), the trend
+//! estimator fed on every recalculation, and the last verdict sent so that
+//! reports can show notification churn.
+
+use crate::clerk::Clerk;
+use crate::notification::NotificationKind;
+use crate::trend::TrendEstimator;
+use throttledb_sim::{SimDuration, SimTime};
+
+/// Broker-side record for one registered clerk.
+#[derive(Debug, Clone)]
+pub struct ClerkAccount {
+    clerk: Clerk,
+    trend: TrendEstimator,
+    last_verdict: Option<NotificationKind>,
+    verdict_changes: u64,
+}
+
+impl ClerkAccount {
+    /// Create an account tracking `clerk` with a trend window of
+    /// `trend_window` samples.
+    pub fn new(clerk: Clerk, trend_window: usize) -> Self {
+        ClerkAccount {
+            clerk,
+            trend: TrendEstimator::new(trend_window),
+            last_verdict: None,
+            verdict_changes: 0,
+        }
+    }
+
+    /// The clerk handle.
+    pub fn clerk(&self) -> &Clerk {
+        &self.clerk
+    }
+
+    /// Record a usage sample at `now` and return the live usage observed.
+    pub fn sample(&mut self, now: SimTime) -> u64 {
+        let used = self.clerk.used_bytes();
+        self.trend.record(now, used);
+        used
+    }
+
+    /// Predicted usage `horizon` into the future given the recorded trend.
+    pub fn predict(&self, horizon: SimDuration) -> u64 {
+        // If no sample was ever recorded, fall back to the live value so a
+        // clerk that registered between recalculations is still accounted.
+        if self.trend.is_empty() {
+            self.clerk.used_bytes()
+        } else {
+            self.trend.predict(horizon)
+        }
+    }
+
+    /// Estimated allocation rate in bytes/second.
+    pub fn allocation_rate(&self) -> f64 {
+        self.trend.slope_bytes_per_sec()
+    }
+
+    /// Record the verdict sent to this clerk, tracking changes for reports.
+    pub fn set_verdict(&mut self, verdict: NotificationKind) {
+        if self.last_verdict != Some(verdict) {
+            self.verdict_changes += 1;
+        }
+        self.last_verdict = Some(verdict);
+    }
+
+    /// The last verdict sent, if any.
+    pub fn last_verdict(&self) -> Option<NotificationKind> {
+        self.last_verdict
+    }
+
+    /// How many times the verdict has changed — a proxy for the "wild
+    /// swings" the paper says the broker is meant to dampen.
+    pub fn verdict_changes(&self) -> u64 {
+        self.verdict_changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clerk::{ClerkId, SubcomponentKind};
+
+    fn account() -> ClerkAccount {
+        ClerkAccount::new(Clerk::new(ClerkId(0), SubcomponentKind::Compilation), 8)
+    }
+
+    #[test]
+    fn sample_reads_live_usage() {
+        let mut a = account();
+        a.clerk().allocate(500);
+        assert_eq!(a.sample(SimTime::from_secs(1)), 500);
+        a.clerk().allocate(500);
+        assert_eq!(a.sample(SimTime::from_secs(2)), 1000);
+    }
+
+    #[test]
+    fn predict_without_samples_uses_live_value() {
+        let a = account();
+        a.clerk().allocate(750);
+        assert_eq!(a.predict(SimDuration::from_secs(10)), 750);
+    }
+
+    #[test]
+    fn predict_extrapolates_growth() {
+        let mut a = account();
+        for s in 1..=5u64 {
+            a.clerk().allocate(1000);
+            a.sample(SimTime::from_secs(s));
+        }
+        // Growing 1000 bytes/second; prediction 10 s out should far exceed
+        // the current 5000 bytes.
+        assert!(a.predict(SimDuration::from_secs(10)) > 10_000);
+        assert!(a.allocation_rate() > 900.0);
+    }
+
+    #[test]
+    fn verdict_changes_are_counted() {
+        let mut a = account();
+        assert_eq!(a.last_verdict(), None);
+        a.set_verdict(NotificationKind::Grow);
+        a.set_verdict(NotificationKind::Grow);
+        a.set_verdict(NotificationKind::Shrink);
+        a.set_verdict(NotificationKind::Grow);
+        assert_eq!(a.verdict_changes(), 3);
+        assert_eq!(a.last_verdict(), Some(NotificationKind::Grow));
+    }
+}

@@ -1,0 +1,588 @@
+//! The Memory Broker itself.
+
+use crate::accounting::ClerkAccount;
+use crate::clerk::{Clerk, ClerkId, SubcomponentKind};
+use crate::config::BrokerConfig;
+use crate::notification::{Notification, NotificationKind};
+use crate::pressure::PressureLevel;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use throttledb_sim::SimTime;
+
+/// One broker verdict for one clerk, produced by [`MemoryBroker::recalculate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrokerDecision {
+    /// The notification delivered to the clerk.
+    pub notification: Notification,
+}
+
+/// Point-in-time view of one clerk for reporting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClerkSnapshot {
+    /// Clerk identity.
+    pub id: ClerkId,
+    /// Subcomponent kind.
+    pub kind: SubcomponentKind,
+    /// Human-readable name.
+    pub name: String,
+    /// Live bytes.
+    pub used_bytes: u64,
+    /// Current target (None = unconstrained).
+    pub target_bytes: Option<u64>,
+    /// Last verdict sent.
+    pub last_verdict: Option<NotificationKind>,
+}
+
+/// Point-in-time view of the whole broker.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BrokerSnapshot {
+    /// Total physical memory configured.
+    pub total_memory_bytes: u64,
+    /// Bytes the broker is willing to distribute.
+    pub brokered_bytes: u64,
+    /// Sum of live usage across clerks.
+    pub used_bytes: u64,
+    /// Current pressure classification.
+    pub pressure: PressureLevel,
+    /// Per-clerk details.
+    pub clerks: Vec<ClerkSnapshot>,
+}
+
+/// The central memory accountant (§3 of the paper).
+///
+/// Thread-safe: clerks report allocations lock-free; `recalculate` takes a
+/// short internal lock. In the discrete-event engine the broker is driven on
+/// a virtual-time schedule; in the threaded examples it can be called from a
+/// housekeeping thread.
+#[derive(Debug)]
+pub struct MemoryBroker {
+    config: BrokerConfig,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    accounts: Vec<ClerkAccount>,
+    recalculations: u64,
+}
+
+impl MemoryBroker {
+    /// Create a broker with the given configuration.
+    pub fn new(config: BrokerConfig) -> Arc<Self> {
+        config.validate();
+        Arc::new(MemoryBroker {
+            config,
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// The configuration this broker was built with.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    /// Register a new subcomponent clerk.
+    pub fn register(&self, kind: SubcomponentKind) -> Clerk {
+        let mut inner = self.inner.lock();
+        let id = ClerkId(inner.accounts.len() as u32);
+        let clerk = Clerk::new(id, kind);
+        inner
+            .accounts
+            .push(ClerkAccount::new(clerk.clone(), self.config.trend_window));
+        clerk
+    }
+
+    /// Sum of live usage across all clerks.
+    pub fn used_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.accounts.iter().map(|a| a.clerk().used_bytes()).sum()
+    }
+
+    /// Live usage for one subcomponent kind (summed over its clerks).
+    pub fn used_by_kind(&self, kind: SubcomponentKind) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .accounts
+            .iter()
+            .filter(|a| a.clerk().kind() == kind)
+            .map(|a| a.clerk().used_bytes())
+            .sum()
+    }
+
+    /// Bytes still available before hitting the brokered limit (saturating).
+    pub fn available_bytes(&self) -> u64 {
+        self.config.brokered_bytes().saturating_sub(self.used_bytes())
+    }
+
+    /// Current pressure based on live usage (no prediction).
+    pub fn pressure(&self) -> PressureLevel {
+        let brokered = self.config.brokered_bytes().max(1);
+        let utilization = self.used_bytes() as f64 / brokered as f64;
+        PressureLevel::from_utilization(
+            utilization,
+            self.config.medium_pressure_utilization,
+            self.config.high_pressure_utilization,
+        )
+    }
+
+    /// The memory target for a subcomponent kind: the sum of installed
+    /// targets for its clerks when the system is constrained, or the kind's
+    /// entitlement share of brokered memory when it is not.
+    ///
+    /// `throttledb-core` uses the value for [`SubcomponentKind::Compilation`]
+    /// to compute the *dynamic gateway thresholds* described in §4.1.
+    pub fn target_for_kind(&self, kind: SubcomponentKind) -> u64 {
+        let inner = self.inner.lock();
+        let installed: u64 = inner
+            .accounts
+            .iter()
+            .filter(|a| a.clerk().kind() == kind)
+            .filter_map(|a| a.clerk().target_bytes())
+            .sum();
+        if installed > 0 {
+            installed
+        } else {
+            (self.config.brokered_bytes() as f64 * kind.entitlement_weight()) as u64
+        }
+    }
+
+    /// Number of times `recalculate` has run.
+    pub fn recalculations(&self) -> u64 {
+        self.inner.lock().recalculations
+    }
+
+    /// Sample every clerk, predict near-future usage, and return one verdict
+    /// per clerk. Targets are installed on the clerks so subcomponents that
+    /// poll (rather than receive notifications) see the same numbers.
+    pub fn recalculate(&self, now: SimTime) -> Vec<BrokerDecision> {
+        let mut inner = self.inner.lock();
+        inner.recalculations += 1;
+        let horizon = self.config.prediction_horizon;
+        let brokered = self.config.brokered_bytes();
+
+        // Pass 1: sample usage and predictions.
+        let mut current = Vec::with_capacity(inner.accounts.len());
+        let mut predicted = Vec::with_capacity(inner.accounts.len());
+        for account in inner.accounts.iter_mut() {
+            current.push(account.sample(now));
+            predicted.push(account.predict(horizon));
+        }
+        let predicted_total: u64 = predicted.iter().sum();
+
+        // Unconstrained: clear targets, everyone may grow. "If the system is
+        // not using all available physical memory, no action is taken."
+        if predicted_total <= brokered {
+            let mut out = Vec::with_capacity(inner.accounts.len());
+            for (i, account) in inner.accounts.iter_mut().enumerate() {
+                account.clerk().install_target(None);
+                account.set_verdict(NotificationKind::Grow);
+                out.push(BrokerDecision {
+                    notification: Notification {
+                        clerk: account.clerk().id(),
+                        kind_of_component: account.clerk().kind(),
+                        kind: NotificationKind::Grow,
+                        current_bytes: current[i],
+                        predicted_bytes: predicted[i],
+                        target_bytes: None,
+                    },
+                });
+            }
+            return out;
+        }
+
+        // Constrained: compute per-clerk targets by water-filling the
+        // brokered bytes across squeezable clerks according to their
+        // entitlement weights; unsqueezable (Fixed) clerks keep their demand.
+        let demands: Vec<u64> = current
+            .iter()
+            .zip(predicted.iter())
+            .map(|(c, p)| (*c).max(*p))
+            .collect();
+        let targets = compute_targets(
+            &inner
+                .accounts
+                .iter()
+                .map(|a| a.clerk().kind())
+                .collect::<Vec<_>>(),
+            &demands,
+            brokered,
+            self.config.min_target_bytes,
+        );
+
+        let hysteresis = self.config.target_hysteresis;
+        let mut out = Vec::with_capacity(inner.accounts.len());
+        for (i, account) in inner.accounts.iter_mut().enumerate() {
+            let kind = account.clerk().kind();
+            let target = targets[i];
+            let verdict = if !kind.is_squeezable() {
+                NotificationKind::Steady
+            } else if current[i] as f64 > target as f64 * (1.0 + hysteresis) {
+                NotificationKind::Shrink
+            } else if predicted[i] <= target && (current[i] as f64) < target as f64 * 0.90 {
+                NotificationKind::Grow
+            } else {
+                NotificationKind::Steady
+            };
+            account.clerk().install_target(Some(target));
+            account.set_verdict(verdict);
+            out.push(BrokerDecision {
+                notification: Notification {
+                    clerk: account.clerk().id(),
+                    kind_of_component: kind,
+                    kind: verdict,
+                    current_bytes: current[i],
+                    predicted_bytes: predicted[i],
+                    target_bytes: Some(target),
+                },
+            });
+        }
+        out
+    }
+
+    /// A point-in-time view of the broker for reports and figures.
+    pub fn snapshot(&self) -> BrokerSnapshot {
+        let pressure = self.pressure();
+        let inner = self.inner.lock();
+        let clerks: Vec<ClerkSnapshot> = inner
+            .accounts
+            .iter()
+            .map(|a| ClerkSnapshot {
+                id: a.clerk().id(),
+                kind: a.clerk().kind(),
+                name: a.clerk().name(),
+                used_bytes: a.clerk().used_bytes(),
+                target_bytes: a.clerk().target_bytes(),
+                last_verdict: a.last_verdict(),
+            })
+            .collect();
+        BrokerSnapshot {
+            total_memory_bytes: self.config.total_memory_bytes,
+            brokered_bytes: self.config.brokered_bytes(),
+            used_bytes: clerks.iter().map(|c| c.used_bytes).sum(),
+            pressure,
+            clerks,
+        }
+    }
+}
+
+/// Water-fill `brokered` bytes across clerks.
+///
+/// * `Fixed` clerks are satisfied first at their full demand.
+/// * The remainder is divided among squeezable clerks proportionally to
+///   their [`SubcomponentKind::entitlement_weight`]; any clerk whose demand
+///   is below its share is granted its demand and the slack is redistributed
+///   to the still-unsatisfied clerks (classic water-filling), iterating until
+///   a fixed point.
+/// * Every target is at least `min_target` (even if that oversubscribes a
+///   pathologically tiny machine — the broker is advisory, not an allocator).
+fn compute_targets(
+    kinds: &[SubcomponentKind],
+    demands: &[u64],
+    brokered: u64,
+    min_target: u64,
+) -> Vec<u64> {
+    debug_assert_eq!(kinds.len(), demands.len());
+    let n = kinds.len();
+    let mut targets = vec![0u64; n];
+    let mut remaining = brokered;
+
+    // Fixed clerks first.
+    for i in 0..n {
+        if !kinds[i].is_squeezable() {
+            targets[i] = demands[i];
+            remaining = remaining.saturating_sub(demands[i]);
+        }
+    }
+
+    // Water-fill the rest.
+    let mut unsatisfied: Vec<usize> = (0..n).filter(|&i| kinds[i].is_squeezable()).collect();
+    let mut settled = vec![false; n];
+    loop {
+        let weight_sum: f64 = unsatisfied
+            .iter()
+            .map(|&i| kinds[i].entitlement_weight())
+            .sum();
+        if unsatisfied.is_empty() || weight_sum <= f64::EPSILON {
+            break;
+        }
+        let mut progressed = false;
+        let mut next_round = Vec::new();
+        let pool = remaining;
+        for &i in &unsatisfied {
+            let share = (pool as f64 * kinds[i].entitlement_weight() / weight_sum) as u64;
+            if demands[i] <= share {
+                // Fully satisfied below its share; grant demand, release slack.
+                targets[i] = demands[i];
+                settled[i] = true;
+                remaining = remaining.saturating_sub(demands[i]);
+                progressed = true;
+            } else {
+                next_round.push(i);
+            }
+        }
+        if !progressed {
+            // Everyone left wants more than their share: cap them at it.
+            let pool = remaining;
+            for &i in &next_round {
+                let share = (pool as f64 * kinds[i].entitlement_weight() / weight_sum) as u64;
+                targets[i] = share;
+                settled[i] = true;
+            }
+            break;
+        }
+        unsatisfied = next_round;
+    }
+
+    for i in 0..n {
+        if kinds[i].is_squeezable() && !settled[i] && targets[i] == 0 {
+            // Degenerate case (no weights left): give the minimum.
+            targets[i] = min_target;
+        }
+        if kinds[i].is_squeezable() {
+            targets[i] = targets[i].max(min_target);
+        }
+    }
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const MB: u64 = 1 << 20;
+    const GB: u64 = 1 << 30;
+
+    fn broker(total: u64) -> Arc<MemoryBroker> {
+        MemoryBroker::new(BrokerConfig::with_total_memory(total))
+    }
+
+    #[test]
+    fn unconstrained_system_gets_grow_and_no_targets() {
+        let b = broker(4 * GB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        let compile = b.register(SubcomponentKind::Compilation);
+        pool.allocate(100 * MB);
+        compile.allocate(10 * MB);
+        let decisions = b.recalculate(SimTime::from_secs(1));
+        assert_eq!(decisions.len(), 2);
+        for d in &decisions {
+            assert_eq!(d.notification.kind, NotificationKind::Grow);
+            assert_eq!(d.notification.target_bytes, None);
+        }
+        assert_eq!(pool.target_bytes(), None);
+        assert_eq!(b.pressure(), PressureLevel::Low);
+    }
+
+    #[test]
+    fn oversubscription_produces_shrink_for_the_hog() {
+        let b = broker(1 * GB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        let compile = b.register(SubcomponentKind::Compilation);
+        let exec = b.register(SubcomponentKind::Execution);
+        pool.allocate(800 * MB);
+        compile.allocate(300 * MB);
+        exec.allocate(100 * MB);
+        let decisions = b.recalculate(SimTime::from_secs(1));
+        // Compilation is far above its 15% entitlement of ~1 GB: must shrink.
+        let comp_decision = decisions
+            .iter()
+            .find(|d| d.notification.kind_of_component == SubcomponentKind::Compilation)
+            .unwrap();
+        assert_eq!(comp_decision.notification.kind, NotificationKind::Shrink);
+        assert!(comp_decision.notification.release_needed() > 0);
+        assert!(compile.target_bytes().is_some());
+        assert_eq!(b.pressure(), PressureLevel::High);
+    }
+
+    #[test]
+    fn growth_trend_triggers_constraint_before_limit_is_hit() {
+        let b = broker(1 * GB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        let compile = b.register(SubcomponentKind::Compilation);
+        pool.allocate(700 * MB);
+        // Compilation grows 50 MB/s; at 200 MB now, predicted 10 s out is
+        // ~700 MB which blows the 1 GB budget even though current total fits.
+        for s in 1..=4u64 {
+            compile.allocate(50 * MB);
+            b.recalculate(SimTime::from_secs(s));
+        }
+        let decisions = b.recalculate(SimTime::from_secs(5));
+        let comp = decisions
+            .iter()
+            .find(|d| d.notification.kind_of_component == SubcomponentKind::Compilation)
+            .unwrap();
+        assert!(comp.notification.predicted_bytes > comp.notification.current_bytes);
+        assert!(comp.notification.target_bytes.is_some(), "should be constrained");
+    }
+
+    #[test]
+    fn targets_clear_when_pressure_subsides() {
+        let b = broker(512 * MB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        let compile = b.register(SubcomponentKind::Compilation);
+        pool.allocate(400 * MB);
+        compile.allocate(300 * MB);
+        b.recalculate(SimTime::from_secs(1));
+        assert!(compile.target_bytes().is_some());
+        // Memory is released; next recalculation should clear targets.
+        pool.free(380 * MB);
+        compile.free(290 * MB);
+        // Let the shrinking trend settle over a few samples.
+        b.recalculate(SimTime::from_secs(2));
+        let decisions = b.recalculate(SimTime::from_secs(3));
+        for d in &decisions {
+            assert_eq!(d.notification.kind, NotificationKind::Grow);
+        }
+        assert_eq!(compile.target_bytes(), None);
+    }
+
+    #[test]
+    fn fixed_clerks_are_never_asked_to_shrink() {
+        let b = broker(256 * MB);
+        let fixed = b.register(SubcomponentKind::Fixed);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        fixed.allocate(64 * MB);
+        pool.allocate(512 * MB);
+        let decisions = b.recalculate(SimTime::from_secs(1));
+        let fx = decisions
+            .iter()
+            .find(|d| d.notification.kind_of_component == SubcomponentKind::Fixed)
+            .unwrap();
+        assert_ne!(fx.notification.kind, NotificationKind::Shrink);
+    }
+
+    #[test]
+    fn target_for_kind_falls_back_to_entitlement() {
+        let b = broker(1 * GB);
+        let _c = b.register(SubcomponentKind::Compilation);
+        let t = b.target_for_kind(SubcomponentKind::Compilation);
+        let brokered = b.config().brokered_bytes();
+        let expected = (brokered as f64 * 0.15) as u64;
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn target_for_kind_uses_installed_targets_under_pressure() {
+        let b = broker(512 * MB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        let compile = b.register(SubcomponentKind::Compilation);
+        pool.allocate(400 * MB);
+        compile.allocate(400 * MB);
+        b.recalculate(SimTime::from_secs(1));
+        let t = b.target_for_kind(SubcomponentKind::Compilation);
+        assert_eq!(Some(t), compile.target_bytes());
+    }
+
+    #[test]
+    fn snapshot_reports_all_clerks() {
+        let b = broker(1 * GB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        pool.set_name("main pool");
+        pool.allocate(10 * MB);
+        let snap = b.snapshot();
+        assert_eq!(snap.total_memory_bytes, 1 * GB);
+        assert_eq!(snap.clerks.len(), 1);
+        assert_eq!(snap.clerks[0].name, "main pool");
+        assert_eq!(snap.used_bytes, 10 * MB);
+    }
+
+    #[test]
+    fn available_bytes_saturates() {
+        let b = broker(64 * MB);
+        let pool = b.register(SubcomponentKind::BufferPool);
+        pool.allocate(10 * GB);
+        assert_eq!(b.available_bytes(), 0);
+    }
+
+    #[test]
+    fn recalculations_counter_increments() {
+        let b = broker(1 * GB);
+        b.recalculate(SimTime::from_secs(1));
+        b.recalculate(SimTime::from_secs(2));
+        assert_eq!(b.recalculations(), 2);
+    }
+
+    #[test]
+    fn compute_targets_water_fills_slack() {
+        // Buffer pool demands little, compilation demands a lot: the pool's
+        // slack should flow to compilation rather than being wasted.
+        let kinds = vec![SubcomponentKind::BufferPool, SubcomponentKind::Compilation];
+        let demands = vec![100 * MB, 900 * MB];
+        let targets = compute_targets(&kinds, &demands, 1000 * MB, MB);
+        assert_eq!(targets[0], 100 * MB);
+        assert!(targets[1] >= 800 * MB, "compilation should receive the slack: {targets:?}");
+        assert!(targets[1] <= 900 * MB);
+    }
+
+    #[test]
+    fn compute_targets_respects_min_target() {
+        let kinds = vec![SubcomponentKind::BufferPool, SubcomponentKind::PlanCache];
+        let demands = vec![10_000 * MB, 10 * MB];
+        let targets = compute_targets(&kinds, &demands, 100 * MB, 4 * MB);
+        assert!(targets[1] >= 4 * MB);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_targets_never_exceed_demand_for_satisfied_clerks(
+            demands in proptest::collection::vec(0u64..4_000_000_000u64, 2..6),
+            brokered in 1_000_000u64..4_000_000_000u64,
+        ) {
+            let kinds: Vec<SubcomponentKind> = demands
+                .iter()
+                .enumerate()
+                .map(|(i, _)| match i % 4 {
+                    0 => SubcomponentKind::BufferPool,
+                    1 => SubcomponentKind::Compilation,
+                    2 => SubcomponentKind::Execution,
+                    _ => SubcomponentKind::PlanCache,
+                })
+                .collect();
+            let min_target = 1024;
+            let targets = compute_targets(&kinds, &demands, brokered, min_target);
+            prop_assert_eq!(targets.len(), demands.len());
+            for (i, t) in targets.iter().enumerate() {
+                // A target is either capped at the clerk's demand (satisfied)
+                // or at/above the configured floor (squeezed).
+                prop_assert!(*t <= demands[i].max(min_target) || *t >= min_target);
+                prop_assert!(*t >= min_target.min(demands[i]) || *t >= min_target);
+            }
+            // Total granted to squeezed clerks never exceeds brokered plus the
+            // min-target floors (the floors may oversubscribe a tiny machine).
+            let total: u64 = targets.iter().sum();
+            let floor_allowance = min_target * demands.len() as u64;
+            prop_assert!(total <= brokered + floor_allowance + demands.iter().sum::<u64>() / 1_000_000,
+                "total {} brokered {}", total, brokered);
+        }
+
+        #[test]
+        fn prop_recalculate_is_deterministic(
+            allocs in proptest::collection::vec(0u64..500_000_000u64, 1..8),
+        ) {
+            let run = |allocs: &[u64]| {
+                let b = broker(1 * GB);
+                let clerks: Vec<_> = allocs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        b.register(match i % 3 {
+                            0 => SubcomponentKind::BufferPool,
+                            1 => SubcomponentKind::Compilation,
+                            _ => SubcomponentKind::Execution,
+                        })
+                    })
+                    .collect();
+                for (c, a) in clerks.iter().zip(allocs.iter()) {
+                    c.allocate(*a);
+                }
+                b.recalculate(SimTime::from_secs(1))
+                    .iter()
+                    .map(|d| (d.notification.kind, d.notification.target_bytes))
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(&allocs), run(&allocs));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Broker configuration.
+
+use serde::{Deserialize, Serialize};
+use throttledb_sim::SimDuration;
+
+/// Configuration of the [`MemoryBroker`](crate::MemoryBroker).
+///
+/// The defaults model the paper's evaluation machine: 4 GB of physical
+/// memory, a small slice of which is reserved for fixed overheads (executable
+/// images, thread stacks, connection buffers) and therefore never handed to
+/// the brokered subcomponents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerConfig {
+    /// Total physical memory on the machine, in bytes.
+    pub total_memory_bytes: u64,
+    /// Fraction of `total_memory_bytes` withheld for non-brokered overheads.
+    pub reserved_fraction: f64,
+    /// How far into the future usage is predicted when deciding whether the
+    /// system *will* exceed physical memory ("the broker ... predicts future
+    /// memory usage by identifying trends").
+    pub prediction_horizon: SimDuration,
+    /// Number of recent usage samples kept per clerk for trend fitting.
+    pub trend_window: usize,
+    /// Utilization (of brokered memory) above which the broker reports
+    /// [`PressureLevel::Medium`](crate::PressureLevel::Medium).
+    pub medium_pressure_utilization: f64,
+    /// Utilization above which the broker reports
+    /// [`PressureLevel::High`](crate::PressureLevel::High).
+    pub high_pressure_utilization: f64,
+    /// A clerk is never asked to shrink below this floor, so tiny but
+    /// essential consumers (e.g. the plan cache skeleton) survive pressure.
+    pub min_target_bytes: u64,
+    /// Hysteresis applied to targets: a clerk already below
+    /// `target * (1 + hysteresis)` is told to hold steady rather than shrink.
+    pub target_hysteresis: f64,
+}
+
+impl BrokerConfig {
+    /// Configuration for a machine with `total_memory_bytes` of RAM and
+    /// default policy parameters.
+    pub fn with_total_memory(total_memory_bytes: u64) -> Self {
+        BrokerConfig {
+            total_memory_bytes,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's evaluation machine: 8 CPUs, 4 GB of physical memory.
+    pub fn paper_machine() -> Self {
+        BrokerConfig::with_total_memory(4 * (1 << 30))
+    }
+
+    /// Bytes the broker is willing to hand out across all clerks.
+    pub fn brokered_bytes(&self) -> u64 {
+        let reserved = (self.total_memory_bytes as f64 * self.reserved_fraction) as u64;
+        self.total_memory_bytes.saturating_sub(reserved)
+    }
+
+    /// Panics if the configuration is internally inconsistent. Call once at
+    /// construction; all fields are plain data so later mutation is the
+    /// caller's responsibility.
+    pub fn validate(&self) {
+        assert!(self.total_memory_bytes > 0, "total memory must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.reserved_fraction),
+            "reserved_fraction must be in [0,1)"
+        );
+        assert!(self.trend_window >= 2, "trend window needs at least 2 samples");
+        assert!(
+            self.medium_pressure_utilization < self.high_pressure_utilization,
+            "medium pressure threshold must be below high"
+        );
+        assert!(
+            self.high_pressure_utilization <= 1.5,
+            "high pressure threshold unreasonably large"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.target_hysteresis),
+            "target_hysteresis must be in [0,1)"
+        );
+    }
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            total_memory_bytes: 4 * (1 << 30),
+            reserved_fraction: 0.05,
+            prediction_horizon: SimDuration::from_secs(10),
+            trend_window: 16,
+            medium_pressure_utilization: 0.80,
+            high_pressure_utilization: 0.95,
+            min_target_bytes: 4 << 20,
+            target_hysteresis: 0.05,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        BrokerConfig::default().validate();
+        BrokerConfig::paper_machine().validate();
+    }
+
+    #[test]
+    fn paper_machine_is_4gb() {
+        assert_eq!(BrokerConfig::paper_machine().total_memory_bytes, 4 * (1 << 30));
+    }
+
+    #[test]
+    fn brokered_bytes_excludes_reservation() {
+        let cfg = BrokerConfig {
+            total_memory_bytes: 1000,
+            reserved_fraction: 0.1,
+            ..Default::default()
+        };
+        assert_eq!(cfg.brokered_bytes(), 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "total memory")]
+    fn zero_memory_rejected() {
+        BrokerConfig {
+            total_memory_bytes: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "medium pressure")]
+    fn inverted_pressure_thresholds_rejected() {
+        BrokerConfig {
+            medium_pressure_utilization: 0.9,
+            high_pressure_utilization: 0.8,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

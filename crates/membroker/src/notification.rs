@@ -1,0 +1,107 @@
+//! Notifications sent from the broker to subcomponents.
+//!
+//! The paper: "The broker also sends notifications to each subcomponent with
+//! its predicted and target memory numbers and informs that subcomponent
+//! whether it can continue to consume memory, whether it can safely allocate
+//! at its current rate, or whether it needs to release memory."
+
+use crate::clerk::{ClerkId, SubcomponentKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three verdicts a subcomponent can receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NotificationKind {
+    /// Memory is plentiful: the subcomponent may grow freely.
+    Grow,
+    /// The subcomponent may keep allocating at its current rate, but should
+    /// not accelerate; it is at or near its target.
+    Steady,
+    /// The subcomponent is above its target and should release memory.
+    Shrink,
+}
+
+impl fmt::Display for NotificationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NotificationKind::Grow => "grow",
+            NotificationKind::Steady => "steady",
+            NotificationKind::Shrink => "shrink",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full notification: verdict plus the numbers it was derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Which clerk this notification is for.
+    pub clerk: ClerkId,
+    /// Subcomponent kind (duplicated for convenience in logs/figures).
+    pub kind_of_component: SubcomponentKind,
+    /// The verdict.
+    pub kind: NotificationKind,
+    /// Live bytes at decision time.
+    pub current_bytes: u64,
+    /// Predicted bytes at the broker's prediction horizon.
+    pub predicted_bytes: u64,
+    /// The target the broker wants this clerk at, if the system is
+    /// constrained. `None` means unconstrained.
+    pub target_bytes: Option<u64>,
+}
+
+impl Notification {
+    /// Bytes that must be released to reach the target (0 when unconstrained
+    /// or already below target).
+    pub fn release_needed(&self) -> u64 {
+        match self.target_bytes {
+            Some(t) => self.current_bytes.saturating_sub(t),
+            None => 0,
+        }
+    }
+
+    /// True when the subcomponent is allowed to allocate more right now.
+    pub fn may_allocate(&self) -> bool {
+        !matches!(self.kind, NotificationKind::Shrink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(kind: NotificationKind, current: u64, target: Option<u64>) -> Notification {
+        Notification {
+            clerk: ClerkId(1),
+            kind_of_component: SubcomponentKind::Compilation,
+            kind,
+            current_bytes: current,
+            predicted_bytes: current,
+            target_bytes: target,
+        }
+    }
+
+    #[test]
+    fn release_needed_is_gap_to_target() {
+        let n = base(NotificationKind::Shrink, 1000, Some(600));
+        assert_eq!(n.release_needed(), 400);
+        let n = base(NotificationKind::Steady, 500, Some(600));
+        assert_eq!(n.release_needed(), 0);
+        let n = base(NotificationKind::Grow, 500, None);
+        assert_eq!(n.release_needed(), 0);
+    }
+
+    #[test]
+    fn may_allocate_only_blocked_by_shrink() {
+        assert!(base(NotificationKind::Grow, 0, None).may_allocate());
+        assert!(base(NotificationKind::Steady, 0, None).may_allocate());
+        assert!(!base(NotificationKind::Shrink, 0, Some(0)).may_allocate());
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(NotificationKind::Grow.to_string(), "grow");
+        assert_eq!(NotificationKind::Steady.to_string(), "steady");
+        assert_eq!(NotificationKind::Shrink.to_string(), "shrink");
+    }
+}

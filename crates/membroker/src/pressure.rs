@@ -1,0 +1,87 @@
+//! System-wide memory pressure levels.
+//!
+//! The broker exposes a coarse pressure signal that other policies key off —
+//! in particular the dynamic gateway thresholds of
+//! `throttledb-core` ("the monitor memory thresholds for the larger gateways
+//! [are] dynamic ... based on the broker memory target").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse classification of how close total brokered usage is to the
+/// physical memory limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PressureLevel {
+    /// Plenty of headroom; the broker takes no action.
+    Low,
+    /// Usage (or predicted usage) is approaching the limit; consumers should
+    /// moderate optional allocations.
+    Medium,
+    /// Usage is at or beyond the limit; shrink notifications are being sent.
+    High,
+}
+
+impl PressureLevel {
+    /// Classify a utilization ratio (`used / brokered`) given the two
+    /// configured thresholds.
+    pub fn from_utilization(utilization: f64, medium_at: f64, high_at: f64) -> Self {
+        debug_assert!(medium_at < high_at);
+        if utilization >= high_at {
+            PressureLevel::High
+        } else if utilization >= medium_at {
+            PressureLevel::Medium
+        } else {
+            PressureLevel::Low
+        }
+    }
+
+    /// True when any throttling/shrinking behaviour should be active.
+    pub fn is_constrained(self) -> bool {
+        !matches!(self, PressureLevel::Low)
+    }
+}
+
+impl fmt::Display for PressureLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PressureLevel::Low => "low",
+            PressureLevel::Medium => "medium",
+            PressureLevel::High => "high",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_respects_thresholds() {
+        assert_eq!(PressureLevel::from_utilization(0.10, 0.8, 0.95), PressureLevel::Low);
+        assert_eq!(PressureLevel::from_utilization(0.80, 0.8, 0.95), PressureLevel::Medium);
+        assert_eq!(PressureLevel::from_utilization(0.94, 0.8, 0.95), PressureLevel::Medium);
+        assert_eq!(PressureLevel::from_utilization(0.95, 0.8, 0.95), PressureLevel::High);
+        assert_eq!(PressureLevel::from_utilization(1.50, 0.8, 0.95), PressureLevel::High);
+    }
+
+    #[test]
+    fn ordering_is_low_to_high() {
+        assert!(PressureLevel::Low < PressureLevel::Medium);
+        assert!(PressureLevel::Medium < PressureLevel::High);
+    }
+
+    #[test]
+    fn constrained_excludes_low() {
+        assert!(!PressureLevel::Low.is_constrained());
+        assert!(PressureLevel::Medium.is_constrained());
+        assert!(PressureLevel::High.is_constrained());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(PressureLevel::Low.to_string(), "low");
+        assert_eq!(PressureLevel::Medium.to_string(), "medium");
+        assert_eq!(PressureLevel::High.to_string(), "high");
+    }
+}

@@ -1,0 +1,199 @@
+//! Trend estimation over recent memory-usage samples.
+//!
+//! The paper's broker "monitors the total memory usage of each subcomponent
+//! and predicts future memory usage by identifying trends". We implement the
+//! prediction as an ordinary least-squares line fit over a sliding window of
+//! `(time, bytes)` samples, extrapolated to a configurable horizon. The fit
+//! is clamped to be non-negative and to never predict *below* the current
+//! usage when the trend is downward-but-noisy — a consumer that is flat
+//! should be predicted flat, not shrinking, so the broker stays conservative.
+
+use std::collections::VecDeque;
+use throttledb_sim::{SimDuration, SimTime};
+
+/// A sliding-window least-squares estimator of a clerk's memory usage.
+#[derive(Debug, Clone)]
+pub struct TrendEstimator {
+    window: usize,
+    samples: VecDeque<(SimTime, u64)>,
+}
+
+impl TrendEstimator {
+    /// Create an estimator keeping the most recent `window` samples.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "trend window must keep at least two samples");
+        TrendEstimator {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Record a usage sample. Samples must arrive in non-decreasing time
+    /// order (the broker samples on its own recalculation schedule).
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        if let Some((last, _)) = self.samples.back() {
+            debug_assert!(*last <= at, "trend samples must be time-ordered");
+        }
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((at, bytes));
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<(SimTime, u64)> {
+        self.samples.back().copied()
+    }
+
+    /// Estimated allocation rate in bytes per second (the slope of the
+    /// fitted line). Returns 0.0 with fewer than two samples.
+    pub fn slope_bytes_per_sec(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        // Least squares over (t_i, y_i) with t in seconds relative to the
+        // first sample to keep the numbers well-conditioned.
+        let t0 = self.samples.front().expect("non-empty").0;
+        let n = self.samples.len() as f64;
+        let mut sum_t = 0.0;
+        let mut sum_y = 0.0;
+        let mut sum_tt = 0.0;
+        let mut sum_ty = 0.0;
+        for (t, y) in &self.samples {
+            let x = t.saturating_since(t0).as_secs_f64();
+            let y = *y as f64;
+            sum_t += x;
+            sum_y += y;
+            sum_tt += x * x;
+            sum_ty += x * y;
+        }
+        let denom = n * sum_tt - sum_t * sum_t;
+        if denom.abs() < 1e-12 {
+            // All samples at the same instant: no usable slope.
+            return 0.0;
+        }
+        (n * sum_ty - sum_t * sum_y) / denom
+    }
+
+    /// Predict usage `horizon` after the latest sample.
+    ///
+    /// The prediction is `max(current, fit(now + horizon))` clamped at zero:
+    /// the broker should react to growth early but should not assume memory
+    /// will come back on its own.
+    pub fn predict(&self, horizon: SimDuration) -> u64 {
+        let Some((_, current)) = self.latest() else {
+            return 0;
+        };
+        let slope = self.slope_bytes_per_sec();
+        if slope <= 0.0 {
+            return current;
+        }
+        let extra = slope * horizon.as_secs_f64();
+        let predicted = current as f64 + extra;
+        predicted.max(current as f64).min(u64::MAX as f64) as u64
+    }
+
+    /// Forget all samples (used when a subcomponent resets, e.g. the plan
+    /// cache is flushed).
+    pub fn reset(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_estimator_predicts_zero() {
+        let e = TrendEstimator::new(8);
+        assert!(e.is_empty());
+        assert_eq!(e.predict(SimDuration::from_secs(10)), 0);
+        assert_eq!(e.slope_bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_predicts_current() {
+        let mut e = TrendEstimator::new(8);
+        e.record(t(1), 500);
+        assert_eq!(e.predict(SimDuration::from_secs(100)), 500);
+    }
+
+    #[test]
+    fn linear_growth_is_extrapolated() {
+        let mut e = TrendEstimator::new(8);
+        // 100 bytes per second.
+        for s in 0..5 {
+            e.record(t(s), s * 100);
+        }
+        let slope = e.slope_bytes_per_sec();
+        assert!((slope - 100.0).abs() < 1e-6, "slope {slope}");
+        // Latest usage is 400; 10 seconds ahead should be ~1400.
+        let p = e.predict(SimDuration::from_secs(10));
+        assert!((1350..=1450).contains(&p), "prediction {p}");
+    }
+
+    #[test]
+    fn shrinking_usage_predicts_current_not_lower() {
+        let mut e = TrendEstimator::new(8);
+        for s in 0..5 {
+            e.record(t(s), 1000 - s * 100);
+        }
+        assert!(e.slope_bytes_per_sec() < 0.0);
+        assert_eq!(e.predict(SimDuration::from_secs(10)), 600);
+    }
+
+    #[test]
+    fn window_drops_old_samples() {
+        let mut e = TrendEstimator::new(3);
+        // Old history is flat, recent history grows steeply; with a window of
+        // 3 the prediction should follow the steep recent slope.
+        for s in 0..10 {
+            e.record(t(s), 100);
+        }
+        e.record(t(10), 1000);
+        e.record(t(11), 2000);
+        e.record(t(12), 3000);
+        assert_eq!(e.len(), 3);
+        let p = e.predict(SimDuration::from_secs(1));
+        assert!(p >= 3900, "window should expose the steep recent trend, got {p}");
+    }
+
+    #[test]
+    fn simultaneous_samples_do_not_divide_by_zero() {
+        let mut e = TrendEstimator::new(4);
+        e.record(t(5), 100);
+        e.record(t(5), 300);
+        assert_eq!(e.slope_bytes_per_sec(), 0.0);
+        assert_eq!(e.predict(SimDuration::from_secs(5)), 300);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut e = TrendEstimator::new(4);
+        e.record(t(1), 100);
+        e.reset();
+        assert!(e.is_empty());
+        assert_eq!(e.predict(SimDuration::from_secs(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_window_rejected() {
+        let _ = TrendEstimator::new(1);
+    }
+}

@@ -1,0 +1,617 @@
+//! The binder: name resolution and lowering of parsed SQL into the logical
+//! algebra.
+//!
+//! Beyond resolving tables and columns against the catalog, the binder does
+//! the normalization the optimizer relies on:
+//!
+//! * WHERE and `JOIN ... ON` conjuncts are classified into **equi-join
+//!   predicates** (column = column across two bindings), **single-table
+//!   filters** (pushed into the `Get` of their table), and **residual
+//!   predicates** (kept in a `Filter` with a guessed selectivity);
+//! * the initial join tree is built left-deep in textual order — the
+//!   optimizer's transformation rules then explore alternative shapes inside
+//!   the memo.
+
+use crate::error::OptimizerError;
+use crate::logical::{ColumnRef, JoinPredicate, LogicalOp, LogicalPlan, Predicate};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use throttledb_catalog::Catalog;
+use throttledb_sqlparse::{BinaryOp, Expr, JoinKind, Literal, SelectStatement};
+
+/// Binds parsed statements against a catalog.
+#[derive(Debug)]
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+/// A resolved table binding: query alias → catalog table.
+#[derive(Debug, Clone)]
+struct Binding {
+    binding: String,
+    table: String,
+}
+
+impl<'a> Binder<'a> {
+    /// Create a binder over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Binder { catalog }
+    }
+
+    /// Bind a statement, producing the initial logical plan.
+    pub fn bind(&self, stmt: &SelectStatement) -> Result<LogicalPlan, OptimizerError> {
+        // 1. Resolve table bindings in textual order.
+        let mut bindings: Vec<Binding> = Vec::new();
+        for tref in stmt.all_tables() {
+            if !self.catalog.contains(&tref.table) {
+                return Err(OptimizerError::UnknownTable(tref.table.clone()));
+            }
+            bindings.push(Binding {
+                binding: tref.binding_name().to_string(),
+                table: tref.table.clone(),
+            });
+        }
+        if bindings.is_empty() {
+            return Err(OptimizerError::Unsupported("query without FROM".into()));
+        }
+
+        // 2. Gather all conjuncts: WHERE plus every JOIN ON clause.
+        let mut conjuncts: Vec<&Expr> = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            conjuncts.extend(w.conjuncts());
+        }
+        for j in &stmt.joins {
+            conjuncts.extend(j.on.conjuncts());
+        }
+
+        // 3. Classify conjuncts.
+        let mut join_predicates: Vec<JoinPredicate> = Vec::new();
+        let mut table_filters: HashMap<String, Vec<Predicate>> = HashMap::new();
+        let mut residual_ppm: f64 = 1_000_000.0;
+        let mut residual_count = 0u32;
+        for expr in conjuncts {
+            match self.classify(expr, &bindings)? {
+                Classified::Join(jp) => join_predicates.push(jp),
+                Classified::TableFilter(binding, pred) => {
+                    table_filters.entry(binding).or_default().push(pred);
+                }
+                Classified::Residual(selectivity) => {
+                    residual_ppm *= selectivity;
+                    residual_count += 1;
+                }
+            }
+        }
+
+        // 4. Build the initial left-deep join tree in textual order.
+        let outer_kinds: HashMap<String, JoinKind> = stmt
+            .joins
+            .iter()
+            .map(|j| (j.table.binding_name().to_string(), j.kind))
+            .collect();
+
+        let mut plan: Option<LogicalPlan> = None;
+        let mut joined: Vec<String> = Vec::new();
+        let mut remaining_joins = join_predicates.clone();
+        for b in &bindings {
+            let get = LogicalPlan::leaf(LogicalOp::Get {
+                table: b.table.clone(),
+                binding: b.binding.clone(),
+                predicates: table_filters.remove(&b.binding).unwrap_or_default(),
+            });
+            plan = Some(match plan {
+                None => get,
+                Some(left) => {
+                    // Collect join predicates connecting the new table to the
+                    // already-joined set.
+                    let mut usable = Vec::new();
+                    let mut rest = Vec::new();
+                    for jp in remaining_joins.drain(..) {
+                        let connects = (joined.contains(&jp.left.binding)
+                            && jp.right.binding == b.binding)
+                            || (joined.contains(&jp.right.binding)
+                                && jp.left.binding == b.binding);
+                        if connects {
+                            // Normalize so the left side refers to the
+                            // accumulated input and the right side to the new
+                            // table.
+                            if jp.right.binding == b.binding {
+                                usable.push(jp);
+                            } else {
+                                usable.push(jp.flipped());
+                            }
+                        } else {
+                            rest.push(jp);
+                        }
+                    }
+                    remaining_joins = rest;
+                    let kind = outer_kinds
+                        .get(&b.binding)
+                        .copied()
+                        .unwrap_or(JoinKind::Inner);
+                    LogicalPlan::binary(
+                        LogicalOp::Join {
+                            kind,
+                            predicates: usable,
+                        },
+                        left,
+                        get,
+                    )
+                }
+            });
+            joined.push(b.binding.clone());
+        }
+        let mut plan = plan.expect("at least one table");
+
+        // Any join predicate that never connected (e.g. refers to tables in
+        // an order the left-deep build couldn't use) becomes a residual
+        // filter so no predicate is silently dropped.
+        for _ in &remaining_joins {
+            residual_ppm *= 0.1;
+            residual_count += 1;
+        }
+
+        // 5. Residual filter.
+        if residual_count > 0 {
+            plan = LogicalPlan::unary(
+                LogicalOp::Filter {
+                    selectivity_ppm: residual_ppm.clamp(1.0, 1_000_000.0) as u32,
+                },
+                plan,
+            );
+        }
+
+        // 6. Aggregation.
+        if stmt.is_aggregation() {
+            let group_by = stmt
+                .group_by
+                .iter()
+                .filter_map(|g| match g {
+                    Expr::Column { qualifier, name } => {
+                        self.resolve_column(qualifier.as_deref(), name, &bindings).ok()
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>();
+            let aggregate_count = stmt
+                .items
+                .iter()
+                .filter(|i| i.expr.contains_aggregate())
+                .count() as u32;
+            plan = LogicalPlan::unary(
+                LogicalOp::Aggregate {
+                    group_by,
+                    aggregate_count: aggregate_count.max(1),
+                },
+                plan,
+            );
+        }
+
+        // 7. HAVING is a residual filter above the aggregate.
+        if stmt.having.is_some() {
+            plan = LogicalPlan::unary(LogicalOp::Filter { selectivity_ppm: 300_000 }, plan);
+        }
+
+        // 8. Projection, sort, limit.
+        plan = LogicalPlan::unary(
+            LogicalOp::Project {
+                column_count: stmt.items.len() as u32,
+            },
+            plan,
+        );
+        if !stmt.order_by.is_empty() {
+            plan = LogicalPlan::unary(
+                LogicalOp::Sort {
+                    key_count: stmt.order_by.len() as u32,
+                },
+                plan,
+            );
+        }
+        if let Some(limit) = stmt.limit {
+            plan = LogicalPlan::unary(LogicalOp::Limit { count: limit }, plan);
+        }
+        Ok(plan)
+    }
+
+    /// Resolve a column reference against the bound tables.
+    fn resolve_column(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        bindings: &[Binding],
+    ) -> Result<ColumnRef, OptimizerError> {
+        match qualifier {
+            Some(q) => {
+                let b = bindings
+                    .iter()
+                    .find(|b| b.binding == q)
+                    .ok_or_else(|| OptimizerError::UnknownTable(q.to_string()))?;
+                let table = self.catalog.table(&b.table).expect("binding checked");
+                if table.column(name).is_none() {
+                    return Err(OptimizerError::UnknownColumn(format!("{q}.{name}")));
+                }
+                Ok(ColumnRef::new(&b.binding, &b.table, name))
+            }
+            None => {
+                let mut matches = Vec::new();
+                for b in bindings {
+                    let table = self.catalog.table(&b.table).expect("binding checked");
+                    if table.column(name).is_some() {
+                        matches.push(b);
+                    }
+                }
+                match matches.len() {
+                    0 => Err(OptimizerError::UnknownColumn(name.to_string())),
+                    1 => Ok(ColumnRef::new(&matches[0].binding, &matches[0].table, name)),
+                    _ => Err(OptimizerError::AmbiguousColumn(name.to_string())),
+                }
+            }
+        }
+    }
+
+    fn classify(
+        &self,
+        expr: &Expr,
+        bindings: &[Binding],
+    ) -> Result<Classified, OptimizerError> {
+        // Equi-join: column = column over two different bindings.
+        if let Expr::Binary { left, op: BinaryOp::Eq, right } = expr {
+            if let (Expr::Column { qualifier: ql, name: nl }, Expr::Column { qualifier: qr, name: nr }) =
+                (left.as_ref(), right.as_ref())
+            {
+                let lc = self.resolve_column(ql.as_deref(), nl, bindings)?;
+                let rc = self.resolve_column(qr.as_deref(), nr, bindings)?;
+                if lc.binding != rc.binding {
+                    return Ok(Classified::Join(JoinPredicate { left: lc, right: rc }));
+                }
+            }
+        }
+
+        // Single-table predicates.
+        if let Some(pred) = self.try_single_table(expr, bindings)? {
+            let binding = pred
+                .column()
+                .map(|c| c.binding.clone())
+                .or_else(|| single_binding_of_or(&pred));
+            if let Some(binding) = binding {
+                return Ok(Classified::TableFilter(binding, pred));
+            }
+        }
+
+        // Fallback: a residual predicate with a guessed selectivity.
+        Ok(Classified::Residual(default_selectivity(expr)))
+    }
+
+    /// Try to express `expr` as a single-table [`Predicate`].
+    fn try_single_table(
+        &self,
+        expr: &Expr,
+        bindings: &[Binding],
+    ) -> Result<Option<Predicate>, OptimizerError> {
+        Ok(match expr {
+            Expr::Binary { left, op, right } if op.is_comparison() => {
+                let (col_expr, lit_expr, flipped) = match (left.as_ref(), right.as_ref()) {
+                    (Expr::Column { .. }, Expr::Literal(_)) => (left.as_ref(), right.as_ref(), false),
+                    (Expr::Literal(_), Expr::Column { .. }) => (right.as_ref(), left.as_ref(), true),
+                    _ => return Ok(None),
+                };
+                let Expr::Column { qualifier, name } = col_expr else {
+                    return Ok(None);
+                };
+                let Expr::Literal(lit) = lit_expr else {
+                    return Ok(None);
+                };
+                let column = self.resolve_column(qualifier.as_deref(), name, bindings)?;
+                let value = literal_to_f64(lit);
+                let op = if flipped { flip_comparison(*op) } else { *op };
+                Some(match op {
+                    BinaryOp::Eq => Predicate::Equals { column, value: value.into() },
+                    BinaryOp::NotEq => Predicate::Opaque { selectivity_ppm: 900_000 },
+                    BinaryOp::Lt | BinaryOp::LtEq => Predicate::Range {
+                        column,
+                        lo: f64::NEG_INFINITY.into(),
+                        hi: value.into(),
+                    },
+                    BinaryOp::Gt | BinaryOp::GtEq => Predicate::Range {
+                        column,
+                        lo: value.into(),
+                        hi: f64::INFINITY.into(),
+                    },
+                    BinaryOp::Like => Predicate::Like { column },
+                    _ => return Ok(None),
+                })
+            }
+            Expr::Between { expr: inner, low, high, negated } => {
+                let Expr::Column { qualifier, name } = inner.as_ref() else {
+                    return Ok(None);
+                };
+                if *negated {
+                    return Ok(Some(Predicate::Opaque { selectivity_ppm: 700_000 }));
+                }
+                let (Expr::Literal(lo), Expr::Literal(hi)) = (low.as_ref(), high.as_ref()) else {
+                    return Ok(None);
+                };
+                let column = self.resolve_column(qualifier.as_deref(), name, bindings)?;
+                Some(Predicate::Range {
+                    column,
+                    lo: literal_to_f64(lo).into(),
+                    hi: literal_to_f64(hi).into(),
+                })
+            }
+            Expr::InList { expr: inner, list, negated } => {
+                let Expr::Column { qualifier, name } = inner.as_ref() else {
+                    return Ok(None);
+                };
+                if *negated {
+                    return Ok(Some(Predicate::Opaque { selectivity_ppm: 800_000 }));
+                }
+                let column = self.resolve_column(qualifier.as_deref(), name, bindings)?;
+                Some(Predicate::InList {
+                    column,
+                    count: list.len() as u32,
+                })
+            }
+            Expr::IsNull { expr: inner, negated } => {
+                let Expr::Column { qualifier, name } = inner.as_ref() else {
+                    return Ok(None);
+                };
+                let column = self.resolve_column(qualifier.as_deref(), name, bindings)?;
+                Some(Predicate::IsNull {
+                    column,
+                    negated: *negated,
+                })
+            }
+            Expr::Binary { left, op: BinaryOp::Or, right } => {
+                let l = self.try_single_table(left, bindings)?;
+                let r = self.try_single_table(right, bindings)?;
+                match (l, r) {
+                    (Some(lp), Some(rp)) => {
+                        // Only a single-table OR if both sides hit the same binding.
+                        let lb = lp.column().map(|c| c.binding.clone()).or_else(|| single_binding_of_or(&lp));
+                        let rb = rp.column().map(|c| c.binding.clone()).or_else(|| single_binding_of_or(&rp));
+                        if lb.is_some() && lb == rb {
+                            Some(Predicate::Or(vec![lp, rp]))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Result of classifying one conjunct.
+enum Classified {
+    Join(JoinPredicate),
+    TableFilter(String, Predicate),
+    Residual(f64),
+}
+
+/// The binding an OR predicate applies to, when all arms agree.
+fn single_binding_of_or(p: &Predicate) -> Option<String> {
+    match p {
+        Predicate::Or(parts) => {
+            let mut binding: Option<String> = None;
+            for part in parts {
+                let b = part
+                    .column()
+                    .map(|c| c.binding.clone())
+                    .or_else(|| single_binding_of_or(part))?;
+                match &binding {
+                    None => binding = Some(b),
+                    Some(existing) if *existing == b => {}
+                    _ => return None,
+                }
+            }
+            binding
+        }
+        _ => None,
+    }
+}
+
+/// Literal → numeric domain used by statistics (strings hash).
+fn literal_to_f64(lit: &Literal) -> f64 {
+    match lit {
+        Literal::Number(n) => *n,
+        Literal::String(s) => {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            (h.finish() % 1_000_000) as f64
+        }
+        Literal::Null => 0.0,
+    }
+}
+
+/// Flip a comparison when the literal was on the left (`5 < col` ⇒ `col > 5`).
+fn flip_comparison(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// Default selectivity guesses for unclassifiable predicates.
+fn default_selectivity(expr: &Expr) -> f64 {
+    match expr {
+        Expr::Binary { op: BinaryOp::Eq, .. } => 0.05,
+        Expr::Binary { op, .. } if op.is_comparison() => 0.3,
+        _ => 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use throttledb_catalog::{sales_schema, tpch_schema, SalesScale};
+    use throttledb_sqlparse::parse;
+
+    fn bind(sql: &str) -> Result<LogicalPlan, OptimizerError> {
+        let cat = tpch_schema(1.0);
+        let stmt = parse(sql).expect("parses");
+        Binder::new(&cat).bind(&stmt)
+    }
+
+    #[test]
+    fn binds_single_table_scan_with_filter() {
+        let plan = bind("SELECT o_orderkey FROM orders WHERE o_totalprice > 1000").unwrap();
+        assert_eq!(plan.table_count(), 1);
+        assert_eq!(plan.join_count(), 0);
+        // Filter was pushed into the Get.
+        let mut pushed = 0;
+        plan.walk(&mut |p| {
+            if let LogicalOp::Get { predicates, .. } = &p.op {
+                pushed = predicates.len();
+            }
+        });
+        assert_eq!(pushed, 1);
+    }
+
+    #[test]
+    fn binds_explicit_join_with_equi_predicate() {
+        let plan = bind(
+            "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+        )
+        .unwrap();
+        assert_eq!(plan.table_count(), 2);
+        assert_eq!(plan.join_count(), 1);
+        let mut join_preds = 0;
+        plan.walk(&mut |p| {
+            if let LogicalOp::Join { predicates, .. } = &p.op {
+                join_preds += predicates.len();
+            }
+        });
+        assert_eq!(join_preds, 1);
+    }
+
+    #[test]
+    fn binds_implicit_comma_join_from_where() {
+        let plan = bind(
+            "SELECT o.o_orderkey FROM orders o, customer c \
+             WHERE o.o_custkey = c.c_custkey AND c.c_mktsegment = 'BUILDING'",
+        )
+        .unwrap();
+        assert_eq!(plan.join_count(), 1);
+        // The segment filter should be pushed to customer's Get.
+        let mut customer_filters = 0;
+        plan.walk(&mut |p| {
+            if let LogicalOp::Get { table, predicates, .. } = &p.op {
+                if table == "customer" {
+                    customer_filters = predicates.len();
+                }
+            }
+        });
+        assert_eq!(customer_filters, 1);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        assert!(matches!(
+            bind("SELECT a FROM no_such_table"),
+            Err(OptimizerError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        assert!(matches!(
+            bind("SELECT o_orderkey FROM orders WHERE bogus_column = 1"),
+            Err(OptimizerError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn unqualified_ambiguous_column_is_an_error() {
+        // `country` exists in both dim_region and dim_supplier in the SALES schema.
+        let cat = sales_schema(SalesScale::tiny());
+        let stmt = parse(
+            "SELECT region_name FROM dim_region, dim_supplier WHERE country = 'US'",
+        )
+        .unwrap();
+        assert!(matches!(
+            Binder::new(&cat).bind(&stmt),
+            Err(OptimizerError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn aggregation_and_order_produce_wrapper_operators() {
+        let plan = bind(
+            "SELECT c.c_mktsegment, SUM(o.o_totalprice) AS t FROM orders o \
+             JOIN customer c ON o.o_custkey = c.c_custkey \
+             GROUP BY c.c_mktsegment HAVING SUM(o.o_totalprice) > 5 \
+             ORDER BY t DESC LIMIT 10",
+        )
+        .unwrap();
+        let mut names = Vec::new();
+        plan.walk(&mut |p| names.push(p.op.name()));
+        assert!(names.contains(&"Aggregate"));
+        assert!(names.contains(&"Sort"));
+        assert!(names.contains(&"Limit"));
+        assert!(names.contains(&"Project"));
+        // HAVING shows up as a Filter.
+        assert!(names.contains(&"Filter"));
+    }
+
+    #[test]
+    fn sales_query_with_many_joins_binds() {
+        let cat = sales_schema(SalesScale::tiny());
+        let sql = "SELECT d.calendar_year, SUM(f.net_amount) AS total \
+                   FROM fact_sales f \
+                   JOIN dim_date d ON f.date_id = d.date_key \
+                   JOIN dim_store s ON f.store_id = s.store_key \
+                   JOIN dim_product p ON f.product_id = p.product_key \
+                   JOIN dim_customer c ON f.customer_id = c.customer_key \
+                   JOIN dim_region r ON s.region_id = r.region_key \
+                   WHERE d.calendar_year BETWEEN 3 AND 7 AND p.category_id IN (1, 2, 3) \
+                   GROUP BY d.calendar_year";
+        let stmt = parse(sql).unwrap();
+        let plan = Binder::new(&cat).bind(&stmt).unwrap();
+        assert_eq!(plan.table_count(), 6);
+        assert_eq!(plan.join_count(), 5);
+    }
+
+    #[test]
+    fn between_and_in_become_typed_predicates() {
+        let plan = bind(
+            "SELECT o_orderkey FROM orders WHERE o_totalprice BETWEEN 10 AND 20 \
+             AND o_orderstatus IN ('a', 'b')",
+        )
+        .unwrap();
+        let mut kinds = Vec::new();
+        plan.walk(&mut |p| {
+            if let LogicalOp::Get { predicates, .. } = &p.op {
+                for pred in predicates {
+                    kinds.push(match pred {
+                        Predicate::Range { .. } => "range",
+                        Predicate::InList { .. } => "in",
+                        _ => "other",
+                    });
+                }
+            }
+        });
+        assert!(kinds.contains(&"range"));
+        assert!(kinds.contains(&"in"));
+    }
+
+    #[test]
+    fn literal_on_left_side_is_flipped() {
+        let plan = bind("SELECT o_orderkey FROM orders WHERE 1000 < o_totalprice").unwrap();
+        let mut found_range_lo = None;
+        plan.walk(&mut |p| {
+            if let LogicalOp::Get { predicates, .. } = &p.op {
+                for pred in predicates {
+                    if let Predicate::Range { lo, .. } = pred {
+                        found_range_lo = Some(lo.0);
+                    }
+                }
+            }
+        });
+        assert_eq!(found_range_lo, Some(1000.0));
+    }
+}

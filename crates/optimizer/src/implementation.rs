@@ -1,0 +1,378 @@
+//! Implementation and costing: turning logical groups into physical winners.
+//!
+//! This is the "optimize inputs / implement" half of a Cascades optimizer,
+//! run as a bottom-up pass over the memo. Every physical alternative
+//! considered charges compilation memory, just like logical alternatives do.
+
+use crate::cardinality::CardinalityEstimator;
+use crate::cost::{Cost, CostModel};
+use crate::logical::LogicalOp;
+use crate::memo::{GroupId, Memo, Winner};
+use crate::memory::{sizes, CompilationMemory};
+use crate::physical::{PhysicalOp, PhysicalPlan};
+use throttledb_catalog::Catalog;
+
+/// Context shared by the implementation pass.
+pub struct ImplementationContext<'a> {
+    /// The catalog (for page counts and index lookups).
+    pub catalog: &'a Catalog,
+    /// Cardinality estimator.
+    pub estimator: CardinalityEstimator<'a>,
+    /// Cost model.
+    pub model: CostModel,
+}
+
+/// Compute winners for `group` and (recursively) everything it depends on.
+/// Returns the winner's total cost, or `None` when the group has no
+/// implementable expression (cannot happen for binder-produced plans).
+pub fn optimize_group(
+    memo: &mut Memo,
+    group: GroupId,
+    ctx: &ImplementationContext<'_>,
+    mem: &mut CompilationMemory,
+) -> Option<Cost> {
+    if let Some(w) = &memo.group(group).winner {
+        return Some(w.total_cost);
+    }
+    let expr_ids = memo.group(group).exprs.clone();
+    let mut best: Option<Winner> = None;
+
+    for expr_id in expr_ids {
+        let (op, children) = {
+            let e = memo.expr(expr_id);
+            (e.op.clone(), e.children.clone())
+        };
+        // Optimize children first.
+        let mut child_costs = Vec::with_capacity(children.len());
+        let mut ok = true;
+        for c in &children {
+            match optimize_group(memo, *c, ctx, mem) {
+                Some(cost) => child_costs.push(cost),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let child_total: Cost = child_costs.iter().fold(Cost::ZERO, |acc, c| acc + *c);
+
+        for alternative in physical_alternatives(memo, group, &op, &children, ctx) {
+            mem.charge(sizes::PHYSICAL_EXPR_BYTES);
+            let (phys_op, local_cost, memory_bytes) = alternative;
+            let total_cost = local_cost + child_total;
+            let better = match &best {
+                None => true,
+                Some(b) => total_cost.total() < b.total_cost.total(),
+            };
+            if better {
+                best = Some(Winner {
+                    op: phys_op,
+                    children: children.clone(),
+                    local_cost,
+                    total_cost,
+                    memory_bytes,
+                });
+            }
+        }
+    }
+
+    let cost = best.as_ref().map(|w| w.total_cost);
+    memo.group_mut(group).winner = best;
+    cost
+}
+
+/// Generate the physical alternatives for one logical expression.
+/// Returns `(operator, local cost, execution memory)` triples.
+fn physical_alternatives(
+    memo: &Memo,
+    group: GroupId,
+    op: &LogicalOp,
+    children: &[GroupId],
+    ctx: &ImplementationContext<'_>,
+) -> Vec<(PhysicalOp, Cost, u64)> {
+    let model = &ctx.model;
+    let out_rows = memo.group(group).rows;
+    match op {
+        LogicalOp::Get { table, binding, predicates } => {
+            let mut alts = Vec::new();
+            let (pages, raw_rows) = match ctx.catalog.table(table) {
+                Some(t) => (t.total_pages() as f64, t.row_count() as f64),
+                None => (1000.0, 100_000.0),
+            };
+            alts.push((
+                PhysicalOp::TableScan {
+                    table: table.clone(),
+                    binding: binding.clone(),
+                    predicates: predicates.clone(),
+                },
+                model.table_scan(raw_rows, pages),
+                0,
+            ));
+            // An index seek is possible when some predicate's column is the
+            // leading key of an index on this table.
+            if let Some(t) = ctx.catalog.table(table) {
+                for pred in predicates {
+                    let Some(col) = pred.column() else { continue };
+                    for index in t.indexes_on(&col.column) {
+                        alts.push((
+                            PhysicalOp::IndexSeek {
+                                table: table.clone(),
+                                binding: binding.clone(),
+                                index: index.name.clone(),
+                                predicates: predicates.clone(),
+                            },
+                            model.index_seek(out_rows, pages),
+                            0,
+                        ));
+                    }
+                }
+            }
+            alts
+        }
+        LogicalOp::Join { kind, predicates } => {
+            let left = memo.group(children[0]);
+            let right = memo.group(children[1]);
+            let mut alts = Vec::new();
+            // Hash join: build on the right child.
+            if !predicates.is_empty() {
+                alts.push((
+                    PhysicalOp::HashJoin {
+                        kind: *kind,
+                        predicates: predicates.clone(),
+                    },
+                    model.hash_join(right.rows, left.rows, out_rows),
+                    model.hash_join_memory(right.rows, right.row_width),
+                ));
+            }
+            // Nested loops: re-evaluate the right side per left row.
+            let right_cost = right
+                .winner
+                .as_ref()
+                .map(|w| w.total_cost.total())
+                .unwrap_or(right.rows * model.cpu_per_row);
+            alts.push((
+                PhysicalOp::NestedLoopJoin {
+                    kind: *kind,
+                    predicates: predicates.clone(),
+                },
+                model.nested_loop_join(left.rows, right_cost, out_rows),
+                0,
+            ));
+            alts
+        }
+        LogicalOp::Aggregate { group_by, aggregate_count } => {
+            let input = memo.group(children[0]);
+            vec![(
+                PhysicalOp::HashAggregate {
+                    group_by: group_by.clone(),
+                    aggregate_count: *aggregate_count,
+                },
+                model.hash_aggregate(input.rows, out_rows),
+                model.hash_aggregate_memory(out_rows, memo.group(group).row_width),
+            )]
+        }
+        LogicalOp::Filter { selectivity_ppm } => {
+            let input = memo.group(children[0]);
+            vec![(
+                PhysicalOp::Filter {
+                    selectivity_ppm: *selectivity_ppm,
+                },
+                model.streaming(input.rows),
+                0,
+            )]
+        }
+        LogicalOp::Project { column_count } => {
+            let input = memo.group(children[0]);
+            vec![(
+                PhysicalOp::Project {
+                    column_count: *column_count,
+                },
+                model.streaming(input.rows),
+                0,
+            )]
+        }
+        LogicalOp::Sort { key_count } => {
+            let input = memo.group(children[0]);
+            vec![(
+                PhysicalOp::Sort {
+                    key_count: *key_count,
+                },
+                model.sort(input.rows),
+                model.sort_memory(input.rows, input.row_width),
+            )]
+        }
+        LogicalOp::Limit { count } => {
+            let input = memo.group(children[0]);
+            vec![(
+                PhysicalOp::Limit { count: *count },
+                model.streaming(input.rows.min(*count as f64)),
+                0,
+            )]
+        }
+    }
+}
+
+/// Extract the winner of `group` as a materialized [`PhysicalPlan`] tree.
+pub fn extract_plan(memo: &Memo, group: GroupId) -> Option<PhysicalPlan> {
+    let g = memo.group(group);
+    let w = g.winner.as_ref()?;
+    let mut children = Vec::with_capacity(w.children.len());
+    for c in &w.children {
+        children.push(extract_plan(memo, *c)?);
+    }
+    Some(PhysicalPlan {
+        op: w.op.clone(),
+        children,
+        est_rows: g.rows,
+        est_row_width: g.row_width,
+        local_cost: w.local_cost,
+        total_cost: w.total_cost,
+        memory_bytes: w.memory_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use throttledb_catalog::tpch_schema;
+    use throttledb_sqlparse::parse;
+
+    fn optimize(sql: &str) -> (Memo, GroupId, PhysicalPlan) {
+        let cat = tpch_schema(1.0);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = Binder::new(&cat).bind(&parse(sql).unwrap()).unwrap();
+        let root = memo.insert_plan(&plan, &est, &mut mem);
+        let ctx = ImplementationContext {
+            catalog: &cat,
+            estimator: est,
+            model: CostModel::default(),
+        };
+        optimize_group(&mut memo, root, &ctx, &mut mem).expect("optimizable");
+        let phys = extract_plan(&memo, root).expect("winner");
+        (memo, root, phys)
+    }
+
+    #[test]
+    fn single_table_query_becomes_a_scan() {
+        let (_, _, plan) = optimize("SELECT o_orderkey FROM orders");
+        assert_eq!(plan.scan_count(), 1);
+        assert_eq!(plan.join_count(), 0);
+        assert!(plan.total_cost.total() > 0.0);
+    }
+
+    #[test]
+    fn selective_predicate_prefers_index_seek() {
+        let (_, _, plan) = optimize("SELECT o_orderkey FROM orders WHERE o_orderkey = 12345");
+        let mut used_seek = false;
+        plan.walk(&mut |p| {
+            if matches!(p.op, PhysicalOp::IndexSeek { .. }) {
+                used_seek = true;
+            }
+        });
+        assert!(used_seek, "point lookup on the PK should use an index seek:\n{}", plan.display_indented());
+    }
+
+    #[test]
+    fn unselective_scan_prefers_table_scan() {
+        let (_, _, plan) = optimize("SELECT o_orderkey FROM orders WHERE o_totalprice > 1");
+        let mut used_scan = false;
+        plan.walk(&mut |p| {
+            if matches!(p.op, PhysicalOp::TableScan { .. }) {
+                used_scan = true;
+            }
+        });
+        assert!(used_scan);
+    }
+
+    #[test]
+    fn equi_join_uses_hash_join_for_large_tables() {
+        let (_, _, plan) = optimize(
+            "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+        );
+        assert_eq!(plan.join_count(), 1);
+        let mut hash = false;
+        plan.walk(&mut |p| {
+            if matches!(p.op, PhysicalOp::HashJoin { .. }) {
+                hash = true;
+            }
+        });
+        assert!(hash, "large equi-join should hash:\n{}", plan.display_indented());
+        assert!(plan.total_memory_requirement() > 0);
+    }
+
+    #[test]
+    fn aggregate_query_contains_hash_aggregate_with_memory() {
+        let (_, _, plan) = optimize(
+            "SELECT c.c_mktsegment, SUM(o.o_totalprice) FROM orders o \
+             JOIN customer c ON o.o_custkey = c.c_custkey GROUP BY c.c_mktsegment",
+        );
+        let mut agg_mem = 0;
+        plan.walk(&mut |p| {
+            if matches!(p.op, PhysicalOp::HashAggregate { .. }) {
+                agg_mem = p.memory_bytes;
+            }
+        });
+        assert!(agg_mem > 0);
+    }
+
+    #[test]
+    fn winners_are_cached_per_group() {
+        let cat = tpch_schema(1.0);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = Binder::new(&cat)
+            .bind(&parse("SELECT o_orderkey FROM orders").unwrap())
+            .unwrap();
+        let root = memo.insert_plan(&plan, &est, &mut mem);
+        let ctx = ImplementationContext {
+            catalog: &cat,
+            estimator: est,
+            model: CostModel::default(),
+        };
+        let c1 = optimize_group(&mut memo, root, &ctx, &mut mem).unwrap();
+        let used_after_first = mem.used_bytes();
+        let c2 = optimize_group(&mut memo, root, &ctx, &mut mem).unwrap();
+        assert_eq!(c1.total(), c2.total());
+        assert_eq!(mem.used_bytes(), used_after_first, "cached winner should not re-charge");
+    }
+
+    #[test]
+    fn costing_charges_physical_memory() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = Binder::new(&cat)
+            .bind(&parse("SELECT o_orderkey FROM orders").unwrap())
+            .unwrap();
+        let root = memo.insert_plan(&plan, &est, &mut mem);
+        let before = mem.used_bytes();
+        let ctx = ImplementationContext {
+            catalog: &cat,
+            estimator: est,
+            model: CostModel::default(),
+        };
+        optimize_group(&mut memo, root, &ctx, &mut mem).unwrap();
+        assert!(mem.used_bytes() > before);
+    }
+
+    #[test]
+    fn extract_plan_requires_winners() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = Binder::new(&cat)
+            .bind(&parse("SELECT o_orderkey FROM orders").unwrap())
+            .unwrap();
+        let root = memo.insert_plan(&plan, &est, &mut mem);
+        assert!(extract_plan(&memo, root).is_none());
+    }
+}

@@ -1,0 +1,411 @@
+//! The memo: groups of logically equivalent expressions.
+//!
+//! The memo is where compilation memory goes. Every group and every group
+//! expression inserted charges the compilation's
+//! [`CompilationMemory`](crate::memory::CompilationMemory) account, so the
+//! number of alternatives explored maps directly to bytes — "the memory
+//! consumed during optimization is closely related to the number of
+//! considered alternatives."
+
+use crate::cardinality::CardinalityEstimator;
+use crate::cost::Cost;
+use crate::logical::{LogicalOp, LogicalPlan};
+use crate::memory::{sizes, CompilationMemory};
+use crate::physical::PhysicalOp;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Identifies a memo group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+/// Identifies a logical expression within the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ExprId(pub u32);
+
+/// A logical expression stored in the memo: an operator over child groups.
+#[derive(Debug, Clone)]
+pub struct MemoExpr {
+    /// This expression's id.
+    pub id: ExprId,
+    /// The group it belongs to.
+    pub group: GroupId,
+    /// The operator.
+    pub op: LogicalOp,
+    /// Child groups, `op.arity()` of them.
+    pub children: Vec<GroupId>,
+    /// Bitmask of transformation rules already applied to this expression.
+    pub rules_applied: u32,
+}
+
+/// The best physical implementation found for a group.
+#[derive(Debug, Clone)]
+pub struct Winner {
+    /// The chosen physical operator.
+    pub op: PhysicalOp,
+    /// Child groups (winners are looked up recursively at extraction).
+    pub children: Vec<GroupId>,
+    /// Cost of this operator alone.
+    pub local_cost: Cost,
+    /// Cost of the whole subtree.
+    pub total_cost: Cost,
+    /// Execution memory this operator needs.
+    pub memory_bytes: u64,
+}
+
+/// A memo group: the set of logically equivalent expressions plus shared
+/// logical properties (cardinality, width, covered bindings) and the winner.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Group id.
+    pub id: GroupId,
+    /// Member logical expressions.
+    pub exprs: Vec<ExprId>,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output row width in bytes.
+    pub row_width: u32,
+    /// Query bindings (table aliases) covered by this group.
+    pub bindings: BTreeSet<String>,
+    /// Best implementation found so far, if the group has been optimized.
+    pub winner: Option<Winner>,
+}
+
+/// The memo structure.
+#[derive(Debug, Default)]
+pub struct Memo {
+    groups: Vec<Group>,
+    exprs: Vec<MemoExpr>,
+    dedup: HashMap<(LogicalOp, Vec<GroupId>), ExprId>,
+}
+
+impl Memo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Number of groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of logical expressions across all groups.
+    pub fn expr_count(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Access a group.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    /// Mutable access to a group.
+    pub fn group_mut(&mut self, id: GroupId) -> &mut Group {
+        &mut self.groups[id.0 as usize]
+    }
+
+    /// Access an expression.
+    pub fn expr(&self, id: ExprId) -> &MemoExpr {
+        &self.exprs[id.0 as usize]
+    }
+
+    /// Mutable access to an expression.
+    pub fn expr_mut(&mut self, id: ExprId) -> &mut MemoExpr {
+        &mut self.exprs[id.0 as usize]
+    }
+
+    /// Iterate all expression ids.
+    pub fn expr_ids(&self) -> impl Iterator<Item = ExprId> {
+        (0..self.exprs.len() as u32).map(ExprId)
+    }
+
+    /// Iterate all group ids.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.groups.len() as u32).map(GroupId)
+    }
+
+    /// Recursively insert a plan tree, creating one group per node (reusing
+    /// existing groups when an identical expression already exists).
+    /// Returns the root group.
+    pub fn insert_plan(
+        &mut self,
+        plan: &LogicalPlan,
+        est: &CardinalityEstimator<'_>,
+        mem: &mut CompilationMemory,
+    ) -> GroupId {
+        let children: Vec<GroupId> = plan
+            .children
+            .iter()
+            .map(|c| self.insert_plan(c, est, mem))
+            .collect();
+        self.insert_expr(plan.op.clone(), children, est, mem).0
+    }
+
+    /// Insert an expression; if an identical one exists, return its group.
+    /// Otherwise create a new group for it. Returns the group and, when the
+    /// expression was new, its id.
+    pub fn insert_expr(
+        &mut self,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        est: &CardinalityEstimator<'_>,
+        mem: &mut CompilationMemory,
+    ) -> (GroupId, Option<ExprId>) {
+        let key = (op.clone(), children.clone());
+        if let Some(existing) = self.dedup.get(&key) {
+            return (self.exprs[existing.0 as usize].group, None);
+        }
+        let group_id = GroupId(self.groups.len() as u32);
+        let (rows, row_width, bindings) = self.derive_properties(&op, &children, est);
+        self.groups.push(Group {
+            id: group_id,
+            exprs: Vec::new(),
+            rows,
+            row_width,
+            bindings,
+            winner: None,
+        });
+        mem.charge(sizes::GROUP_BYTES);
+        let expr_id = self.push_expr(group_id, op, children, mem);
+        self.dedup.insert(key, expr_id);
+        (group_id, Some(expr_id))
+    }
+
+    /// Add an alternative expression to an *existing* group (the result of a
+    /// transformation rule). Returns `Some(expr)` if it was new, `None` if an
+    /// identical expression already existed anywhere in the memo.
+    pub fn add_expr_to_group(
+        &mut self,
+        group: GroupId,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        mem: &mut CompilationMemory,
+    ) -> Option<ExprId> {
+        let key = (op.clone(), children.clone());
+        if self.dedup.contains_key(&key) {
+            return None;
+        }
+        let expr_id = self.push_expr(group, op, children, mem);
+        self.dedup.insert(key, expr_id);
+        Some(expr_id)
+    }
+
+    fn push_expr(
+        &mut self,
+        group: GroupId,
+        op: LogicalOp,
+        children: Vec<GroupId>,
+        mem: &mut CompilationMemory,
+    ) -> ExprId {
+        let expr_id = ExprId(self.exprs.len() as u32);
+        self.exprs.push(MemoExpr {
+            id: expr_id,
+            group,
+            op,
+            children,
+            rules_applied: 0,
+        });
+        self.groups[group.0 as usize].exprs.push(expr_id);
+        mem.charge(sizes::LOGICAL_EXPR_BYTES);
+        expr_id
+    }
+
+    /// Derive a new group's logical properties from its defining expression.
+    fn derive_properties(
+        &self,
+        op: &LogicalOp,
+        children: &[GroupId],
+        est: &CardinalityEstimator<'_>,
+    ) -> (f64, u32, BTreeSet<String>) {
+        let child_rows: Vec<f64> = children.iter().map(|c| self.group(*c).rows).collect();
+        let rows = est.operator_rows(op, &child_rows);
+        let (row_width, bindings) = match op {
+            LogicalOp::Get { table, binding, .. } => {
+                let mut b = BTreeSet::new();
+                b.insert(binding.clone());
+                (est.table_row_width(table), b)
+            }
+            LogicalOp::Join { .. } => {
+                let left = self.group(children[0]);
+                let right = self.group(children[1]);
+                let mut b = left.bindings.clone();
+                b.extend(right.bindings.iter().cloned());
+                (left.row_width + right.row_width, b)
+            }
+            LogicalOp::Aggregate { group_by, aggregate_count } => {
+                let child = self.group(children[0]);
+                (
+                    (group_by.len() as u32 + aggregate_count) * 8 + 16,
+                    child.bindings.clone(),
+                )
+            }
+            LogicalOp::Project { column_count } => {
+                let child = self.group(children[0]);
+                ((*column_count * 8 + 8).min(child.row_width.max(8)), child.bindings.clone())
+            }
+            _ => {
+                let child = self.group(children[0]);
+                (child.row_width, child.bindings.clone())
+            }
+        };
+        (rows, row_width, bindings)
+    }
+
+    /// Clear all winners (used before a re-costing pass after exploration
+    /// added new alternatives).
+    pub fn clear_winners(&mut self) {
+        for g in &mut self.groups {
+            g.winner = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{ColumnRef, JoinPredicate};
+    use throttledb_catalog::tpch_schema;
+    use throttledb_sqlparse::JoinKind;
+
+    fn get_op(table: &str) -> LogicalOp {
+        LogicalOp::Get {
+            table: table.into(),
+            binding: table.into(),
+            predicates: vec![],
+        }
+    }
+
+    fn join_op(l: &str, lc: &str, r: &str, rc: &str) -> LogicalOp {
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            predicates: vec![JoinPredicate {
+                left: ColumnRef::new(l, l, lc),
+                right: ColumnRef::new(r, r, rc),
+            }],
+        }
+    }
+
+    #[test]
+    fn insert_plan_creates_one_group_per_node() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = LogicalPlan::binary(
+            join_op("orders", "o_custkey", "customer", "c_custkey"),
+            LogicalPlan::leaf(get_op("orders")),
+            LogicalPlan::leaf(get_op("customer")),
+        );
+        let root = memo.insert_plan(&plan, &est, &mut mem);
+        assert_eq!(memo.group_count(), 3);
+        assert_eq!(memo.expr_count(), 3);
+        assert_eq!(memo.group(root).bindings.len(), 2);
+        assert!(mem.used_bytes() >= 3 * sizes::GROUP_BYTES);
+    }
+
+    #[test]
+    fn duplicate_expressions_are_not_reinserted() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let (g1, created1) = memo.insert_expr(get_op("orders"), vec![], &est, &mut mem);
+        let (g2, created2) = memo.insert_expr(get_op("orders"), vec![], &est, &mut mem);
+        assert!(created1.is_some());
+        assert!(created2.is_none());
+        assert_eq!(g1, g2);
+        assert_eq!(memo.expr_count(), 1);
+    }
+
+    #[test]
+    fn add_expr_to_group_dedups_alternatives() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let (go, _) = memo.insert_expr(get_op("orders"), vec![], &est, &mut mem);
+        let (gc, _) = memo.insert_expr(get_op("customer"), vec![], &est, &mut mem);
+        let (gj, _) = memo.insert_expr(
+            join_op("orders", "o_custkey", "customer", "c_custkey"),
+            vec![go, gc],
+            &est,
+            &mut mem,
+        );
+        // The commuted alternative is new...
+        let alt = memo.add_expr_to_group(
+            gj,
+            join_op("customer", "c_custkey", "orders", "o_custkey"),
+            vec![gc, go],
+            &mut mem,
+        );
+        assert!(alt.is_some());
+        // ...but adding it again is a no-op.
+        let again = memo.add_expr_to_group(
+            gj,
+            join_op("customer", "c_custkey", "orders", "o_custkey"),
+            vec![gc, go],
+            &mut mem,
+        );
+        assert!(again.is_none());
+        assert_eq!(memo.group(gj).exprs.len(), 2);
+        assert_eq!(memo.group_count(), 3, "no extra group for the alternative");
+    }
+
+    #[test]
+    fn group_properties_reflect_statistics() {
+        let cat = tpch_schema(1.0);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let (go, _) = memo.insert_expr(get_op("orders"), vec![], &est, &mut mem);
+        let (gc, _) = memo.insert_expr(get_op("customer"), vec![], &est, &mut mem);
+        assert_eq!(memo.group(go).rows, 1_500_000.0);
+        assert_eq!(memo.group(gc).rows, 150_000.0);
+        let (gj, _) = memo.insert_expr(
+            join_op("orders", "o_custkey", "customer", "c_custkey"),
+            vec![go, gc],
+            &est,
+            &mut mem,
+        );
+        let j = memo.group(gj);
+        // FK->PK join keeps the orders cardinality.
+        assert!((j.rows - 1_500_000.0).abs() < 1.0);
+        assert_eq!(j.row_width, memo.group(go).row_width + memo.group(gc).row_width);
+    }
+
+    #[test]
+    fn memory_is_charged_per_group_and_expr() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        memo.insert_expr(get_op("orders"), vec![], &est, &mut mem);
+        let one = mem.used_bytes();
+        assert_eq!(one, sizes::GROUP_BYTES + sizes::LOGICAL_EXPR_BYTES);
+        memo.insert_expr(get_op("customer"), vec![], &est, &mut mem);
+        assert_eq!(mem.used_bytes(), 2 * one);
+    }
+
+    #[test]
+    fn clear_winners_resets_all_groups() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let (g, _) = memo.insert_expr(get_op("orders"), vec![], &est, &mut mem);
+        memo.group_mut(g).winner = Some(Winner {
+            op: PhysicalOp::TableScan {
+                table: "orders".into(),
+                binding: "orders".into(),
+                predicates: vec![],
+            },
+            children: vec![],
+            local_cost: Cost::ZERO,
+            total_cost: Cost::ZERO,
+            memory_bytes: 0,
+        });
+        memo.clear_winners();
+        assert!(memo.group(g).winner.is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Physical operators and plans.
+
+use crate::cost::Cost;
+use crate::logical::{ColumnRef, JoinPredicate, Predicate};
+use serde::{Deserialize, Serialize};
+use throttledb_sqlparse::JoinKind;
+
+/// A physical operator chosen by the optimizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalOp {
+    /// Full sequential scan of a table, applying pushed-down filters.
+    TableScan {
+        /// Catalog table name.
+        table: String,
+        /// Query binding.
+        binding: String,
+        /// Pushed-down filters.
+        predicates: Vec<Predicate>,
+    },
+    /// Index seek using the named index.
+    IndexSeek {
+        /// Catalog table name.
+        table: String,
+        /// Query binding.
+        binding: String,
+        /// The index used.
+        index: String,
+        /// Filters applied (the leading one drives the seek).
+        predicates: Vec<Predicate>,
+    },
+    /// Hash join; the **right** child is the build side.
+    HashJoin {
+        /// Join flavour.
+        kind: JoinKind,
+        /// Equi-join predicates.
+        predicates: Vec<JoinPredicate>,
+    },
+    /// Nested-loop join; the right child is re-evaluated per left row.
+    NestedLoopJoin {
+        /// Join flavour.
+        kind: JoinKind,
+        /// Equi-join predicates (may be empty = cross join).
+        predicates: Vec<JoinPredicate>,
+    },
+    /// Hash-based grouping/aggregation.
+    HashAggregate {
+        /// Grouping columns.
+        group_by: Vec<ColumnRef>,
+        /// Number of aggregate expressions.
+        aggregate_count: u32,
+    },
+    /// Residual filter.
+    Filter {
+        /// Combined selectivity in millionths.
+        selectivity_ppm: u32,
+    },
+    /// Projection.
+    Project {
+        /// Number of projected columns.
+        column_count: u32,
+    },
+    /// In-memory sort.
+    Sort {
+        /// Number of sort keys.
+        key_count: u32,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Maximum rows.
+        count: u64,
+    },
+}
+
+impl PhysicalOp {
+    /// Short operator name for EXPLAIN-style output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::TableScan { .. } => "TableScan",
+            PhysicalOp::IndexSeek { .. } => "IndexSeek",
+            PhysicalOp::HashJoin { .. } => "HashJoin",
+            PhysicalOp::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalOp::HashAggregate { .. } => "HashAggregate",
+            PhysicalOp::Filter { .. } => "Filter",
+            PhysicalOp::Project { .. } => "Project",
+            PhysicalOp::Sort { .. } => "Sort",
+            PhysicalOp::Limit { .. } => "Limit",
+        }
+    }
+
+    /// True for operators that need an execution memory grant (hash tables
+    /// and sort runs).
+    pub fn is_memory_consuming(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::HashJoin { .. } | PhysicalOp::HashAggregate { .. } | PhysicalOp::Sort { .. }
+        )
+    }
+}
+
+/// A physical plan tree with per-node estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalPlan {
+    /// The operator at this node.
+    pub op: PhysicalOp,
+    /// Children (0, 1 or 2).
+    pub children: Vec<PhysicalPlan>,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated output row width in bytes.
+    pub est_row_width: u32,
+    /// Cost of this operator alone (children not included).
+    pub local_cost: Cost,
+    /// Cost of the whole subtree.
+    pub total_cost: Cost,
+    /// Execution memory this operator needs (hash table / sort buffer).
+    pub memory_bytes: u64,
+}
+
+impl PhysicalPlan {
+    /// Number of operators in the plan.
+    pub fn operator_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.operator_count()).sum::<usize>()
+    }
+
+    /// Sum of execution memory grants needed across the plan. The paper's
+    /// workloads are hash-heavy ("almost every complex execution operation is
+    /// performed via hashing"), so the grant is dominated by hash tables that
+    /// can be live simultaneously in a pipeline; we sum them, which matches a
+    /// conservative grant calculation.
+    pub fn total_memory_requirement(&self) -> u64 {
+        self.memory_bytes
+            + self
+                .children
+                .iter()
+                .map(|c| c.total_memory_requirement())
+                .sum::<u64>()
+    }
+
+    /// Number of base-table access operators.
+    pub fn scan_count(&self) -> usize {
+        let own = usize::from(matches!(
+            self.op,
+            PhysicalOp::TableScan { .. } | PhysicalOp::IndexSeek { .. }
+        ));
+        own + self.children.iter().map(|c| c.scan_count()).sum::<usize>()
+    }
+
+    /// Number of join operators.
+    pub fn join_count(&self) -> usize {
+        let own = usize::from(matches!(
+            self.op,
+            PhysicalOp::HashJoin { .. } | PhysicalOp::NestedLoopJoin { .. }
+        ));
+        own + self.children.iter().map(|c| c.join_count()).sum::<usize>()
+    }
+
+    /// Tables read by the plan (catalog names, with duplicates).
+    pub fn accessed_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| match &p.op {
+            PhysicalOp::TableScan { table, .. } | PhysicalOp::IndexSeek { table, .. } => {
+                out.push(table.clone());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Depth-first visit.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a PhysicalPlan)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// EXPLAIN-style indented rendering.
+    pub fn display_indented(&self) -> String {
+        fn rec(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{} (rows={:.0}, cost={:.3}, mem={}B)\n",
+                plan.op.name(),
+                plan.est_rows,
+                plan.total_cost.total(),
+                plan.memory_bytes
+            ));
+            for c in &plan.children {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(self, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(table: &str, rows: f64) -> PhysicalPlan {
+        PhysicalPlan {
+            op: PhysicalOp::TableScan {
+                table: table.into(),
+                binding: table.into(),
+                predicates: vec![],
+            },
+            children: vec![],
+            est_rows: rows,
+            est_row_width: 50,
+            local_cost: Cost::new(1.0, 2.0),
+            total_cost: Cost::new(1.0, 2.0),
+            memory_bytes: 0,
+        }
+    }
+
+    fn hash_join(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
+        let rows = left.est_rows.max(right.est_rows);
+        let total = Cost::new(0.5, 0.0) + left.total_cost + right.total_cost;
+        PhysicalPlan {
+            op: PhysicalOp::HashJoin {
+                kind: JoinKind::Inner,
+                predicates: vec![],
+            },
+            est_rows: rows,
+            est_row_width: left.est_row_width + right.est_row_width,
+            local_cost: Cost::new(0.5, 0.0),
+            total_cost: total,
+            memory_bytes: 1 << 20,
+            children: vec![left, right],
+        }
+    }
+
+    #[test]
+    fn counts_and_memory_aggregate_over_tree() {
+        let plan = hash_join(hash_join(scan("a", 100.0), scan("b", 10.0)), scan("c", 5.0));
+        assert_eq!(plan.operator_count(), 5);
+        assert_eq!(plan.scan_count(), 3);
+        assert_eq!(plan.join_count(), 2);
+        assert_eq!(plan.total_memory_requirement(), 2 << 20);
+        assert_eq!(plan.accessed_tables(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn memory_consumers_flagged() {
+        assert!(PhysicalOp::HashJoin { kind: JoinKind::Inner, predicates: vec![] }.is_memory_consuming());
+        assert!(PhysicalOp::Sort { key_count: 1 }.is_memory_consuming());
+        assert!(!PhysicalOp::Limit { count: 1 }.is_memory_consuming());
+        assert!(!PhysicalOp::TableScan { table: "t".into(), binding: "t".into(), predicates: vec![] }
+            .is_memory_consuming());
+    }
+
+    #[test]
+    fn display_contains_operators_and_rows() {
+        let plan = hash_join(scan("fact", 1000.0), scan("dim", 10.0));
+        let s = plan.display_indented();
+        assert!(s.contains("HashJoin"));
+        assert!(s.contains("TableScan"));
+        assert!(s.contains("rows=1000"));
+    }
+
+    #[test]
+    fn total_cost_includes_children() {
+        let plan = hash_join(scan("a", 1.0), scan("b", 1.0));
+        assert!((plan.total_cost.total() - (0.5 + 3.0 + 3.0)).abs() < 1e-9);
+    }
+}

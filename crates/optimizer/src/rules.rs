@@ -1,0 +1,363 @@
+//! Transformation rules: the generators of alternatives (and therefore of
+//! compilation memory).
+//!
+//! Two rules are enough to enumerate the bushy join-order space when applied
+//! to a fixed point: **join commutativity** and **left associativity**
+//! (`(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)`). Both are restricted to inner equi-joins
+//! and never introduce cross products — matching the pruning every
+//! production optimizer applies. The number of rule applications is bounded
+//! by the stage budget in [`crate::search`], which is how "dynamic
+//! optimization" limits effort (and memory) for cheap queries.
+
+use crate::cardinality::CardinalityEstimator;
+use crate::logical::{JoinPredicate, LogicalOp};
+use crate::memo::{ExprId, GroupId, Memo};
+use crate::memory::{sizes, CompilationMemory};
+use throttledb_sqlparse::JoinKind;
+
+/// The transformation rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `A ⋈ B → B ⋈ A`.
+    JoinCommute,
+    /// `(A ⋈ B) ⋈ C → A ⋈ (B ⋈ C)`.
+    JoinAssociateLeft,
+}
+
+impl Rule {
+    /// All rules, in application order.
+    pub const ALL: [Rule; 2] = [Rule::JoinCommute, Rule::JoinAssociateLeft];
+
+    /// Bit used in [`crate::memo::MemoExpr::rules_applied`].
+    pub fn mask(self) -> u32 {
+        match self {
+            Rule::JoinCommute => 1 << 0,
+            Rule::JoinAssociateLeft => 1 << 1,
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::JoinCommute => "JoinCommute",
+            Rule::JoinAssociateLeft => "JoinAssociateLeft",
+        }
+    }
+}
+
+/// Result of applying one rule to one expression.
+#[derive(Debug, Default)]
+pub struct RuleOutcome {
+    /// Newly created expressions (already inserted into the memo).
+    pub new_exprs: Vec<ExprId>,
+    /// Number of substitute expressions generated, including duplicates that
+    /// the memo rejected. This is the "transformations attempted" count the
+    /// stage budget limits.
+    pub attempted: u64,
+}
+
+/// Apply `rule` to `expr_id`, inserting any new alternatives into the memo.
+///
+/// Transient rule-binding memory is charged and released around the
+/// application, as a production optimizer's rule bindings would be.
+pub fn apply_rule(
+    rule: Rule,
+    memo: &mut Memo,
+    expr_id: ExprId,
+    est: &CardinalityEstimator<'_>,
+    mem: &mut CompilationMemory,
+) -> RuleOutcome {
+    // Mark applied regardless of outcome so the search never retries.
+    {
+        let expr = memo.expr_mut(expr_id);
+        if expr.rules_applied & rule.mask() != 0 {
+            return RuleOutcome::default();
+        }
+        expr.rules_applied |= rule.mask();
+    }
+
+    mem.charge(sizes::RULE_BINDING_BYTES);
+    let outcome = match rule {
+        Rule::JoinCommute => apply_commute(memo, expr_id, mem),
+        Rule::JoinAssociateLeft => apply_associate_left(memo, expr_id, est, mem),
+    };
+    mem.release(sizes::RULE_BINDING_BYTES);
+    outcome
+}
+
+/// True when the expression is an inner join with at least one equi-predicate.
+fn as_inner_join(memo: &Memo, expr_id: ExprId) -> Option<(Vec<JoinPredicate>, GroupId, GroupId)> {
+    let expr = memo.expr(expr_id);
+    match &expr.op {
+        LogicalOp::Join { kind: JoinKind::Inner, predicates } if !predicates.is_empty() => {
+            Some((predicates.clone(), expr.children[0], expr.children[1]))
+        }
+        _ => None,
+    }
+}
+
+fn apply_commute(memo: &mut Memo, expr_id: ExprId, mem: &mut CompilationMemory) -> RuleOutcome {
+    let mut outcome = RuleOutcome::default();
+    let Some((predicates, left, right)) = as_inner_join(memo, expr_id) else {
+        return outcome;
+    };
+    let group = memo.expr(expr_id).group;
+    let flipped: Vec<JoinPredicate> = predicates.iter().map(JoinPredicate::flipped).collect();
+    outcome.attempted += 1;
+    if let Some(new_expr) = memo.add_expr_to_group(
+        group,
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            predicates: flipped,
+        },
+        vec![right, left],
+        mem,
+    ) {
+        // The commuted form has, by construction, the same children swapped;
+        // applying commute to it again would just regenerate the original.
+        memo.expr_mut(new_expr).rules_applied |= Rule::JoinCommute.mask();
+        outcome.new_exprs.push(new_expr);
+    }
+    outcome
+}
+
+fn apply_associate_left(
+    memo: &mut Memo,
+    expr_id: ExprId,
+    est: &CardinalityEstimator<'_>,
+    mem: &mut CompilationMemory,
+) -> RuleOutcome {
+    let mut outcome = RuleOutcome::default();
+    let Some((top_preds, left_group, right_group)) = as_inner_join(memo, expr_id) else {
+        return outcome;
+    };
+    let top_group = memo.expr(expr_id).group;
+
+    // For every inner-join expression (A ⋈ B) in the left child group,
+    // produce A ⋈ (B ⋈ C) where C is the right child.
+    let left_exprs: Vec<ExprId> = memo.group(left_group).exprs.clone();
+    for inner_id in left_exprs {
+        let Some((inner_preds, a_group, b_group)) = as_inner_join(memo, inner_id) else {
+            continue;
+        };
+        let a_bindings = memo.group(a_group).bindings.clone();
+        let b_bindings = memo.group(b_group).bindings.clone();
+
+        // Split the top predicates: those touching B go into the new inner
+        // join (B ⋈ C); those touching only A stay at the new top join.
+        let mut bc_preds: Vec<JoinPredicate> = Vec::new();
+        let mut top_remaining: Vec<JoinPredicate> = Vec::new();
+        for p in &top_preds {
+            // Top preds connect (A∪B) with C; the left column is on the A∪B side.
+            let left_binding = &p.left.binding;
+            if b_bindings.contains(left_binding) {
+                bc_preds.push(p.clone());
+            } else if a_bindings.contains(left_binding) {
+                top_remaining.push(p.clone());
+            } else {
+                // Orientation was flipped; check the right side.
+                if b_bindings.contains(&p.right.binding) {
+                    bc_preds.push(p.flipped());
+                } else {
+                    top_remaining.push(p.clone());
+                }
+            }
+        }
+        // Refuse to create a cross product for (B ⋈ C).
+        if bc_preds.is_empty() {
+            continue;
+        }
+        // The new top join connects A with (B ⋈ C) through the old inner
+        // predicates (A–B) plus any remaining top predicates (A–C).
+        let mut new_top_preds = inner_preds.clone();
+        new_top_preds.extend(top_remaining);
+        if new_top_preds.is_empty() {
+            continue;
+        }
+
+        outcome.attempted += 1;
+        // Create (or find) the group for (B ⋈ C).
+        let (bc_group, bc_expr) = memo.insert_expr(
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                predicates: bc_preds,
+            },
+            vec![b_group, right_group],
+            est,
+            mem,
+        );
+        if let Some(bc_expr) = bc_expr {
+            // The intermediate join is itself a new expression that further
+            // rules (commute, associate) must get a chance to expand.
+            outcome.new_exprs.push(bc_expr);
+        }
+        // Add A ⋈ (B ⋈ C) as an alternative of the top group.
+        if let Some(new_expr) = memo.add_expr_to_group(
+            top_group,
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                predicates: new_top_preds,
+            },
+            vec![a_group, bc_group],
+            mem,
+        ) {
+            outcome.new_exprs.push(new_expr);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::Binder;
+    use crate::logical::LogicalPlan;
+    use throttledb_catalog::{tpch_schema, Catalog};
+    use throttledb_sqlparse::parse;
+
+    fn bind(catalog: &Catalog, sql: &str) -> LogicalPlan {
+        Binder::new(catalog).bind(&parse(sql).unwrap()).unwrap()
+    }
+
+    /// Find the topmost join group in a freshly inserted plan.
+    fn top_join_expr(memo: &Memo) -> ExprId {
+        memo.expr_ids()
+            .filter(|e| memo.expr(*e).op.is_join())
+            .last()
+            .expect("plan contains a join")
+    }
+
+    #[test]
+    fn commute_adds_flipped_alternative() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = bind(&cat, "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey");
+        memo.insert_plan(&plan, &est, &mut mem);
+        let join = top_join_expr(&memo);
+        let group = memo.expr(join).group;
+        let before = memo.group(group).exprs.len();
+        let out = apply_rule(Rule::JoinCommute, &mut memo, join, &est, &mut mem);
+        assert_eq!(out.new_exprs.len(), 1);
+        assert_eq!(memo.group(group).exprs.len(), before + 1);
+        // Children are swapped in the new expression.
+        let new = memo.expr(out.new_exprs[0]);
+        let old = memo.expr(join);
+        assert_eq!(new.children[0], old.children[1]);
+        assert_eq!(new.children[1], old.children[0]);
+    }
+
+    #[test]
+    fn commute_is_applied_at_most_once_per_expr() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = bind(&cat, "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey");
+        memo.insert_plan(&plan, &est, &mut mem);
+        let join = top_join_expr(&memo);
+        let first = apply_rule(Rule::JoinCommute, &mut memo, join, &est, &mut mem);
+        let second = apply_rule(Rule::JoinCommute, &mut memo, join, &est, &mut mem);
+        assert_eq!(first.new_exprs.len(), 1);
+        assert!(second.new_exprs.is_empty());
+        // And the commuted expression never regenerates the original.
+        let third = apply_rule(Rule::JoinCommute, &mut memo, first.new_exprs[0], &est, &mut mem);
+        assert!(third.new_exprs.is_empty());
+    }
+
+    #[test]
+    fn commute_ignores_non_joins() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = bind(&cat, "SELECT o_orderkey FROM orders");
+        memo.insert_plan(&plan, &est, &mut mem);
+        let get = memo
+            .expr_ids()
+            .find(|e| matches!(memo.expr(*e).op, LogicalOp::Get { .. }))
+            .unwrap();
+        let out = apply_rule(Rule::JoinCommute, &mut memo, get, &est, &mut mem);
+        assert!(out.new_exprs.is_empty());
+    }
+
+    #[test]
+    fn associate_left_creates_new_intermediate_group() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        // ((lineitem ⋈ orders) ⋈ customer) — associating gives
+        // lineitem ⋈ (orders ⋈ customer).
+        let plan = bind(
+            &cat,
+            "SELECT l.l_id FROM lineitem l \
+             JOIN orders o ON l.l_orderkey = o.o_orderkey \
+             JOIN customer c ON o.o_custkey = c.c_custkey",
+        );
+        memo.insert_plan(&plan, &est, &mut mem);
+        let top = top_join_expr(&memo);
+        let groups_before = memo.group_count();
+        let out = apply_rule(Rule::JoinAssociateLeft, &mut memo, top, &est, &mut mem);
+        // Two new expressions: the intermediate (orders ⋈ customer) join and
+        // the re-associated alternative in the top group.
+        assert_eq!(out.new_exprs.len(), 2);
+        assert_eq!(memo.group_count(), groups_before + 1, "a new (orders ⋈ customer) group");
+        // The re-associated alternative lives in the same group as the original top join.
+        let top_group = memo.expr(top).group;
+        assert!(out.new_exprs.iter().any(|e| memo.expr(*e).group == top_group));
+        // The intermediate join lives in its own (new) group.
+        assert!(out.new_exprs.iter().any(|e| memo.expr(*e).group != top_group));
+    }
+
+    #[test]
+    fn associate_left_refuses_cross_products() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        // customer joins orders, then lineitem joins on the *orders* key:
+        // associating would pair lineitem with customer directly -> cross
+        // product -> must be refused... construct the case where the top
+        // predicate touches only A (customer side).
+        let plan = bind(
+            &cat,
+            "SELECT c.c_custkey FROM customer c \
+             JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN nation n ON c.c_nationkey = n.n_nationkey",
+        );
+        memo.insert_plan(&plan, &est, &mut mem);
+        let top = top_join_expr(&memo);
+        let groups_before = memo.group_count();
+        let out = apply_rule(Rule::JoinAssociateLeft, &mut memo, top, &est, &mut mem);
+        // The only association would build (orders ⋈ nation) with no
+        // predicate — a cross product — so nothing should be generated.
+        assert!(out.new_exprs.is_empty());
+        assert_eq!(memo.group_count(), groups_before);
+    }
+
+    #[test]
+    fn rule_masks_are_distinct() {
+        assert_ne!(Rule::JoinCommute.mask(), Rule::JoinAssociateLeft.mask());
+        assert_eq!(Rule::ALL.len(), 2);
+        assert_eq!(Rule::JoinCommute.name(), "JoinCommute");
+    }
+
+    #[test]
+    fn transient_rule_memory_is_released() {
+        let cat = tpch_schema(0.1);
+        let est = CardinalityEstimator::new(&cat);
+        let mut mem = CompilationMemory::unlimited();
+        let mut memo = Memo::new();
+        let plan = bind(&cat, "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey");
+        memo.insert_plan(&plan, &est, &mut mem);
+        let before_used = mem.used_bytes();
+        let join = top_join_expr(&memo);
+        apply_rule(Rule::JoinCommute, &mut memo, join, &est, &mut mem);
+        // Live memory grew only by the new expression, not the binding scratch.
+        assert_eq!(mem.used_bytes(), before_used + sizes::LOGICAL_EXPR_BYTES);
+        // But the peak saw the transient binding.
+        assert!(mem.peak_bytes() >= before_used + sizes::RULE_BINDING_BYTES);
+    }
+}

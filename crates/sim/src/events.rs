@@ -1,0 +1,224 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by their scheduled [`SimTime`]; events scheduled for the
+//! same instant are dispatched in FIFO order of insertion. This stability is
+//! load-bearing for determinism: the engine schedules "compilation step
+//! finished" and "gateway released" events at identical timestamps and the
+//! experiment figures must not depend on heap tie-breaking.
+
+use crate::clock::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event that has been scheduled onto the queue.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotonic sequence number used to break ties FIFO.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of events keyed by virtual time with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// Scheduling into the past (before the last popped event) is a logic
+    /// error in the simulation and panics in debug builds; in release builds
+    /// the event is clamped to the current frontier so the run can proceed.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
+        debug_assert!(
+            at >= self.last_popped,
+            "scheduled an event in the past: {} < {}",
+            at,
+            self.last_popped
+        );
+        let at = at.max(self.last_popped);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, payload });
+        seq
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event in (time, insertion) order.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop();
+        if let Some(ref e) = ev {
+            self.last_popped = e.at;
+        }
+        ev
+    }
+
+    /// Drain every event scheduled at exactly the same time as the head.
+    /// Useful for batch-dispatching simultaneous events.
+    pub fn pop_simultaneous(&mut self) -> Vec<ScheduledEvent<E>> {
+        let mut out = Vec::new();
+        let Some(t) = self.peek_time() else {
+            return out;
+        };
+        while self.peek_time() == Some(t) {
+            out.push(self.pop().expect("peeked event must pop"));
+        }
+        out
+    }
+
+    /// Remove all pending events, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        let n = self.heap.len();
+        self.heap.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_simultaneous_groups_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(1), 2);
+        q.schedule(SimTime::from_secs(2), 3);
+        let first = q.pop_simultaneous();
+        assert_eq!(first.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1, 2]);
+        let second = q.pop_simultaneous();
+        assert_eq!(second.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![3]);
+        assert!(q.pop_simultaneous().is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(1), ());
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.clear(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), "x");
+        q.schedule(SimTime::from_secs(4), "y");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, SimTime::from_secs(4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some(e) = q.pop() {
+                prop_assert!(e.at >= last);
+                last = e.at;
+                count += 1;
+            }
+            prop_assert_eq!(count, times.len());
+        }
+
+        #[test]
+        fn prop_equal_times_preserve_insertion_order(n in 1usize..100) {
+            let mut q = EventQueue::new();
+            let t = SimTime::from_secs(1) + SimDuration::from_micros(n as u64);
+            for i in 0..n {
+                q.schedule(t, i);
+            }
+            let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+            prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # throttledb-sim
+//!
+//! Deterministic discrete-event simulation (DES) substrate used by the
+//! `throttledb` reproduction of *"Managing Query Compilation Memory
+//! Consumption to Improve DBMS Throughput"* (CIDR 2007).
+//!
+//! The paper's evaluation runs a DBMS for hours of wall-clock time on an
+//! 8-CPU / 4 GB machine. We reproduce the *shape* of those experiments by
+//! running the same memory-management policy code against a virtual clock:
+//! hours of model time execute in seconds, and every run is exactly
+//! reproducible because all randomness flows through [`rng::SimRng`].
+//!
+//! The crate deliberately knows nothing about databases. It provides:
+//!
+//! * [`clock`] — virtual time ([`SimTime`], [`SimDuration`]) with microsecond
+//!   resolution.
+//! * [`events`] — a monotonic event queue / scheduler with stable FIFO
+//!   ordering for simultaneous events.
+//! * [`rng`] — a deterministic random-number generator with the
+//!   distributions the workload model needs (uniform, exponential, zipf,
+//!   log-normal-ish compile-time jitter).
+//! * [`series`] — bucketed time-series recorders used to regenerate the
+//!   paper's "completed queries per time slice" figures.
+//! * [`stats`] — histograms and summary statistics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+
+pub use clock::{SimDuration, SimTime};
+pub use events::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use series::{GaugeTimeline, TimeSeries};
+pub use stats::{Histogram, Summary};

@@ -1,0 +1,281 @@
+//! Histograms and summary statistics for experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u64` values with power-of-two buckets plus an exact
+/// running sum/min/max. Suits the quantities we track — bytes, microseconds —
+//  which span many orders of magnitude.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    /// `buckets[i]` counts values `v` with `floor(log2(v.max(1))) == i`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: name.into(),
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The histogram name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, value: u64) {
+        let idx = 64 - value.max(1).leading_zeros() as usize;
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 for an empty histogram.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate percentile (p in [0,100]) using the bucket upper bounds.
+    /// Accuracy is within a factor of two, which is sufficient for the
+    /// order-of-magnitude comparisons the paper makes.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                // Upper bound of bucket i is 2^i (bucket 0 holds value<=1).
+                return if i >= 63 { u64::MAX } else { 1u64 << i };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Produce a compact summary of this histogram.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            p99: self.percentile(99.0),
+        }
+    }
+}
+
+/// Summary statistics extracted from a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: u64,
+    /// Maximum sample.
+    pub max: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+/// Welford-style running mean/variance for floating point series (used for
+/// run-to-run comparisons in the experiment harness).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Running {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Running::default()
+    }
+
+    /// Add a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (0 when fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new("bytes");
+        for v in [1u64, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 16);
+        assert!((h.mean() - 6.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_empty_defaults() {
+        let h = Histogram::new("x");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentile_is_order_of_magnitude_correct() {
+        let mut h = Histogram::new("x");
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile(50.0);
+        assert!(p50 >= 64 && p50 <= 256, "p50 = {p50}");
+        let p100 = h.percentile(100.0);
+        assert!(p100 >= 1_000_000 / 2, "p100 = {p100}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new("a");
+        let mut b = Histogram::new("b");
+        a.record(10);
+        b.record(1000);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn summary_reflects_histogram() {
+        let mut h = Histogram::new("x");
+        for i in 1..=100u64 {
+            h.record(i);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert!(s.p50 >= 32 && s.p50 <= 128);
+    }
+
+    #[test]
+    fn running_mean_and_variance() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-9);
+        assert!((r.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert!(r.std_dev() > 2.0 && r.std_dev() < 2.2);
+    }
+
+    #[test]
+    fn running_empty_is_zero() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+    }
+}

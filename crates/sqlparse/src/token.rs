@@ -1,0 +1,186 @@
+//! Tokens produced by the lexer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SQL keywords recognised by the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    Join,
+    Inner,
+    Left,
+    Right,
+    Outer,
+    On,
+    Group,
+    By,
+    Having,
+    Order,
+    Limit,
+    As,
+    And,
+    Or,
+    Not,
+    In,
+    Between,
+    Like,
+    Is,
+    Null,
+    Distinct,
+    Asc,
+    Desc,
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+}
+
+impl Keyword {
+    /// Parse an identifier into a keyword, case-insensitively.
+    pub fn from_ident(s: &str) -> Option<Keyword> {
+        let k = match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "JOIN" => Keyword::Join,
+            "INNER" => Keyword::Inner,
+            "LEFT" => Keyword::Left,
+            "RIGHT" => Keyword::Right,
+            "OUTER" => Keyword::Outer,
+            "ON" => Keyword::On,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "HAVING" => Keyword::Having,
+            "ORDER" => Keyword::Order,
+            "LIMIT" => Keyword::Limit,
+            "AS" => Keyword::As,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "BETWEEN" => Keyword::Between,
+            "LIKE" => Keyword::Like,
+            "IS" => Keyword::Is,
+            "NULL" => Keyword::Null,
+            "DISTINCT" => Keyword::Distinct,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "SUM" => Keyword::Sum,
+            "COUNT" => Keyword::Count,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            _ => return None,
+        };
+        Some(k)
+    }
+
+    /// True for the aggregate-function keywords.
+    pub fn is_aggregate(self) -> bool {
+        matches!(
+            self,
+            Keyword::Sum | Keyword::Count | Keyword::Avg | Keyword::Min | Keyword::Max
+        )
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// A keyword such as `SELECT`.
+    Keyword(Keyword),
+    /// An identifier (table, column or alias name), lower-cased.
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal (quotes stripped).
+    String(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_parse_case_insensitively() {
+        assert_eq!(Keyword::from_ident("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_ident("SELECT"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_ident("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_ident("frobnicate"), None);
+    }
+
+    #[test]
+    fn aggregates_are_flagged() {
+        assert!(Keyword::Sum.is_aggregate());
+        assert!(Keyword::Count.is_aggregate());
+        assert!(!Keyword::Select.is_aggregate());
+    }
+
+    #[test]
+    fn tokens_display() {
+        assert_eq!(Token::Comma.to_string(), ",");
+        assert_eq!(Token::NotEq.to_string(), "<>");
+        assert_eq!(Token::String("x".into()).to_string(), "'x'");
+    }
+}

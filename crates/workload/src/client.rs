@@ -1,0 +1,145 @@
+//! The client model: a closed-loop population of simulated users.
+//!
+//! §5.2: the benchmark is driven by "a custom load generator which simulates
+//! a number of concurrent database users who submit queries to the database
+//! server". Each client is closed-loop: it submits a query, waits for it to
+//! complete (or fail), thinks for a while, and submits the next one. Failed
+//! queries are resubmitted after a back-off, because "those aborted queries
+//! likely need to be resubmitted to the system".
+
+use crate::templates::QueryTemplate;
+use serde::{Deserialize, Serialize};
+use throttledb_sim::{SimDuration, SimRng};
+
+/// Parameters of the client population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientModel {
+    /// Mean think time between a completion and the next submission.
+    pub mean_think_time: SimDuration,
+    /// Back-off before resubmitting after a failure.
+    pub retry_backoff: SimDuration,
+    /// Probability that a submission is drawn from the OLTP/diagnostic mix
+    /// instead of the main DSS templates (small but non-zero, as real
+    /// deployments always have monitoring queries running).
+    pub oltp_fraction: f64,
+    /// Zipf skew over the DSS templates (0 = uniform template choice).
+    pub template_skew: f64,
+}
+
+impl Default for ClientModel {
+    fn default() -> Self {
+        ClientModel {
+            mean_think_time: SimDuration::from_secs(20),
+            retry_backoff: SimDuration::from_secs(30),
+            oltp_fraction: 0.05,
+            template_skew: 0.3,
+        }
+    }
+}
+
+impl ClientModel {
+    /// Draw a think time for one client.
+    pub fn think_time(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(rng.exponential(self.mean_think_time.as_secs_f64()))
+    }
+
+    /// Draw the back-off before a retry.
+    pub fn retry_delay(&self, rng: &mut SimRng) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.retry_backoff.as_secs_f64() * rng.jitter(0.5),
+        )
+    }
+
+    /// Choose the next template for a client, given the DSS templates and the
+    /// OLTP templates.
+    pub fn choose_template<'a>(
+        &self,
+        dss: &'a [QueryTemplate],
+        oltp: &'a [QueryTemplate],
+        rng: &mut SimRng,
+    ) -> &'a QueryTemplate {
+        assert!(!dss.is_empty(), "need at least one DSS template");
+        if !oltp.is_empty() && rng.unit() < self.oltp_fraction {
+            rng.choose(oltp)
+        } else {
+            let idx = rng.zipf(dss.len(), self.template_skew);
+            &dss[idx]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{oltp_templates, sales_templates, WorkloadKind};
+
+    #[test]
+    fn think_times_have_roughly_the_configured_mean() {
+        let m = ClientModel::default();
+        let mut rng = SimRng::seed_from_u64(3);
+        let n = 5_000;
+        let total: f64 = (0..n).map(|_| m.think_time(&mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 20.0).abs() < 2.0, "mean think time {mean}");
+    }
+
+    #[test]
+    fn retry_delay_is_positive_and_jittered() {
+        let m = ClientModel::default();
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let d = m.retry_delay(&mut rng);
+            assert!(d > SimDuration::from_secs(10));
+            assert!(d < SimDuration::from_secs(60));
+        }
+    }
+
+    #[test]
+    fn template_choice_respects_oltp_fraction() {
+        let m = ClientModel {
+            oltp_fraction: 0.5,
+            ..ClientModel::default()
+        };
+        let dss = sales_templates();
+        let oltp = oltp_templates();
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut oltp_count = 0;
+        for _ in 0..2_000 {
+            if m.choose_template(&dss, &oltp, &mut rng).kind == WorkloadKind::Oltp {
+                oltp_count += 1;
+            }
+        }
+        assert!((800..1200).contains(&oltp_count), "oltp picks: {oltp_count}");
+    }
+
+    #[test]
+    fn zero_oltp_fraction_never_picks_oltp() {
+        let m = ClientModel {
+            oltp_fraction: 0.0,
+            ..ClientModel::default()
+        };
+        let dss = sales_templates();
+        let oltp = oltp_templates();
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..500 {
+            assert_eq!(
+                m.choose_template(&dss, &oltp, &mut rng).kind,
+                WorkloadKind::Sales
+            );
+        }
+    }
+
+    #[test]
+    fn all_dss_templates_are_reachable() {
+        let m = ClientModel::default();
+        let dss = sales_templates();
+        let oltp = oltp_templates();
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            seen.insert(m.choose_template(&dss, &oltp, &mut rng).name.clone());
+        }
+        let dss_seen = seen.iter().filter(|n| n.starts_with("sales_")).count();
+        assert_eq!(dss_seen, dss.len(), "every template should eventually be chosen");
+    }
+}

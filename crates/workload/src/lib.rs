@@ -1,0 +1,30 @@
+//! # throttledb-workload
+//!
+//! The workloads of the paper's evaluation (§5):
+//!
+//! * [`templates::sales_templates`] — the **SALES benchmark**: 10 complex
+//!   decision-support query templates over the star-schema warehouse, each
+//!   joining the fact table to 14–19 dimensions and aggregating over the
+//!   join result, mirroring the published description ("the 'average' query
+//!   contains between 15 and 20 joins and computes aggregate(s) on the join
+//!   results").
+//! * [`templates::tpch_like_templates`] — a TPC-H-like comparison set with
+//!   0–8 joins, used for the compile-memory-magnitude comparison.
+//! * [`templates::oltp_templates`] — small point/diagnostic queries that the
+//!   first gateway threshold exempts.
+//! * [`uniquify`] — the load generator's trick of editing each base query
+//!   before submission "to make it appear unique and to defeat plan-caching
+//!   features in the DBMS".
+//! * [`client`] — the closed-loop client model (think time, retry behaviour)
+//!   used by the discrete-event engine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod templates;
+pub mod uniquify;
+
+pub use client::ClientModel;
+pub use templates::{oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, WorkloadKind};
+pub use uniquify::Uniquifier;

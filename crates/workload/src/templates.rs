@@ -1,0 +1,285 @@
+//! Query templates for the SALES, TPC-H-like and OLTP workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// Which workload a template belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The paper's SALES decision-support benchmark.
+    Sales,
+    /// The TPC-H-like comparison workload.
+    TpchLike,
+    /// Small OLTP / diagnostic queries.
+    Oltp,
+}
+
+/// One parameterized query template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// Template name (e.g. "sales_q3").
+    pub name: String,
+    /// Workload it belongs to.
+    pub kind: WorkloadKind,
+    /// The SQL text with concrete default literals (the uniquifier rewrites
+    /// them per submission).
+    pub sql: String,
+}
+
+/// The dimensions a SALES template can join, as
+/// `(dimension table, fact FK column, dimension key column)`.
+const SALES_DIMS: &[(&str, &str, &str)] = &[
+    ("dim_product", "product_id", "product_key"),
+    ("dim_customer", "customer_id", "customer_key"),
+    ("dim_store", "store_id", "store_key"),
+    ("dim_date", "date_id", "date_key"),
+    ("dim_promotion", "promotion_id", "promotion_key"),
+    ("dim_channel", "channel_id", "channel_key"),
+    ("dim_currency", "currency_id", "currency_key"),
+    ("dim_salesrep", "salesrep_id", "salesrep_key"),
+    ("dim_shipmode", "shipmode_id", "shipmode_key"),
+    ("dim_warehouse", "warehouse_id", "warehouse_key"),
+    ("dim_region", "region_id", "region_key"),
+    ("dim_category", "category_id", "category_key"),
+    ("dim_brand", "brand_id", "brand_key"),
+    ("dim_supplier", "supplier_id", "supplier_key"),
+    ("dim_payment", "payment_id", "payment_key"),
+    ("dim_segment", "segment_id", "segment_key"),
+    ("dim_campaign", "campaign_id", "campaign_key"),
+    ("dim_returnreason", "returnreason_id", "returnreason_key"),
+    // A snowflake-style extra hop: the sales-rep key also resolves against
+    // the employee dimension, which is how the widest SALES queries reach
+    // 19-20 joins without repeating a dimension.
+    ("dim_employee", "salesrep_id", "employee_key"),
+];
+
+/// Build one SALES-style query joining the fact table to `join_count`
+/// dimensions, with the given aggregate target, group-by column and a
+/// filter literal.
+fn sales_query(
+    name: &str,
+    join_count: usize,
+    measure: &str,
+    group_dim: &str,
+    group_col: &str,
+    filter_literal: u64,
+) -> QueryTemplate {
+    assert!(join_count <= SALES_DIMS.len());
+    let mut sql = format!(
+        "SELECT {group_dim}.{group_col}, SUM(f.{measure}) AS total, COUNT(*) AS n, AVG(f.unit_price) AS avg_price \
+         FROM fact_sales f"
+    );
+    let mut joined_group_dim = false;
+    for (table, fk, key) in SALES_DIMS.iter().take(join_count) {
+        sql.push_str(&format!(" JOIN {table} ON f.{fk} = {table}.{key}"));
+        if *table == group_dim {
+            joined_group_dim = true;
+        }
+    }
+    if !joined_group_dim {
+        // Make sure the grouping dimension is part of the join graph.
+        let (table, fk, key) = SALES_DIMS
+            .iter()
+            .find(|(t, _, _)| *t == group_dim)
+            .expect("group dimension exists");
+        sql.push_str(&format!(" JOIN {table} ON f.{fk} = {table}.{key}"));
+    }
+    sql.push_str(&format!(
+        " WHERE f.quantity > 2 AND f.net_amount BETWEEN 10 AND 900000 \
+          AND dim_date.calendar_year IN (5, 6, 7) AND f.order_date > {filter_literal} \
+          GROUP BY {group_dim}.{group_col} \
+          ORDER BY total DESC LIMIT 500"
+    ));
+    QueryTemplate {
+        name: name.to_string(),
+        kind: WorkloadKind::Sales,
+        sql,
+    }
+}
+
+/// The 10 SALES benchmark templates (§5.1: "10 complex queries that are
+/// representative of the workload", 15–20 joins each).
+pub fn sales_templates() -> Vec<QueryTemplate> {
+    vec![
+        sales_query("sales_q01", 15, "net_amount", "dim_date", "calendar_year", 900),
+        sales_query("sales_q02", 16, "net_amount", "dim_store", "region_id", 1200),
+        sales_query("sales_q03", 17, "cost_amount", "dim_product", "category_id", 300),
+        sales_query("sales_q04", 18, "net_amount", "dim_region", "continent", 2100),
+        sales_query("sales_q05", 19, "quantity", "dim_customer", "segment_id", 750),
+        sales_query("sales_q06", 15, "discount", "dim_channel", "channel_name", 60),
+        sales_query("sales_q07", 16, "net_amount", "dim_supplier", "country", 1800),
+        sales_query("sales_q08", 17, "cost_amount", "dim_brand", "manufacturer", 450),
+        sales_query("sales_q09", 18, "net_amount", "dim_campaign", "start_year", 2600),
+        sales_query("sales_q10", 19, "quantity", "dim_warehouse", "region_id", 1500),
+    ]
+}
+
+/// A handful of TPC-H-like templates, 0–8 joins (the paper's comparison
+/// point: "TPC-H queries contain between 0 and 8 joins").
+pub fn tpch_like_templates() -> Vec<QueryTemplate> {
+    let q = |name: &str, sql: &str| QueryTemplate {
+        name: name.to_string(),
+        kind: WorkloadKind::TpchLike,
+        sql: sql.to_string(),
+    };
+    vec![
+        q(
+            "tpch_q1_like",
+            "SELECT l.l_returnflag, l.l_linestatus, SUM(l.l_quantity) AS sum_qty, \
+             SUM(l.l_extendedprice) AS sum_price, COUNT(*) AS n \
+             FROM lineitem l WHERE l.l_shipdate <= 2500 \
+             GROUP BY l.l_returnflag, l.l_linestatus ORDER BY sum_qty DESC",
+        ),
+        q(
+            "tpch_q3_like",
+            "SELECT o.o_orderkey, SUM(l.l_extendedprice) AS revenue \
+             FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+             WHERE c.c_mktsegment = 'BUILDING' AND o.o_orderdate < 2000 \
+             GROUP BY o.o_orderkey ORDER BY revenue DESC LIMIT 10",
+        ),
+        q(
+            "tpch_q5_like",
+            "SELECT n.n_name, SUM(l.l_extendedprice) AS revenue \
+             FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+             JOIN supplier s ON l.l_suppkey = s.s_suppkey \
+             JOIN nation n ON s.s_nationkey = n.n_nationkey \
+             JOIN region r ON n.n_regionkey = r.r_regionkey \
+             WHERE o.o_orderdate BETWEEN 100 AND 465 \
+             GROUP BY n.n_name ORDER BY revenue DESC",
+        ),
+        q(
+            "tpch_q9_like",
+            "SELECT n.n_name, SUM(l.l_extendedprice) AS profit \
+             FROM part p JOIN lineitem l ON p.p_partkey = l.l_partkey \
+             JOIN partsupp ps ON l.l_partkey = ps.ps_partkey \
+             JOIN supplier s ON l.l_suppkey = s.s_suppkey \
+             JOIN orders o ON l.l_orderkey = o.o_orderkey \
+             JOIN nation n ON s.s_nationkey = n.n_nationkey \
+             WHERE p.p_size > 10 \
+             GROUP BY n.n_name",
+        ),
+        q(
+            "tpch_q6_like",
+            "SELECT SUM(l.l_extendedprice) AS revenue FROM lineitem l \
+             WHERE l.l_shipdate BETWEEN 100 AND 465 AND l.l_discount BETWEEN 100 AND 300 \
+             AND l.l_quantity < 24000",
+        ),
+        q(
+            "tpch_q10_like",
+            "SELECT c.c_custkey, SUM(l.l_extendedprice) AS revenue \
+             FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey \
+             JOIN lineitem l ON o.o_orderkey = l.l_orderkey \
+             JOIN nation n ON c.c_nationkey = n.n_nationkey \
+             WHERE l.l_returnflag = 'R' GROUP BY c.c_custkey ORDER BY revenue DESC LIMIT 20",
+        ),
+    ]
+}
+
+/// Small OLTP / diagnostic queries: the category the exemption floor and the
+/// first gateway protect.
+pub fn oltp_templates() -> Vec<QueryTemplate> {
+    let q = |name: &str, sql: &str| QueryTemplate {
+        name: name.to_string(),
+        kind: WorkloadKind::Oltp,
+        sql: sql.to_string(),
+    };
+    vec![
+        q(
+            "oltp_point_sale",
+            "SELECT f.net_amount FROM fact_sales f WHERE f.sale_id = 1234567",
+        ),
+        q(
+            "oltp_customer_lookup",
+            "SELECT c.customer_name FROM dim_customer c WHERE c.customer_key = 98765",
+        ),
+        q(
+            "oltp_store_join",
+            "SELECT s.store_name, r.region_name FROM dim_store s \
+             JOIN dim_region r ON s.region_id = r.region_key WHERE s.store_key = 42",
+        ),
+        q(
+            "diag_count_recent",
+            "SELECT COUNT(*) FROM fact_sales f WHERE f.date_id = 3000",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use throttledb_catalog::{sales_schema, tpch_schema, SalesScale};
+    use throttledb_optimizer::Binder;
+    use throttledb_sqlparse::parse;
+
+    #[test]
+    fn there_are_exactly_ten_sales_templates() {
+        let t = sales_templates();
+        assert_eq!(t.len(), 10);
+        assert!(t.iter().all(|q| q.kind == WorkloadKind::Sales));
+    }
+
+    #[test]
+    fn sales_templates_have_15_to_20_joins_and_aggregate() {
+        for t in sales_templates() {
+            let stmt = parse(&t.sql).unwrap_or_else(|e| panic!("{} does not parse: {e}", t.name));
+            let joins = stmt.join_count();
+            assert!(
+                (15..=20).contains(&joins),
+                "{} has {joins} joins, expected 15-20",
+                t.name
+            );
+            assert!(stmt.is_aggregation(), "{} must aggregate", t.name);
+        }
+    }
+
+    #[test]
+    fn sales_templates_bind_against_the_sales_schema() {
+        let cat = sales_schema(SalesScale::tiny());
+        let binder = Binder::new(&cat);
+        for t in sales_templates() {
+            let stmt = parse(&t.sql).unwrap();
+            binder
+                .bind(&stmt)
+                .unwrap_or_else(|e| panic!("{} does not bind: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn tpch_templates_have_0_to_8_joins_and_bind() {
+        let cat = tpch_schema(1.0);
+        let binder = Binder::new(&cat);
+        for t in tpch_like_templates() {
+            let stmt = parse(&t.sql).unwrap_or_else(|e| panic!("{} does not parse: {e}", t.name));
+            assert!(stmt.join_count() <= 8, "{} has too many joins", t.name);
+            binder
+                .bind(&stmt)
+                .unwrap_or_else(|e| panic!("{} does not bind: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn oltp_templates_are_tiny_and_bind_against_sales_schema() {
+        let cat = sales_schema(SalesScale::tiny());
+        let binder = Binder::new(&cat);
+        for t in oltp_templates() {
+            let stmt = parse(&t.sql).unwrap();
+            assert!(stmt.table_count() <= 2, "{} should touch at most 2 tables", t.name);
+            binder.bind(&stmt).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn template_names_are_unique() {
+        let mut names: Vec<String> = sales_templates()
+            .into_iter()
+            .chain(tpch_like_templates())
+            .chain(oltp_templates())
+            .map(|t| t.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,17 @@
+//! Run a reduced-scale SALES benchmark (the Figure 3 experiment at 1/8th
+//! duration) and print the throughput comparison.
+//!
+//! Run with: `cargo run --release -p throttledb-engine --example sales_benchmark`
+
+use throttledb_engine::{throughput_experiment, ServerConfig};
+
+fn main() {
+    let clients = 20;
+    let cfg = ServerConfig::quick(clients, true);
+    let cmp = throughput_experiment(&cfg, clients);
+    cmp.print("SALES benchmark (reduced scale)");
+    println!(
+        "\nthrottle stats (throttled run): {}",
+        cmp.throttled.throttle.summary_line()
+    );
+}
