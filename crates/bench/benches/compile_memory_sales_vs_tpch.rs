@@ -16,10 +16,22 @@ fn bench_compiles(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
     group.sample_size(10);
     group.bench_function("sales_q01_full_optimization", |b| {
-        b.iter(|| Optimizer::new(&sales_cat).optimize(&sales_stmt).unwrap().stats.peak_memory_bytes)
+        b.iter(|| {
+            Optimizer::new(&sales_cat)
+                .optimize(&sales_stmt)
+                .unwrap()
+                .stats
+                .peak_memory_bytes
+        })
     });
     group.bench_function("tpch_q5_like_full_optimization", |b| {
-        b.iter(|| Optimizer::new(&tpch_cat).optimize(&tpch_stmt).unwrap().stats.peak_memory_bytes)
+        b.iter(|| {
+            Optimizer::new(&tpch_cat)
+                .optimize(&tpch_stmt)
+                .unwrap()
+                .stats
+                .peak_memory_bytes
+        })
     });
     group.finish();
 }

@@ -6,8 +6,14 @@ fn main() {
     let (cfg, _) = experiment_config(35);
     let rows = ablation(&cfg, 35);
     println!("== Ablation A1: gateway design choices at 35 clients ==");
-    println!("{:<42} {:>10} {:>10} {:>14} {:>12}", "configuration", "completed", "failures", "cmpl timeouts", "best-effort");
+    println!(
+        "{:<42} {:>10} {:>10} {:>14} {:>12}",
+        "configuration", "completed", "failures", "cmpl timeouts", "best-effort"
+    );
     for r in rows {
-        println!("{:<42} {:>10} {:>10} {:>14} {:>12}", r.label, r.completed, r.failures, r.compile_timeouts, r.best_effort);
+        println!(
+            "{:<42} {:>10} {:>10} {:>14} {:>12}",
+            r.label, r.completed, r.failures, r.compile_timeouts, r.best_effort
+        );
     }
 }

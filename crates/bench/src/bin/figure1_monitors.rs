@@ -4,8 +4,17 @@ use throttledb_core::ThrottleConfig;
 fn main() {
     let cfg = ThrottleConfig::paper_machine();
     println!("== Figure 1: Memory Monitors (8-CPU / 4 GB configuration) ==");
-    println!("{:>8} {:>16} {:>22} {:>12}", "monitor", "threshold (MB)", "concurrent holders", "timeout (s)");
-    println!("{:>8} {:>16} {:>22} {:>12}", "exempt", format!("<= {}", cfg.exempt_bytes >> 20), "unlimited", "-");
+    println!(
+        "{:>8} {:>16} {:>22} {:>12}",
+        "monitor", "threshold (MB)", "concurrent holders", "timeout (s)"
+    );
+    println!(
+        "{:>8} {:>16} {:>22} {:>12}",
+        "exempt",
+        format!("<= {}", cfg.exempt_bytes >> 20),
+        "unlimited",
+        "-"
+    );
     for (i, m) in cfg.monitors.iter().enumerate() {
         println!(
             "{:>8} {:>16} {:>22} {:>12}",

@@ -10,11 +10,19 @@ fn main() {
         let t = throttledb_sim::SimTime::from_secs(second);
         let v: Vec<String> = timelines
             .iter()
-            .map(|(_, g)| g.value_at(t).map(|b| format!("{:.0}", b as f64 / 1e6)).unwrap_or_else(|| "-".into()))
+            .map(|(_, g)| {
+                g.value_at(t)
+                    .map(|b| format!("{:.0}", b as f64 / 1e6))
+                    .unwrap_or_else(|| "-".into())
+            })
             .collect();
         println!("{:>8} {:>10} {:>10} {:>10}", second, v[0], v[1], v[2]);
     }
     for (name, g) in &timelines {
-        println!("{name}: peak {:.0} MB, longest blocked span {}", g.max_value() as f64 / 1e6, g.longest_plateau());
+        println!(
+            "{name}: peak {:.0} MB, longest blocked span {}",
+            g.max_value() as f64 / 1e6,
+            g.longest_plateau()
+        );
     }
 }

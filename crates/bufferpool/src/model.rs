@@ -90,7 +90,11 @@ mod tests {
         let ws = 100 * GB;
         assert!((m.hit_rate(0, ws) - m.min_hit_rate).abs() < 1e-9);
         assert!((m.hit_rate(1000 * GB, ws) - m.max_hit_rate).abs() < 1e-9);
-        assert_eq!(m.hit_rate(0, 0), m.max_hit_rate, "empty working set always hits");
+        assert_eq!(
+            m.hit_rate(0, 0),
+            m.max_hit_rate,
+            "empty working set always hits"
+        );
     }
 
     #[test]
@@ -100,7 +104,7 @@ mod tests {
         let footprint = 10 * GB;
         let healthy = m.io_seconds(footprint, 64 * GB, ws, 60.0e6);
         let squeezed = m.io_seconds(footprint, 3 * GB, ws, 60.0e6);
-        let starved = m.io_seconds(footprint, (1 * GB) / 2, ws, 60.0e6);
+        let starved = m.io_seconds(footprint, GB / 2, ws, 60.0e6);
         assert!(
             starved > squeezed && squeezed > healthy * 1.5,
             "shrinking the pool must cost noticeably more I/O: {starved} > {squeezed} > {healthy}"

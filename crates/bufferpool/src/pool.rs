@@ -240,7 +240,10 @@ mod tests {
             pool.access(page(1, 0)); // keep it referenced
         }
         // The hot page should still be resident.
-        assert!(pool.access(page(1, 0)), "hot page should not have been evicted");
+        assert!(
+            pool.access(page(1, 0)),
+            "hot page should not have been evicted"
+        );
     }
 
     #[test]
@@ -286,6 +289,9 @@ mod tests {
             }
             pool.hit_rate()
         };
-        assert!(run(60) > run(10), "bigger pool must hit more on a cyclic workload");
+        assert!(
+            run(60) > run(10),
+            "bigger pool must hit more on a cyclic workload"
+        );
     }
 }

@@ -36,10 +36,14 @@ impl TableBuilder {
     /// unique clustered primary-key index.
     pub fn key(mut self, name: &str) -> Self {
         self.columns.push(ColumnDef::new(name, DataType::BigInt));
-        self.stats
-            .push((name.to_string(), ColumnStatistics::key_column(self.row_count)));
-        self.indexes
-            .push(IndexDef::primary(format!("pk_{}", self.name.to_ascii_lowercase()), vec![name]));
+        self.stats.push((
+            name.to_string(),
+            ColumnStatistics::key_column(self.row_count),
+        ));
+        self.indexes.push(IndexDef::primary(
+            format!("pk_{}", self.name.to_ascii_lowercase()),
+            vec![name],
+        ));
         self
     }
 
@@ -47,10 +51,16 @@ impl TableBuilder {
     /// rows, with a secondary index (the typical star-schema layout).
     pub fn foreign_key(mut self, name: &str, referenced_rows: u64) -> Self {
         self.columns.push(ColumnDef::new(name, DataType::BigInt));
-        self.stats
-            .push((name.to_string(), ColumnStatistics::key_column(referenced_rows)));
+        self.stats.push((
+            name.to_string(),
+            ColumnStatistics::key_column(referenced_rows),
+        ));
         self.indexes.push(IndexDef::secondary(
-            format!("ix_{}_{}", self.name.to_ascii_lowercase(), name.to_ascii_lowercase()),
+            format!(
+                "ix_{}_{}",
+                self.name.to_ascii_lowercase(),
+                name.to_ascii_lowercase()
+            ),
             vec![name],
         ));
         self
@@ -102,7 +112,10 @@ impl TableBuilder {
 
     /// Finish building the table.
     pub fn build(self) -> TableDef {
-        assert!(!self.columns.is_empty(), "a table needs at least one column");
+        assert!(
+            !self.columns.is_empty(),
+            "a table needs at least one column"
+        );
         let mut table = TableDef::new(self.name, self.columns, self.row_count);
         table.indexes = self.indexes;
         let mut stats = TableStatistics::new(self.row_count);
@@ -132,8 +145,17 @@ mod tests {
         assert_eq!(fact.row_count(), 1_000_000);
         // primary + 2 FK indexes
         assert_eq!(fact.indexes.len(), 3);
-        assert_eq!(fact.statistics.column("sale_id").unwrap().distinct_values, 1_000_000);
-        assert_eq!(fact.statistics.column("product_id").unwrap().distinct_values, 10_000);
+        assert_eq!(
+            fact.statistics.column("sale_id").unwrap().distinct_values,
+            1_000_000
+        );
+        assert_eq!(
+            fact.statistics
+                .column("product_id")
+                .unwrap()
+                .distinct_values,
+            10_000
+        );
     }
 
     #[test]

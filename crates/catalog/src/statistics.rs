@@ -176,12 +176,25 @@ mod tests {
             min: 0.0,
             max: 100.0,
             histogram: vec![
-                HistogramBucket { lo: 0.0, hi: 10.0, rows: 900, distinct: 10 },
-                HistogramBucket { lo: 10.0, hi: 100.0, rows: 100, distinct: 90 },
+                HistogramBucket {
+                    lo: 0.0,
+                    hi: 10.0,
+                    rows: 900,
+                    distinct: 10,
+                },
+                HistogramBucket {
+                    lo: 10.0,
+                    hi: 100.0,
+                    rows: 100,
+                    distinct: 90,
+                },
             ],
         };
         let sel = s.range_selectivity(0.0, 10.0);
-        assert!((sel - 0.9).abs() < 1e-9, "histogram should concentrate selectivity, got {sel}");
+        assert!(
+            (sel - 0.9).abs() < 1e-9,
+            "histogram should concentrate selectivity, got {sel}"
+        );
         // Uniform assumption would have said 0.1.
     }
 
@@ -195,8 +208,8 @@ mod tests {
 
     #[test]
     fn table_statistics_lookup_is_case_insensitive() {
-        let t = TableStatistics::new(500)
-            .with_column("OrderKey", ColumnStatistics::key_column(500));
+        let t =
+            TableStatistics::new(500).with_column("OrderKey", ColumnStatistics::key_column(500));
         assert!(t.column("orderkey").is_some());
         assert!(t.column("ORDERKEY").is_some());
         assert_eq!(t.distinct_or_default("orderkey"), 500);

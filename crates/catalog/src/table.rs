@@ -60,7 +60,11 @@ impl TableDef {
             self.statistics.avg_row_bytes
         } else {
             // Row header overhead plus column widths.
-            9 + self.columns.iter().map(|c| c.avg_width_bytes()).sum::<u32>()
+            9 + self
+                .columns
+                .iter()
+                .map(|c| c.avg_width_bytes())
+                .sum::<u32>()
         }
     }
 
@@ -118,8 +122,10 @@ mod tests {
             ],
             1_000_000,
         );
-        t.indexes.push(IndexDef::primary("pk_orders", vec!["o_orderkey"]));
-        t.indexes.push(IndexDef::secondary("ix_orders_cust", vec!["o_custkey"]));
+        t.indexes
+            .push(IndexDef::primary("pk_orders", vec!["o_orderkey"]));
+        t.indexes
+            .push(IndexDef::secondary("ix_orders_cust", vec!["o_custkey"]));
         t
     }
 

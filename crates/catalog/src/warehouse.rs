@@ -1,7 +1,7 @@
 //! Schema builders for the paper's two workloads.
 //!
 //! * [`sales_schema`] — the SALES decision-support warehouse of §5.1: a
-//!   >400-million-row fact table plus a constellation of dimension tables,
+//!   \>400-million-row fact table plus a constellation of dimension tables,
 //!   totalling roughly 524 GB, with enough dimensions that "average" queries
 //!   join 15–20 tables.
 //! * [`tpch_schema`] — a TPC-H-like schema (8 tables, 0–8 join queries) used
@@ -11,6 +11,11 @@
 use crate::builder::TableBuilder;
 use crate::schema::Catalog;
 use crate::types::DataType;
+
+/// Column spec triple: name, type, distinct-value count.
+type ColumnSpec = (&'static str, DataType, u64);
+/// Dimension-table spec: name, row count, columns.
+type DimSpec = (&'static str, u64, Vec<ColumnSpec>);
 
 /// Scale knobs for the SALES warehouse.
 ///
@@ -89,7 +94,9 @@ pub fn sales_schema(scale: SalesScale) -> Catalog {
         .measure("net_amount")
         .measure("cost_amount")
         .date("order_date", 10);
-    fact = fact.index(vec!["date_id", "store_id"]).index(vec!["product_id", "date_id"]);
+    fact = fact
+        .index(vec!["date_id", "store_id"])
+        .index(vec!["product_id", "date_id"]);
     let mut fact = fact.build();
     // Real warehouse fact rows carry degenerate dimensions, audit columns and
     // index leaf overhead well beyond the declared columns; widen the stored
@@ -111,101 +118,175 @@ pub fn sales_schema(scale: SalesScale) -> Catalog {
     cat.add_table(line_fact);
 
     // --- Dimension tables --------------------------------------------------
-    let dims: Vec<(&str, u64, Vec<(&str, DataType, u64)>)> = vec![
-        ("dim_product", 2_500_000, vec![
-            ("product_name", DataType::Varchar(60), 2_400_000),
-            ("brand_id", DataType::BigInt, 30_000),
-            ("category_id", DataType::BigInt, 4_000),
-            ("unit_cost", DataType::Decimal, 100_000),
-            ("introduced_year", DataType::Int, 30),
-        ]),
-        ("dim_customer", scale.large_dimension_rows, vec![
-            ("customer_name", DataType::Varchar(50), scale.large_dimension_rows),
-            ("segment_id", DataType::BigInt, 40),
-            ("country", DataType::Varchar(30), 195),
-            ("city", DataType::Varchar(40), 60_000),
-            ("credit_limit", DataType::Decimal, 10_000),
-        ]),
-        ("dim_store", 60_000, vec![
-            ("store_name", DataType::Varchar(40), 60_000),
-            ("region_id", DataType::BigInt, 500),
-            ("sqft", DataType::Int, 4_000),
-            ("open_year", DataType::Int, 40),
-        ]),
-        ("dim_date", 3_650, vec![
-            ("calendar_year", DataType::Int, 10),
-            ("quarter", DataType::Int, 4),
-            ("month", DataType::Int, 12),
-            ("week", DataType::Int, 53),
-            ("is_holiday", DataType::Bool, 2),
-        ]),
-        ("dim_promotion", 25_000, vec![
-            ("promo_name", DataType::Varchar(40), 25_000),
-            ("promo_type", DataType::Varchar(20), 25),
-            ("discount_pct", DataType::Decimal, 100),
-        ]),
-        ("dim_channel", 12, vec![
-            ("channel_name", DataType::Varchar(20), 12),
-        ]),
-        ("dim_currency", 180, vec![
-            ("currency_code", DataType::Varchar(3), 180),
-            ("exchange_rate", DataType::Decimal, 180),
-        ]),
-        ("dim_salesrep", 250_000, vec![
-            ("rep_name", DataType::Varchar(40), 250_000),
-            ("territory", DataType::Varchar(30), 800),
-            ("hire_year", DataType::Int, 35),
-        ]),
-        ("dim_shipmode", 8, vec![
-            ("shipmode_name", DataType::Varchar(20), 8),
-        ]),
-        ("dim_warehouse", 1_200, vec![
-            ("warehouse_name", DataType::Varchar(40), 1_200),
-            ("region_id", DataType::BigInt, 500),
-            ("capacity", DataType::Int, 900),
-        ]),
-        ("dim_region", 500, vec![
-            ("region_name", DataType::Varchar(30), 500),
-            ("country", DataType::Varchar(30), 195),
-            ("continent", DataType::Varchar(15), 7),
-        ]),
-        ("dim_category", 4_000, vec![
-            ("category_name", DataType::Varchar(40), 4_000),
-            ("department", DataType::Varchar(30), 120),
-        ]),
-        ("dim_brand", 30_000, vec![
-            ("brand_name", DataType::Varchar(40), 30_000),
-            ("manufacturer", DataType::Varchar(40), 5_000),
-        ]),
-        ("dim_supplier", 120_000, vec![
-            ("supplier_name", DataType::Varchar(50), 120_000),
-            ("country", DataType::Varchar(30), 195),
-            ("rating", DataType::Int, 10),
-        ]),
-        ("dim_payment", 15, vec![
-            ("payment_name", DataType::Varchar(20), 15),
-        ]),
-        ("dim_segment", 40, vec![
-            ("segment_name", DataType::Varchar(30), 40),
-        ]),
-        ("dim_campaign", 9_000, vec![
-            ("campaign_name", DataType::Varchar(50), 9_000),
-            ("budget", DataType::Decimal, 5_000),
-            ("start_year", DataType::Int, 10),
-        ]),
-        ("dim_returnreason", 60, vec![
-            ("reason_text", DataType::Varchar(60), 60),
-        ]),
-        ("dim_employee", 400_000, vec![
-            ("employee_name", DataType::Varchar(40), 400_000),
-            ("store_id", DataType::BigInt, 60_000),
-            ("role", DataType::Varchar(30), 50),
-        ]),
-        ("dim_household", 9_000_000, vec![
-            ("income_band", DataType::Int, 20),
-            ("size", DataType::Int, 9),
-            ("urbanicity", DataType::Varchar(20), 5),
-        ]),
+    let dims: Vec<DimSpec> = vec![
+        (
+            "dim_product",
+            2_500_000,
+            vec![
+                ("product_name", DataType::Varchar(60), 2_400_000),
+                ("brand_id", DataType::BigInt, 30_000),
+                ("category_id", DataType::BigInt, 4_000),
+                ("unit_cost", DataType::Decimal, 100_000),
+                ("introduced_year", DataType::Int, 30),
+            ],
+        ),
+        (
+            "dim_customer",
+            scale.large_dimension_rows,
+            vec![
+                (
+                    "customer_name",
+                    DataType::Varchar(50),
+                    scale.large_dimension_rows,
+                ),
+                ("segment_id", DataType::BigInt, 40),
+                ("country", DataType::Varchar(30), 195),
+                ("city", DataType::Varchar(40), 60_000),
+                ("credit_limit", DataType::Decimal, 10_000),
+            ],
+        ),
+        (
+            "dim_store",
+            60_000,
+            vec![
+                ("store_name", DataType::Varchar(40), 60_000),
+                ("region_id", DataType::BigInt, 500),
+                ("sqft", DataType::Int, 4_000),
+                ("open_year", DataType::Int, 40),
+            ],
+        ),
+        (
+            "dim_date",
+            3_650,
+            vec![
+                ("calendar_year", DataType::Int, 10),
+                ("quarter", DataType::Int, 4),
+                ("month", DataType::Int, 12),
+                ("week", DataType::Int, 53),
+                ("is_holiday", DataType::Bool, 2),
+            ],
+        ),
+        (
+            "dim_promotion",
+            25_000,
+            vec![
+                ("promo_name", DataType::Varchar(40), 25_000),
+                ("promo_type", DataType::Varchar(20), 25),
+                ("discount_pct", DataType::Decimal, 100),
+            ],
+        ),
+        (
+            "dim_channel",
+            12,
+            vec![("channel_name", DataType::Varchar(20), 12)],
+        ),
+        (
+            "dim_currency",
+            180,
+            vec![
+                ("currency_code", DataType::Varchar(3), 180),
+                ("exchange_rate", DataType::Decimal, 180),
+            ],
+        ),
+        (
+            "dim_salesrep",
+            250_000,
+            vec![
+                ("rep_name", DataType::Varchar(40), 250_000),
+                ("territory", DataType::Varchar(30), 800),
+                ("hire_year", DataType::Int, 35),
+            ],
+        ),
+        (
+            "dim_shipmode",
+            8,
+            vec![("shipmode_name", DataType::Varchar(20), 8)],
+        ),
+        (
+            "dim_warehouse",
+            1_200,
+            vec![
+                ("warehouse_name", DataType::Varchar(40), 1_200),
+                ("region_id", DataType::BigInt, 500),
+                ("capacity", DataType::Int, 900),
+            ],
+        ),
+        (
+            "dim_region",
+            500,
+            vec![
+                ("region_name", DataType::Varchar(30), 500),
+                ("country", DataType::Varchar(30), 195),
+                ("continent", DataType::Varchar(15), 7),
+            ],
+        ),
+        (
+            "dim_category",
+            4_000,
+            vec![
+                ("category_name", DataType::Varchar(40), 4_000),
+                ("department", DataType::Varchar(30), 120),
+            ],
+        ),
+        (
+            "dim_brand",
+            30_000,
+            vec![
+                ("brand_name", DataType::Varchar(40), 30_000),
+                ("manufacturer", DataType::Varchar(40), 5_000),
+            ],
+        ),
+        (
+            "dim_supplier",
+            120_000,
+            vec![
+                ("supplier_name", DataType::Varchar(50), 120_000),
+                ("country", DataType::Varchar(30), 195),
+                ("rating", DataType::Int, 10),
+            ],
+        ),
+        (
+            "dim_payment",
+            15,
+            vec![("payment_name", DataType::Varchar(20), 15)],
+        ),
+        (
+            "dim_segment",
+            40,
+            vec![("segment_name", DataType::Varchar(30), 40)],
+        ),
+        (
+            "dim_campaign",
+            9_000,
+            vec![
+                ("campaign_name", DataType::Varchar(50), 9_000),
+                ("budget", DataType::Decimal, 5_000),
+                ("start_year", DataType::Int, 10),
+            ],
+        ),
+        (
+            "dim_returnreason",
+            60,
+            vec![("reason_text", DataType::Varchar(60), 60)],
+        ),
+        (
+            "dim_employee",
+            400_000,
+            vec![
+                ("employee_name", DataType::Varchar(40), 400_000),
+                ("store_id", DataType::BigInt, 60_000),
+                ("role", DataType::Varchar(30), 50),
+            ],
+        ),
+        (
+            "dim_household",
+            9_000_000,
+            vec![
+                ("income_band", DataType::Int, 20),
+                ("size", DataType::Int, 9),
+                ("urbanicity", DataType::Varchar(20), 5),
+            ],
+        ),
     ];
 
     for (name, rows, attrs) in dims {
@@ -309,9 +390,16 @@ mod tests {
         // Two fact tables + 20 dimensions.
         assert_eq!(cat.table_count(), 22);
         let fact = cat.table("fact_sales").unwrap();
-        assert!(fact.row_count() > 400_000_000, "fact table must exceed 400M rows");
+        assert!(
+            fact.row_count() > 400_000_000,
+            "fact table must exceed 400M rows"
+        );
         // Enough foreign keys to express 15-20 join queries.
-        assert!(fact.indexes.len() >= 18, "fact table needs FK indexes, has {}", fact.indexes.len());
+        assert!(
+            fact.indexes.len() >= 18,
+            "fact table needs FK indexes, has {}",
+            fact.indexes.len()
+        );
     }
 
     #[test]

@@ -201,7 +201,11 @@ mod tests {
         assert_eq!(Concurrency::PerCpu(4).resolve(8), 32);
         assert_eq!(Concurrency::PerCpu(1).resolve(1), 1);
         assert_eq!(Concurrency::Global(1).resolve(64), 1);
-        assert_eq!(Concurrency::Global(0).resolve(4), 1, "clamped to at least one");
+        assert_eq!(
+            Concurrency::Global(0).resolve(4),
+            1,
+            "clamped to at least one"
+        );
     }
 
     #[test]

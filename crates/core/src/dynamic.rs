@@ -109,7 +109,10 @@ mod tests {
         let t = DynamicThresholds::effective(&c, Some(target), &[0, 10, 0, 0]);
         let expected = ((target as f64 * c.monitors[0].dynamic_fraction) / 10.0) as u64;
         // The static cap may kick in; otherwise it is exactly the formula.
-        assert_eq!(t[1], expected.min(c.monitors[1].threshold_bytes).max(t[0] + 1));
+        assert_eq!(
+            t[1],
+            expected.min(c.monitors[1].threshold_bytes).max(t[0] + 1)
+        );
     }
 
     #[test]

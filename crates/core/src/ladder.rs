@@ -285,7 +285,10 @@ mod tests {
         let mut l = GatewayLadder::new(ThrottleConfig::disabled(1));
         let tasks: Vec<TaskId> = (0..50).map(|_| l.begin_task()).collect();
         for t in &tasks {
-            assert_eq!(l.report_memory(*t, 500 * MB, now(0)), LadderDecision::Proceed);
+            assert_eq!(
+                l.report_memory(*t, 500 * MB, now(0)),
+                LadderDecision::Proceed
+            );
         }
     }
 
@@ -293,8 +296,12 @@ mod tests {
     fn small_queries_are_exempt() {
         let mut l = small_ladder();
         let t = l.begin_task();
-        assert_eq!(l.report_memory(t, 1 * MB, now(0)), LadderDecision::Proceed);
-        assert_eq!(l.holders_at(0), 0, "no gateway acquired below the exemption floor");
+        assert_eq!(l.report_memory(t, MB, now(0)), LadderDecision::Proceed);
+        assert_eq!(
+            l.holders_at(0),
+            0,
+            "no gateway acquired below the exemption floor"
+        );
         l.finish_task(t, now(1));
         assert_eq!(l.stats().exempt_compilations, 1);
     }
@@ -308,7 +315,10 @@ mod tests {
         assert_eq!(l.holders_at(1), 0);
         assert_eq!(l.report_memory(t, 30 * MB, now(1)), LadderDecision::Proceed);
         assert_eq!(l.holders_at(1), 1);
-        assert_eq!(l.report_memory(t, 200 * MB, now(2)), LadderDecision::Proceed);
+        assert_eq!(
+            l.report_memory(t, 200 * MB, now(2)),
+            LadderDecision::Proceed
+        );
         assert_eq!(l.holders_at(2), 1);
         // Finishing releases everything.
         l.finish_task(t, now(3));
@@ -335,7 +345,10 @@ mod tests {
         // When one of the holders finishes, the waiter is admitted.
         let resumed = l.finish_task(tasks[0], now(10));
         assert_eq!(resumed, vec![tasks[4]]);
-        assert_eq!(l.report_memory(tasks[4], 5 * MB, now(10)), LadderDecision::Proceed);
+        assert_eq!(
+            l.report_memory(tasks[4], 5 * MB, now(10)),
+            LadderDecision::Proceed
+        );
         assert!(l.stats().total_wait[0] >= SimDuration::from_secs(9));
     }
 
@@ -344,7 +357,10 @@ mod tests {
         let mut l = small_ladder();
         let a = l.begin_task();
         let b = l.begin_task();
-        assert_eq!(l.report_memory(a, 200 * MB, now(0)), LadderDecision::Proceed);
+        assert_eq!(
+            l.report_memory(a, 200 * MB, now(0)),
+            LadderDecision::Proceed
+        );
         // The second giant blocks at the big gateway (level 2)... but first it
         // must pass levels 0 and 1, which it can (capacity 4 and 1 — level 1
         // has capacity 1 and is held by `a`, so it actually blocks there).
@@ -354,7 +370,10 @@ mod tests {
         }
         let resumed = l.finish_task(a, now(5));
         assert_eq!(resumed, vec![b]);
-        assert_eq!(l.report_memory(b, 200 * MB, now(5)), LadderDecision::Proceed);
+        assert_eq!(
+            l.report_memory(b, 200 * MB, now(5)),
+            LadderDecision::Proceed
+        );
     }
 
     #[test]
@@ -368,7 +387,11 @@ mod tests {
             l.report_memory(b, 30 * MB, now(0)),
             LadderDecision::Wait { level: 1, .. }
         ));
-        assert_eq!(l.holders_at(0), 2, "b keeps holding the small gateway while queued");
+        assert_eq!(
+            l.holders_at(0),
+            2,
+            "b keeps holding the small gateway while queued"
+        );
         assert_eq!(l.waiting_at(1), 1);
     }
 
@@ -387,7 +410,10 @@ mod tests {
         assert_eq!(l.stats().timeouts, 1);
         assert_eq!(l.waiting_at(1), 0);
         // a is unaffected.
-        assert_eq!(l.report_memory(a, 31 * MB, now(302)), LadderDecision::Proceed);
+        assert_eq!(
+            l.report_memory(a, 31 * MB, now(302)),
+            LadderDecision::Proceed
+        );
     }
 
     #[test]
@@ -437,7 +463,7 @@ mod tests {
         let a = l.begin_task();
         let b = l.begin_task();
         let c = l.begin_task();
-        l.report_memory(a, 1 * MB, now(0)); // exempt -> category 0
+        l.report_memory(a, MB, now(0)); // exempt -> category 0
         l.report_memory(b, 5 * MB, now(0)); // small gateway -> category 1
         l.report_memory(c, 30 * MB, now(0)); // medium gateway -> category 2
         let counts = l.category_counts();
@@ -466,7 +492,10 @@ mod tests {
         let tasks: Vec<TaskId> = (0..33).map(|_| l.begin_task()).collect();
         let mut waited = 0;
         for t in &tasks {
-            if matches!(l.report_memory(*t, 5 * MB, now(0)), LadderDecision::Wait { .. }) {
+            if matches!(
+                l.report_memory(*t, 5 * MB, now(0)),
+                LadderDecision::Wait { .. }
+            ) {
                 waited += 1;
             }
         }
@@ -483,7 +512,10 @@ mod tests {
         let mut l = GatewayLadder::new(cfg);
         let a = l.begin_task();
         let b = l.begin_task();
-        assert_eq!(l.report_memory(a, 100 * MB, now(0)), LadderDecision::Proceed);
+        assert_eq!(
+            l.report_memory(a, 100 * MB, now(0)),
+            LadderDecision::Proceed
+        );
         assert!(matches!(
             l.report_memory(b, 100 * MB, now(0)),
             LadderDecision::Wait { level: 1, .. }

@@ -168,8 +168,8 @@ mod tests {
     fn small_compilations_run_unimpeded() {
         let (t, _) = throttle(1);
         let mut g = t.governor();
-        assert_eq!(g.on_allocation(1 * MB, 1 * MB), GovernorDirective::Continue);
-        g.on_completion(1 * MB);
+        assert_eq!(g.on_allocation(MB, MB), GovernorDirective::Continue);
+        g.on_completion(MB);
         let stats = t.stats();
         assert_eq!(stats.compilations_started, 1);
         assert_eq!(stats.compilations_finished, 1);
@@ -211,7 +211,10 @@ mod tests {
             "medium gateway (capacity 1) must serialize the two compilations"
         );
         let stats = t.stats();
-        assert!(stats.waits[1] >= 1, "one of the two must have waited: {stats:?}");
+        assert!(
+            stats.waits[1] >= 1,
+            "one of the two must have waited: {stats:?}"
+        );
         assert_eq!(stats.timeouts, 0);
     }
 
@@ -230,7 +233,10 @@ mod tests {
         // the test window.
         let g1 = {
             let mut g = t.governor();
-            assert_eq!(g.on_allocation(30 * MB, 30 * MB), GovernorDirective::Continue);
+            assert_eq!(
+                g.on_allocation(30 * MB, 30 * MB),
+                GovernorDirective::Continue
+            );
             g
         };
         // Second governor must give up after the 50 ms timeout.
@@ -255,7 +261,10 @@ mod tests {
         let waiter = Arc::clone(&t);
 
         let mut g1 = holder.governor();
-        assert_eq!(g1.on_allocation(30 * MB, 30 * MB), GovernorDirective::Continue);
+        assert_eq!(
+            g1.on_allocation(30 * MB, 30 * MB),
+            GovernorDirective::Continue
+        );
 
         let handle = thread::spawn(move || {
             let mut g2 = waiter.governor();

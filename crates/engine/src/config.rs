@@ -117,7 +117,10 @@ impl ServerConfig {
     pub fn validate(&self) {
         assert!(self.cpus > 0);
         assert!(self.clients > 0);
-        assert!(self.warmup < self.duration, "warm-up must end before the run does");
+        assert!(
+            self.warmup < self.duration,
+            "warm-up must end before the run does"
+        );
         assert!(!self.slice.is_zero());
         assert!(self.compile_steps >= 2);
         assert!(self.io_bandwidth_bytes_per_sec > 0.0);

@@ -40,8 +40,14 @@ impl ThroughputComparison {
 
     /// Print the figure in the paper's format: completions per time slice.
     pub fn print(&self, figure_name: &str) {
-        println!("== {figure_name}: Successful Queries/Time ({} clients) ==", self.clients);
-        println!("{:>12} {:>12} {:>14}", "time (s)", "throttled", "non-throttled");
+        println!(
+            "== {figure_name}: Successful Queries/Time ({} clients) ==",
+            self.clients
+        );
+        println!(
+            "{:>12} {:>12} {:>14}",
+            "time (s)", "throttled", "non-throttled"
+        );
         let t_rows = self.throttled.figure_rows();
         let u_rows = self.unthrottled.figure_rows();
         for (i, (secs, count)) in t_rows.iter().enumerate() {
@@ -163,8 +169,14 @@ pub fn ablation(base: &ServerConfig, clients: u32) -> Vec<AblationRow> {
         });
     };
 
-    run("no throttling (baseline)", ThrottleConfig::disabled(base.cpus));
-    run("paper: 3 monitors + dynamic + best-effort", ThrottleConfig::for_cpus(base.cpus));
+    run(
+        "no throttling (baseline)",
+        ThrottleConfig::disabled(base.cpus),
+    );
+    run(
+        "paper: 3 monitors + dynamic + best-effort",
+        ThrottleConfig::for_cpus(base.cpus),
+    );
 
     let mut one_monitor = ThrottleConfig::for_cpus(base.cpus);
     one_monitor.monitors.truncate(1);
@@ -273,11 +285,19 @@ mod tests {
         // Every query eventually frees its memory.
         for (name, t) in &timelines {
             assert!(t.max_value() > 0, "{name} never allocated");
-            assert_eq!(t.samples().last().map(|(_, v)| *v), Some(0), "{name} must finish");
+            assert_eq!(
+                t.samples().last().map(|(_, v)| *v),
+                Some(0),
+                "{name} must finish"
+            );
         }
         // Q1's growth is interrupted by at least one blocked plateau of
         // several seconds (the flat portions of the paper's figure).
-        assert!(q1.longest_plateau() >= SimDuration::from_secs(5), "Q1 plateau {:?}", q1.longest_plateau());
+        assert!(
+            q1.longest_plateau() >= SimDuration::from_secs(5),
+            "Q1 plateau {:?}",
+            q1.longest_plateau()
+        );
         assert!(q2.longest_plateau() >= SimDuration::from_secs(5));
         // Q1 reaches a higher peak than Q2 (it is the bigger query).
         assert!(q1.max_value() > q2.max_value());

@@ -41,7 +41,6 @@ impl CompileProfile {
             exec_cpu_seconds: self.exec_cpu_seconds * k,
             exec_footprint_bytes: (self.exec_footprint_bytes as f64 * k) as u64,
             exec_grant_bytes: (self.exec_grant_bytes as f64 * k) as u64,
-            ..*self
         }
     }
 }

@@ -114,7 +114,8 @@ impl Server {
         // Stagger client start-up over the first minute.
         for client in 0..self.config.clients {
             let offset = SimDuration::from_millis(self.rng.uniform_u64(0, 60_000));
-            self.queue.schedule(SimTime::ZERO + offset, Event::Submit { client });
+            self.queue
+                .schedule(SimTime::ZERO + offset, Event::Submit { client });
         }
         self.queue.schedule(SimTime::ZERO, Event::BrokerTick);
 
@@ -144,12 +145,13 @@ impl Server {
             .client_model
             .choose_template(&self.profiles.dss, &self.profiles.oltp, &mut self.rng)
             .clone();
-        let profile = self.profiles.profile(&template.name).jittered(&mut self.rng);
+        let profile = self
+            .profiles
+            .profile(&template.name)
+            .jittered(&mut self.rng);
         let id = self.next_query;
         self.next_query += 1;
-        let text = self
-            .uniquifier
-            .uniquify(&template.sql, &mut self.rng, id);
+        let text = self.uniquifier.uniquify(&template.sql, &mut self.rng, id);
 
         // The uniquifier defeats the plan cache (as in the paper); a hit can
         // only happen for the rare literal-free diagnostic queries.
@@ -188,11 +190,14 @@ impl Server {
         );
         self.running_cpu_tasks += 1;
         let step = self.compile_step_duration(&profile);
-        self.queue.schedule(self.now + step, Event::CompileStep { query: id });
+        self.queue
+            .schedule(self.now + step, Event::CompileStep { query: id });
     }
 
     fn on_compile_step(&mut self, id: u64) {
-        let Some(q) = self.queries.get(&id) else { return };
+        let Some(q) = self.queries.get(&id) else {
+            return;
+        };
         if q.waiting_level.is_some() {
             // A stale step event for a query that has since blocked.
             return;
@@ -222,7 +227,8 @@ impl Server {
                     self.finish_compile(id);
                 } else {
                     let d = self.compile_step_duration(&profile);
-                    self.queue.schedule(self.now + d, Event::CompileStep { query: id });
+                    self.queue
+                        .schedule(self.now + d, Event::CompileStep { query: id });
                 }
             }
             LadderDecision::Wait { level, timeout } => {
@@ -230,8 +236,10 @@ impl Server {
                     q.waiting_level = Some(level);
                 }
                 self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
-                self.queue
-                    .schedule(self.now + timeout, Event::CompileTimeout { query: id, level });
+                self.queue.schedule(
+                    self.now + timeout,
+                    Event::CompileTimeout { query: id, level },
+                );
             }
             LadderDecision::FinishBestEffort => {
                 self.metrics.best_effort_plans += 1;
@@ -305,7 +313,9 @@ impl Server {
     fn on_grant_timeout(&mut self, id: u64) {
         // Only fires if the grant was never given (start_exec removes the
         // mapping when it runs).
-        let Some(q) = self.queries.get(&id) else { return };
+        let Some(q) = self.queries.get(&id) else {
+            return;
+        };
         let Some(grant_id) = q.grant_id else { return };
         if !self.grant_to_query.contains_key(&grant_id) {
             return;
@@ -317,7 +327,9 @@ impl Server {
     }
 
     fn start_exec(&mut self, id: u64, granted_bytes: u64) {
-        let Some(q) = self.queries.get(&id) else { return };
+        let Some(q) = self.queries.get(&id) else {
+            return;
+        };
         let profile = q.profile;
         let requested = q.grant_requested;
         if let Some(grant_id) = q.grant_id {
@@ -333,8 +345,8 @@ impl Server {
             let fraction = (granted_bytes as f64 / requested as f64).clamp(0.05, 1.0);
             1.0 + (1.0 / fraction - 1.0) * 0.45
         };
-        let cpu_seconds = profile.exec_cpu_seconds * spill / self.config.exec_parallelism
-            * self.load_factor();
+        let cpu_seconds =
+            profile.exec_cpu_seconds * spill / self.config.exec_parallelism * self.load_factor();
 
         // I/O time: whatever memory is not claimed by compilation, grants and
         // caches acts as the page buffer pool.
@@ -353,11 +365,14 @@ impl Server {
         );
 
         let duration = SimDuration::from_secs_f64((cpu_seconds + io_seconds).max(1.0));
-        self.queue.schedule(self.now + duration, Event::ExecFinish { query: id });
+        self.queue
+            .schedule(self.now + duration, Event::ExecFinish { query: id });
     }
 
     fn on_exec_finish(&mut self, id: u64) {
-        let Some(q) = self.queries.remove(&id) else { return };
+        let Some(q) = self.queries.remove(&id) else {
+            return;
+        };
         self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
         if let Some(grant_id) = q.grant_id {
             let admitted = self.grants.release(grant_id);
@@ -425,7 +440,9 @@ impl Server {
     }
 
     fn fail_query(&mut self, id: u64, kind: FailureKind) {
-        let Some(q) = self.queries.remove(&id) else { return };
+        let Some(q) = self.queries.remove(&id) else {
+            return;
+        };
         self.compile_clerk.free(q.compile_bytes);
         self.task_to_query.remove(&q.task);
         if q.waiting_level.is_none() && q.compile_step < self.config.compile_steps {
@@ -466,7 +483,9 @@ mod tests {
     use super::*;
 
     fn profiles() -> Arc<WorkloadProfiles> {
-        Arc::new(WorkloadProfiles::characterize_sales(&ServerConfig::quick(8, true)))
+        Arc::new(WorkloadProfiles::characterize_sales(&ServerConfig::quick(
+            8, true,
+        )))
     }
 
     #[test]
@@ -484,7 +503,11 @@ mod tests {
             a.completed.total()
         );
         let b = run(1);
-        assert_eq!(a.completed.total(), b.completed.total(), "same seed, same run");
+        assert_eq!(
+            a.completed.total(),
+            b.completed.total(),
+            "same seed, same run"
+        );
         let c = run(2);
         // A different seed gives a different (but same ballpark) run.
         assert!(c.completed.total() > 10);

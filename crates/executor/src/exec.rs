@@ -26,8 +26,7 @@ impl ExecutionProfile {
         if self.requested_grant_bytes == 0 {
             return 1.0;
         }
-        let fraction =
-            (granted_bytes as f64 / self.requested_grant_bytes as f64).clamp(0.05, 1.0);
+        let fraction = (granted_bytes as f64 / self.requested_grant_bytes as f64).clamp(0.05, 1.0);
         // 1.0 at full grant, ~2.4 at a 25% grant, ~4.8 at a 5% grant.
         1.0 + (1.0 / fraction - 1.0) * 0.45
     }
@@ -96,10 +95,17 @@ impl ExecutionModel {
                     cpu += input * self.cpu_seconds_per_hash_row + rows * self.cpu_seconds_per_row;
                 }
                 PhysicalOp::Sort { .. } => {
-                    let input = node.children.first().map(|c| c.est_rows).unwrap_or(0.0).max(2.0);
+                    let input = node
+                        .children
+                        .first()
+                        .map(|c| c.est_rows)
+                        .unwrap_or(0.0)
+                        .max(2.0);
                     cpu += input * input.log2() * self.cpu_seconds_per_row * 0.3;
                 }
-                PhysicalOp::Filter { .. } | PhysicalOp::Project { .. } | PhysicalOp::Limit { .. } => {
+                PhysicalOp::Filter { .. }
+                | PhysicalOp::Project { .. }
+                | PhysicalOp::Limit { .. } => {
                     let input = node.children.first().map(|c| c.est_rows).unwrap_or(0.0);
                     cpu += input * self.cpu_seconds_per_row * 0.3;
                 }
@@ -119,8 +125,8 @@ impl ExecutionModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use throttledb_optimizer::Optimizer;
     use throttledb_catalog::tpch_schema;
+    use throttledb_optimizer::Optimizer;
     use throttledb_sqlparse::parse;
 
     fn profile_of(sql: &str) -> ExecutionProfile {
@@ -134,7 +140,11 @@ mod tests {
     fn point_query_is_cheap_in_every_dimension() {
         let p = profile_of("SELECT o_totalprice FROM orders WHERE o_orderkey = 7");
         assert!(p.cpu_seconds < 0.1, "cpu {}", p.cpu_seconds);
-        assert!(p.footprint_bytes < 100 << 20, "footprint {}", p.footprint_bytes);
+        assert!(
+            p.footprint_bytes < 100 << 20,
+            "footprint {}",
+            p.footprint_bytes
+        );
         assert_eq!(p.scan_count, 1);
     }
 
@@ -146,8 +156,16 @@ mod tests {
              JOIN customer c ON o.o_custkey = c.c_custkey \
              GROUP BY c.c_mktsegment",
         );
-        assert!(p.requested_grant_bytes > 10 << 20, "grant {}", p.requested_grant_bytes);
-        assert!(p.footprint_bytes > 100 << 20, "footprint {}", p.footprint_bytes);
+        assert!(
+            p.requested_grant_bytes > 10 << 20,
+            "grant {}",
+            p.requested_grant_bytes
+        );
+        assert!(
+            p.footprint_bytes > 100 << 20,
+            "footprint {}",
+            p.footprint_bytes
+        );
         assert!(p.cpu_seconds > 1.0, "cpu {}", p.cpu_seconds);
         assert!(p.scan_count >= 3);
     }
@@ -174,7 +192,10 @@ mod tests {
         let quarter = p.spill_slowdown(25 << 20);
         assert!(half > 1.0 && quarter > half);
         // Zero-request queries are immune.
-        let none = ExecutionProfile { requested_grant_bytes: 0, ..p };
+        let none = ExecutionProfile {
+            requested_grant_bytes: 0,
+            ..p
+        };
         assert_eq!(none.spill_slowdown(0), 1.0);
     }
 }

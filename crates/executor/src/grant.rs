@@ -288,7 +288,11 @@ mod tests {
         let (_a, _) = m.request(50 * MB);
         m.set_budget(40 * MB);
         let (_b, out) = m.request(30 * MB);
-        assert_eq!(out, GrantOutcome::Queued, "shrunken budget blocks new grants");
+        assert_eq!(
+            out,
+            GrantOutcome::Queued,
+            "shrunken budget blocks new grants"
+        );
         let (full, reduced, queued) = m.counters();
         assert_eq!((full, reduced, queued), (1, 0, 1));
     }

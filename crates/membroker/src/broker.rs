@@ -112,7 +112,9 @@ impl MemoryBroker {
 
     /// Bytes still available before hitting the brokered limit (saturating).
     pub fn available_bytes(&self) -> u64 {
-        self.config.brokered_bytes().saturating_sub(self.used_bytes())
+        self.config
+            .brokered_bytes()
+            .saturating_sub(self.used_bytes())
     }
 
     /// Current pressure based on live usage (no prediction).
@@ -377,7 +379,7 @@ mod tests {
 
     #[test]
     fn oversubscription_produces_shrink_for_the_hog() {
-        let b = broker(1 * GB);
+        let b = broker(GB);
         let pool = b.register(SubcomponentKind::BufferPool);
         let compile = b.register(SubcomponentKind::Compilation);
         let exec = b.register(SubcomponentKind::Execution);
@@ -398,7 +400,7 @@ mod tests {
 
     #[test]
     fn growth_trend_triggers_constraint_before_limit_is_hit() {
-        let b = broker(1 * GB);
+        let b = broker(GB);
         let pool = b.register(SubcomponentKind::BufferPool);
         let compile = b.register(SubcomponentKind::Compilation);
         pool.allocate(700 * MB);
@@ -414,7 +416,10 @@ mod tests {
             .find(|d| d.notification.kind_of_component == SubcomponentKind::Compilation)
             .unwrap();
         assert!(comp.notification.predicted_bytes > comp.notification.current_bytes);
-        assert!(comp.notification.target_bytes.is_some(), "should be constrained");
+        assert!(
+            comp.notification.target_bytes.is_some(),
+            "should be constrained"
+        );
     }
 
     #[test]
@@ -455,7 +460,7 @@ mod tests {
 
     #[test]
     fn target_for_kind_falls_back_to_entitlement() {
-        let b = broker(1 * GB);
+        let b = broker(GB);
         let _c = b.register(SubcomponentKind::Compilation);
         let t = b.target_for_kind(SubcomponentKind::Compilation);
         let brokered = b.config().brokered_bytes();
@@ -477,12 +482,12 @@ mod tests {
 
     #[test]
     fn snapshot_reports_all_clerks() {
-        let b = broker(1 * GB);
+        let b = broker(GB);
         let pool = b.register(SubcomponentKind::BufferPool);
         pool.set_name("main pool");
         pool.allocate(10 * MB);
         let snap = b.snapshot();
-        assert_eq!(snap.total_memory_bytes, 1 * GB);
+        assert_eq!(snap.total_memory_bytes, GB);
         assert_eq!(snap.clerks.len(), 1);
         assert_eq!(snap.clerks[0].name, "main pool");
         assert_eq!(snap.used_bytes, 10 * MB);
@@ -498,7 +503,7 @@ mod tests {
 
     #[test]
     fn recalculations_counter_increments() {
-        let b = broker(1 * GB);
+        let b = broker(GB);
         b.recalculate(SimTime::from_secs(1));
         b.recalculate(SimTime::from_secs(2));
         assert_eq!(b.recalculations(), 2);
@@ -512,7 +517,10 @@ mod tests {
         let demands = vec![100 * MB, 900 * MB];
         let targets = compute_targets(&kinds, &demands, 1000 * MB, MB);
         assert_eq!(targets[0], 100 * MB);
-        assert!(targets[1] >= 800 * MB, "compilation should receive the slack: {targets:?}");
+        assert!(
+            targets[1] >= 800 * MB,
+            "compilation should receive the slack: {targets:?}"
+        );
         assert!(targets[1] <= 900 * MB);
     }
 
@@ -562,7 +570,7 @@ mod tests {
             allocs in proptest::collection::vec(0u64..500_000_000u64, 1..8),
         ) {
             let run = |allocs: &[u64]| {
-                let b = broker(1 * GB);
+                let b = broker(GB);
                 let clerks: Vec<_> = allocs
                     .iter()
                     .enumerate()

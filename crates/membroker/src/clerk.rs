@@ -178,7 +178,9 @@ impl Clerk {
     /// Report that `bytes` were allocated.
     pub fn allocate(&self, bytes: u64) {
         self.shared.used.fetch_add(bytes, Ordering::Relaxed);
-        self.shared.total_allocated.fetch_add(bytes, Ordering::Relaxed);
+        self.shared
+            .total_allocated
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Report that `bytes` were freed. Freeing more than is live is a
@@ -188,7 +190,11 @@ impl Clerk {
         self.shared.total_freed.fetch_add(bytes, Ordering::Relaxed);
         let mut cur = self.shared.used.load(Ordering::Relaxed);
         loop {
-            debug_assert!(cur >= bytes, "clerk {} freed more than allocated", self.shared.id);
+            debug_assert!(
+                cur >= bytes,
+                "clerk {} freed more than allocated",
+                self.shared.id
+            );
             let next = cur.saturating_sub(bytes);
             match self.shared.used.compare_exchange_weak(
                 cur,

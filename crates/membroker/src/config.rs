@@ -65,7 +65,10 @@ impl BrokerConfig {
             (0.0..1.0).contains(&self.reserved_fraction),
             "reserved_fraction must be in [0,1)"
         );
-        assert!(self.trend_window >= 2, "trend window needs at least 2 samples");
+        assert!(
+            self.trend_window >= 2,
+            "trend window needs at least 2 samples"
+        );
         assert!(
             self.medium_pressure_utilization < self.high_pressure_utilization,
             "medium pressure threshold must be below high"
@@ -108,7 +111,10 @@ mod tests {
 
     #[test]
     fn paper_machine_is_4gb() {
-        assert_eq!(BrokerConfig::paper_machine().total_memory_bytes, 4 * (1 << 30));
+        assert_eq!(
+            BrokerConfig::paper_machine().total_memory_bytes,
+            4 * (1 << 30)
+        );
     }
 
     #[test]

@@ -58,11 +58,26 @@ mod tests {
 
     #[test]
     fn classification_respects_thresholds() {
-        assert_eq!(PressureLevel::from_utilization(0.10, 0.8, 0.95), PressureLevel::Low);
-        assert_eq!(PressureLevel::from_utilization(0.80, 0.8, 0.95), PressureLevel::Medium);
-        assert_eq!(PressureLevel::from_utilization(0.94, 0.8, 0.95), PressureLevel::Medium);
-        assert_eq!(PressureLevel::from_utilization(0.95, 0.8, 0.95), PressureLevel::High);
-        assert_eq!(PressureLevel::from_utilization(1.50, 0.8, 0.95), PressureLevel::High);
+        assert_eq!(
+            PressureLevel::from_utilization(0.10, 0.8, 0.95),
+            PressureLevel::Low
+        );
+        assert_eq!(
+            PressureLevel::from_utilization(0.80, 0.8, 0.95),
+            PressureLevel::Medium
+        );
+        assert_eq!(
+            PressureLevel::from_utilization(0.94, 0.8, 0.95),
+            PressureLevel::Medium
+        );
+        assert_eq!(
+            PressureLevel::from_utilization(0.95, 0.8, 0.95),
+            PressureLevel::High
+        );
+        assert_eq!(
+            PressureLevel::from_utilization(1.50, 0.8, 0.95),
+            PressureLevel::High
+        );
     }
 
     #[test]

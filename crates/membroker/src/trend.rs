@@ -170,7 +170,10 @@ mod tests {
         e.record(t(12), 3000);
         assert_eq!(e.len(), 3);
         let p = e.predict(SimDuration::from_secs(1));
-        assert!(p >= 3900, "window should expose the steep recent trend, got {p}");
+        assert!(
+            p >= 3900,
+            "window should expose the steep recent trend, got {p}"
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Satellite tests for the broker's prediction machinery: the
+//! `TrendEstimator` on rising, flat and falling sample series, and the
+//! pressure/notification thresholds of the full `MemoryBroker` loop.
+
+use throttledb_membroker::trend::TrendEstimator;
+use throttledb_membroker::{
+    BrokerConfig, MemoryBroker, NotificationKind, PressureLevel, SubcomponentKind,
+};
+use throttledb_sim::{SimDuration, SimTime};
+
+const MB: u64 = 1 << 20;
+const GB: u64 = 1 << 30;
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+#[test]
+fn rising_series_predicts_above_current_proportionally_to_horizon() {
+    let mut e = TrendEstimator::new(16);
+    // 2 MB/s ramp, the shape of a DSS compilation filling its memo.
+    for s in 0..10 {
+        e.record(t(s), s * 2 * MB);
+    }
+    let current = 9 * 2 * MB;
+    let short = e.predict(SimDuration::from_secs(5));
+    let long = e.predict(SimDuration::from_secs(20));
+    assert!(short > current, "rising trend must predict growth");
+    assert!(long > short, "longer horizon must predict more");
+    // Slope is exactly 2 MB/s, so 5 s ahead is current + ~10 MB.
+    let expected = current + 10 * MB;
+    let err = short.abs_diff(expected);
+    assert!(
+        err < MB / 4,
+        "prediction {short} should be within 256 KiB of {expected}"
+    );
+}
+
+#[test]
+fn flat_series_predicts_current_even_with_noise() {
+    let mut e = TrendEstimator::new(16);
+    // Flat 100 MB with ±1 MB of sampling noise: the fitted slope is tiny and
+    // the clamp keeps the prediction at current usage, not below.
+    let noise: [i64; 8] = [0, 1, -1, 0, 1, -1, 1, -1];
+    for (s, n) in noise.iter().enumerate() {
+        e.record(t(s as u64), (100 * MB as i64 + n * MB as i64) as u64);
+    }
+    let (_, current) = e.latest().unwrap();
+    let p = e.predict(SimDuration::from_secs(60));
+    assert!(
+        p >= current && p < current + 30 * MB,
+        "flat series must predict ~current ({current}), got {p}"
+    );
+}
+
+#[test]
+fn falling_series_never_predicts_below_current() {
+    let mut e = TrendEstimator::new(16);
+    // A shrinking buffer pool: the broker must stay conservative and not
+    // bank on memory coming back on its own.
+    for s in 0..10 {
+        e.record(t(s), (500 - 40 * s) * MB);
+    }
+    assert!(e.slope_bytes_per_sec() < 0.0);
+    let (_, current) = e.latest().unwrap();
+    for horizon in [1u64, 10, 100] {
+        assert_eq!(
+            e.predict(SimDuration::from_secs(horizon)),
+            current,
+            "downward trend clamps to current at every horizon"
+        );
+    }
+}
+
+#[test]
+fn trend_window_forgets_an_old_spike() {
+    let mut e = TrendEstimator::new(4);
+    // A spike far in the past followed by a long flat tail: once the spike
+    // leaves the window the prediction must settle back to the flat level.
+    e.record(t(0), 800 * MB);
+    for s in 1..10 {
+        e.record(t(s), 50 * MB);
+    }
+    assert_eq!(e.len(), 4);
+    assert_eq!(
+        e.predict(SimDuration::from_secs(30)),
+        50 * MB,
+        "old spike must age out of the sliding window"
+    );
+}
+
+#[test]
+fn pressure_rises_with_utilization_and_notifications_follow() {
+    // 1 GiB machine; thresholds default to medium/high fractions of the
+    // brokered (post-reserve) budget.
+    let broker = MemoryBroker::new(BrokerConfig::with_total_memory(GB));
+    let pool = broker.register(SubcomponentKind::BufferPool);
+    let compile = broker.register(SubcomponentKind::Compilation);
+
+    // Far below the medium threshold: no pressure, and every decision (if
+    // any) says Grow — "the system behaves as if the Memory Broker was not
+    // there".
+    pool.allocate(100 * MB);
+    let decisions = broker.recalculate(t(1));
+    assert_eq!(broker.pressure(), PressureLevel::Low);
+    assert!(decisions
+        .iter()
+        .all(|d| d.notification.kind == NotificationKind::Grow));
+
+    // Push past the high-pressure threshold: the broker must constrain and
+    // at least one over-target clerk must be told to stop growing.
+    pool.allocate(700 * MB);
+    compile.allocate(150 * MB);
+    broker.recalculate(t(2));
+    compile.allocate(60 * MB);
+    let decisions = broker.recalculate(t(3));
+    assert_eq!(broker.pressure(), PressureLevel::High);
+    assert!(broker.pressure().is_constrained());
+    assert!(
+        decisions
+            .iter()
+            .any(|d| d.notification.kind != NotificationKind::Grow),
+        "under high pressure someone must be told Steady or Shrink: {decisions:?}"
+    );
+
+    // Shrink notifications must carry a target and a positive release size.
+    for d in &decisions {
+        if d.notification.kind == NotificationKind::Shrink {
+            assert!(d.notification.target_bytes.is_some());
+            assert!(d.notification.release_needed() > 0);
+            assert!(!d.notification.may_allocate());
+        }
+    }
+}
+
+#[test]
+fn releasing_memory_drops_pressure_back_to_low() {
+    let broker = MemoryBroker::new(BrokerConfig::with_total_memory(GB));
+    let pool = broker.register(SubcomponentKind::BufferPool);
+    pool.allocate(850 * MB);
+    broker.recalculate(t(1));
+    assert!(broker.pressure().is_constrained());
+
+    pool.free(800 * MB);
+    broker.recalculate(t(2));
+    assert_eq!(
+        broker.pressure(),
+        PressureLevel::Low,
+        "pressure must clear once memory is returned"
+    );
+}
+
+#[test]
+fn predicted_growth_raises_pressure_before_usage_does() {
+    // The paper's broker acts on *predicted* usage: a compilation ramping
+    // fast should draw notifications even though current usage alone is
+    // still below the high threshold.
+    let broker = MemoryBroker::new(BrokerConfig::with_total_memory(GB));
+    let pool = broker.register(SubcomponentKind::BufferPool);
+    let compile = broker.register(SubcomponentKind::Compilation);
+    pool.allocate(500 * MB);
+    // Ramp compilation hard: +60 MB per second.
+    let mut decisions = Vec::new();
+    for s in 0..5u64 {
+        compile.allocate(60 * MB);
+        decisions = broker.recalculate(t(s + 1));
+    }
+    let compile_note = decisions
+        .iter()
+        .map(|d| &d.notification)
+        .find(|n| n.kind_of_component == SubcomponentKind::Compilation)
+        .expect("a decision for the ramping compilation clerk");
+    assert!(
+        compile_note.predicted_bytes > compile_note.current_bytes,
+        "trend must predict continued growth: {compile_note:?}"
+    );
+}

@@ -109,8 +109,7 @@ impl<'a> Binder<'a> {
                     for jp in remaining_joins.drain(..) {
                         let connects = (joined.contains(&jp.left.binding)
                             && jp.right.binding == b.binding)
-                            || (joined.contains(&jp.right.binding)
-                                && jp.left.binding == b.binding);
+                            || (joined.contains(&jp.right.binding) && jp.left.binding == b.binding);
                         if connects {
                             // Normalize so the left side refers to the
                             // accumulated input and the right side to the new
@@ -167,9 +166,9 @@ impl<'a> Binder<'a> {
                 .group_by
                 .iter()
                 .filter_map(|g| match g {
-                    Expr::Column { qualifier, name } => {
-                        self.resolve_column(qualifier.as_deref(), name, &bindings).ok()
-                    }
+                    Expr::Column { qualifier, name } => self
+                        .resolve_column(qualifier.as_deref(), name, &bindings)
+                        .ok(),
                     _ => None,
                 })
                 .collect::<Vec<_>>();
@@ -189,7 +188,12 @@ impl<'a> Binder<'a> {
 
         // 7. HAVING is a residual filter above the aggregate.
         if stmt.having.is_some() {
-            plan = LogicalPlan::unary(LogicalOp::Filter { selectivity_ppm: 300_000 }, plan);
+            plan = LogicalPlan::unary(
+                LogicalOp::Filter {
+                    selectivity_ppm: 300_000,
+                },
+                plan,
+            );
         }
 
         // 8. Projection, sort, limit.
@@ -249,20 +253,32 @@ impl<'a> Binder<'a> {
         }
     }
 
-    fn classify(
-        &self,
-        expr: &Expr,
-        bindings: &[Binding],
-    ) -> Result<Classified, OptimizerError> {
+    fn classify(&self, expr: &Expr, bindings: &[Binding]) -> Result<Classified, OptimizerError> {
         // Equi-join: column = column over two different bindings.
-        if let Expr::Binary { left, op: BinaryOp::Eq, right } = expr {
-            if let (Expr::Column { qualifier: ql, name: nl }, Expr::Column { qualifier: qr, name: nr }) =
-                (left.as_ref(), right.as_ref())
+        if let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = expr
+        {
+            if let (
+                Expr::Column {
+                    qualifier: ql,
+                    name: nl,
+                },
+                Expr::Column {
+                    qualifier: qr,
+                    name: nr,
+                },
+            ) = (left.as_ref(), right.as_ref())
             {
                 let lc = self.resolve_column(ql.as_deref(), nl, bindings)?;
                 let rc = self.resolve_column(qr.as_deref(), nr, bindings)?;
                 if lc.binding != rc.binding {
-                    return Ok(Classified::Join(JoinPredicate { left: lc, right: rc }));
+                    return Ok(Classified::Join(JoinPredicate {
+                        left: lc,
+                        right: rc,
+                    }));
                 }
             }
         }
@@ -291,8 +307,12 @@ impl<'a> Binder<'a> {
         Ok(match expr {
             Expr::Binary { left, op, right } if op.is_comparison() => {
                 let (col_expr, lit_expr, flipped) = match (left.as_ref(), right.as_ref()) {
-                    (Expr::Column { .. }, Expr::Literal(_)) => (left.as_ref(), right.as_ref(), false),
-                    (Expr::Literal(_), Expr::Column { .. }) => (right.as_ref(), left.as_ref(), true),
+                    (Expr::Column { .. }, Expr::Literal(_)) => {
+                        (left.as_ref(), right.as_ref(), false)
+                    }
+                    (Expr::Literal(_), Expr::Column { .. }) => {
+                        (right.as_ref(), left.as_ref(), true)
+                    }
                     _ => return Ok(None),
                 };
                 let Expr::Column { qualifier, name } = col_expr else {
@@ -305,8 +325,13 @@ impl<'a> Binder<'a> {
                 let value = literal_to_f64(lit);
                 let op = if flipped { flip_comparison(*op) } else { *op };
                 Some(match op {
-                    BinaryOp::Eq => Predicate::Equals { column, value: value.into() },
-                    BinaryOp::NotEq => Predicate::Opaque { selectivity_ppm: 900_000 },
+                    BinaryOp::Eq => Predicate::Equals {
+                        column,
+                        value: value.into(),
+                    },
+                    BinaryOp::NotEq => Predicate::Opaque {
+                        selectivity_ppm: 900_000,
+                    },
                     BinaryOp::Lt | BinaryOp::LtEq => Predicate::Range {
                         column,
                         lo: f64::NEG_INFINITY.into(),
@@ -321,12 +346,19 @@ impl<'a> Binder<'a> {
                     _ => return Ok(None),
                 })
             }
-            Expr::Between { expr: inner, low, high, negated } => {
+            Expr::Between {
+                expr: inner,
+                low,
+                high,
+                negated,
+            } => {
                 let Expr::Column { qualifier, name } = inner.as_ref() else {
                     return Ok(None);
                 };
                 if *negated {
-                    return Ok(Some(Predicate::Opaque { selectivity_ppm: 700_000 }));
+                    return Ok(Some(Predicate::Opaque {
+                        selectivity_ppm: 700_000,
+                    }));
                 }
                 let (Expr::Literal(lo), Expr::Literal(hi)) = (low.as_ref(), high.as_ref()) else {
                     return Ok(None);
@@ -338,12 +370,18 @@ impl<'a> Binder<'a> {
                     hi: literal_to_f64(hi).into(),
                 })
             }
-            Expr::InList { expr: inner, list, negated } => {
+            Expr::InList {
+                expr: inner,
+                list,
+                negated,
+            } => {
                 let Expr::Column { qualifier, name } = inner.as_ref() else {
                     return Ok(None);
                 };
                 if *negated {
-                    return Ok(Some(Predicate::Opaque { selectivity_ppm: 800_000 }));
+                    return Ok(Some(Predicate::Opaque {
+                        selectivity_ppm: 800_000,
+                    }));
                 }
                 let column = self.resolve_column(qualifier.as_deref(), name, bindings)?;
                 Some(Predicate::InList {
@@ -351,7 +389,10 @@ impl<'a> Binder<'a> {
                     count: list.len() as u32,
                 })
             }
-            Expr::IsNull { expr: inner, negated } => {
+            Expr::IsNull {
+                expr: inner,
+                negated,
+            } => {
                 let Expr::Column { qualifier, name } = inner.as_ref() else {
                     return Ok(None);
                 };
@@ -361,14 +402,24 @@ impl<'a> Binder<'a> {
                     negated: *negated,
                 })
             }
-            Expr::Binary { left, op: BinaryOp::Or, right } => {
+            Expr::Binary {
+                left,
+                op: BinaryOp::Or,
+                right,
+            } => {
                 let l = self.try_single_table(left, bindings)?;
                 let r = self.try_single_table(right, bindings)?;
                 match (l, r) {
                     (Some(lp), Some(rp)) => {
                         // Only a single-table OR if both sides hit the same binding.
-                        let lb = lp.column().map(|c| c.binding.clone()).or_else(|| single_binding_of_or(&lp));
-                        let rb = rp.column().map(|c| c.binding.clone()).or_else(|| single_binding_of_or(&rp));
+                        let lb = lp
+                            .column()
+                            .map(|c| c.binding.clone())
+                            .or_else(|| single_binding_of_or(&lp));
+                        let rb = rp
+                            .column()
+                            .map(|c| c.binding.clone())
+                            .or_else(|| single_binding_of_or(&rp));
                         if lb.is_some() && lb == rb {
                             Some(Predicate::Or(vec![lp, rp]))
                         } else {
@@ -439,7 +490,9 @@ fn flip_comparison(op: BinaryOp) -> BinaryOp {
 /// Default selectivity guesses for unclassifiable predicates.
 fn default_selectivity(expr: &Expr) -> f64 {
     match expr {
-        Expr::Binary { op: BinaryOp::Eq, .. } => 0.05,
+        Expr::Binary {
+            op: BinaryOp::Eq, ..
+        } => 0.05,
         Expr::Binary { op, .. } if op.is_comparison() => 0.3,
         _ => 0.5,
     }
@@ -474,10 +527,9 @@ mod tests {
 
     #[test]
     fn binds_explicit_join_with_equi_predicate() {
-        let plan = bind(
-            "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
-        )
-        .unwrap();
+        let plan =
+            bind("SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey")
+                .unwrap();
         assert_eq!(plan.table_count(), 2);
         assert_eq!(plan.join_count(), 1);
         let mut join_preds = 0;
@@ -500,7 +552,10 @@ mod tests {
         // The segment filter should be pushed to customer's Get.
         let mut customer_filters = 0;
         plan.walk(&mut |p| {
-            if let LogicalOp::Get { table, predicates, .. } = &p.op {
+            if let LogicalOp::Get {
+                table, predicates, ..
+            } = &p.op
+            {
                 if table == "customer" {
                     customer_filters = predicates.len();
                 }
@@ -529,10 +584,8 @@ mod tests {
     fn unqualified_ambiguous_column_is_an_error() {
         // `country` exists in both dim_region and dim_supplier in the SALES schema.
         let cat = sales_schema(SalesScale::tiny());
-        let stmt = parse(
-            "SELECT region_name FROM dim_region, dim_supplier WHERE country = 'US'",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT region_name FROM dim_region, dim_supplier WHERE country = 'US'").unwrap();
         assert!(matches!(
             Binder::new(&cat).bind(&stmt),
             Err(OptimizerError::AmbiguousColumn(_))

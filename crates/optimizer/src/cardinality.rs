@@ -65,8 +65,7 @@ impl<'a> CardinalityEstimator<'a> {
                                 .iter()
                                 .find(|b| b.lo <= value.0 && value.0 <= b.hi)
                                 .map(|b| {
-                                    (b.rows as f64 / total.max(1) as f64)
-                                        / b.distinct.max(1) as f64
+                                    (b.rows as f64 / total.max(1) as f64) / b.distinct.max(1) as f64
                                 })
                                 .unwrap_or_else(|| stats.eq_selectivity())
                         }
@@ -162,7 +161,9 @@ impl<'a> CardinalityEstimator<'a> {
     /// Output rows for any logical operator given its children's rows.
     pub fn operator_rows(&self, op: &LogicalOp, child_rows: &[f64]) -> f64 {
         match op {
-            LogicalOp::Get { table, predicates, .. } => self.get_rows(table, predicates),
+            LogicalOp::Get {
+                table, predicates, ..
+            } => self.get_rows(table, predicates),
             LogicalOp::Join { predicates, .. } => {
                 self.join_rows(child_rows[0], child_rows[1], predicates)
             }
@@ -212,7 +213,10 @@ mod tests {
             }],
         );
         let expected = 150_000.0 / 5.0;
-        assert!((rows - expected).abs() / expected < 0.5, "rows {rows} expected ~{expected}");
+        assert!(
+            (rows - expected).abs() / expected < 0.5,
+            "rows {rows} expected ~{expected}"
+        );
     }
 
     #[test]
@@ -238,11 +242,17 @@ mod tests {
         let e = est(&cat);
         let one = e.get_rows(
             "part",
-            &[Predicate::InList { column: col("part", "p_size"), count: 1 }],
+            &[Predicate::InList {
+                column: col("part", "p_size"),
+                count: 1,
+            }],
         );
         let five = e.get_rows(
             "part",
-            &[Predicate::InList { column: col("part", "p_size"), count: 5 }],
+            &[Predicate::InList {
+                column: col("part", "p_size"),
+                count: 5,
+            }],
         );
         assert!((five / one - 5.0).abs() < 0.1);
     }
@@ -262,7 +272,10 @@ mod tests {
             }],
         );
         // FK->PK join keeps roughly the fact-side cardinality.
-        assert!((joined - orders).abs() / orders < 0.01, "joined {joined} orders {orders}");
+        assert!(
+            (joined - orders).abs() / orders < 0.01,
+            "joined {joined} orders {orders}"
+        );
     }
 
     #[test]
@@ -291,8 +304,12 @@ mod tests {
         let cat = tpch_schema(1.0);
         let e = est(&cat);
         let p = Predicate::Or(vec![
-            Predicate::Opaque { selectivity_ppm: 100_000 },
-            Predicate::Opaque { selectivity_ppm: 100_000 },
+            Predicate::Opaque {
+                selectivity_ppm: 100_000,
+            },
+            Predicate::Opaque {
+                selectivity_ppm: 100_000,
+            },
         ]);
         let s = e.predicate_selectivity(&p);
         assert!((s - 0.19).abs() < 1e-9);
@@ -310,7 +327,12 @@ mod tests {
             e.operator_rows(&LogicalOp::Project { column_count: 3 }, &[500.0]),
             500.0
         );
-        let filtered = e.operator_rows(&LogicalOp::Filter { selectivity_ppm: 500_000 }, &[500.0]);
+        let filtered = e.operator_rows(
+            &LogicalOp::Filter {
+                selectivity_ppm: 500_000,
+            },
+            &[500.0],
+        );
         assert_eq!(filtered, 250.0);
     }
 
@@ -319,14 +341,27 @@ mod tests {
         let cat = tpch_schema(1.0);
         let e = est(&cat);
         let preds = vec![
-            Predicate::Like { column: col("part", "p_type") },
-            Predicate::IsNull { column: col("part", "p_size"), negated: false },
-            Predicate::IsNull { column: col("part", "p_size"), negated: true },
-            Predicate::Opaque { selectivity_ppm: 2_000_000 }, // over-range input
+            Predicate::Like {
+                column: col("part", "p_type"),
+            },
+            Predicate::IsNull {
+                column: col("part", "p_size"),
+                negated: false,
+            },
+            Predicate::IsNull {
+                column: col("part", "p_size"),
+                negated: true,
+            },
+            Predicate::Opaque {
+                selectivity_ppm: 2_000_000,
+            }, // over-range input
         ];
         for p in preds {
             let s = e.predicate_selectivity(&p);
-            assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range for {p:?}");
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "selectivity {s} out of range for {p:?}"
+            );
         }
     }
 }

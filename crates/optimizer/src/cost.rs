@@ -108,7 +108,12 @@ impl CostModel {
 
     /// Cost of a nested-loop join where the inner side costs
     /// `inner_cost_total` to produce once and is re-evaluated per outer row.
-    pub fn nested_loop_join(&self, outer_rows: f64, inner_cost_total: f64, output_rows: f64) -> Cost {
+    pub fn nested_loop_join(
+        &self,
+        outer_rows: f64,
+        inner_cost_total: f64,
+        output_rows: f64,
+    ) -> Cost {
         Cost::new(
             outer_rows * self.cpu_per_row + output_rows * self.cpu_per_row,
             // Re-scanning the inner side is charged as CPU+IO folded into one
@@ -121,13 +126,19 @@ impl CostModel {
 
     /// Cost of a hash aggregate over `input_rows` producing `groups` groups.
     pub fn hash_aggregate(&self, input_rows: f64, groups: f64) -> Cost {
-        Cost::new(input_rows * self.cpu_per_hash + groups * self.cpu_per_row, 0.0)
+        Cost::new(
+            input_rows * self.cpu_per_hash + groups * self.cpu_per_row,
+            0.0,
+        )
     }
 
     /// Cost of sorting `rows` rows.
     pub fn sort(&self, rows: f64) -> Cost {
         let n = rows.max(2.0);
-        Cost::new(n * n.log2() * self.cpu_per_compare + n * self.cpu_per_row, 0.0)
+        Cost::new(
+            n * n.log2() * self.cpu_per_compare + n * self.cpu_per_row,
+            0.0,
+        )
     }
 
     /// Cost of a streaming operator (filter/project/limit) over `rows` rows.
@@ -208,7 +219,11 @@ mod tests {
         let model = m();
         let inner_cost = model.index_seek(1.0, 100.0).total();
         let nl = model.nested_loop_join(10.0, inner_cost, 10.0);
-        assert!(nl.total() < 1.0, "tiny NL join should be cheap, got {}", nl.total());
+        assert!(
+            nl.total() < 1.0,
+            "tiny NL join should be cheap, got {}",
+            nl.total()
+        );
     }
 
     #[test]

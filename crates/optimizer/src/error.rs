@@ -43,9 +43,17 @@ mod tests {
 
     #[test]
     fn errors_display_their_subject() {
-        assert!(OptimizerError::UnknownTable("foo".into()).to_string().contains("foo"));
-        assert!(OptimizerError::UnknownColumn("bar".into()).to_string().contains("bar"));
-        assert!(OptimizerError::Aborted("timeout".into()).to_string().contains("timeout"));
-        assert!(OptimizerError::NoPlanAvailable.to_string().contains("interrupted"));
+        assert!(OptimizerError::UnknownTable("foo".into())
+            .to_string()
+            .contains("foo"));
+        assert!(OptimizerError::UnknownColumn("bar".into())
+            .to_string()
+            .contains("bar"));
+        assert!(OptimizerError::Aborted("timeout".into())
+            .to_string()
+            .contains("timeout"));
+        assert!(OptimizerError::NoPlanAvailable
+            .to_string()
+            .contains("interrupted"));
     }
 }

@@ -96,7 +96,11 @@ fn physical_alternatives(
     let model = &ctx.model;
     let out_rows = memo.group(group).rows;
     match op {
-        LogicalOp::Get { table, binding, predicates } => {
+        LogicalOp::Get {
+            table,
+            binding,
+            predicates,
+        } => {
             let mut alts = Vec::new();
             let (pages, raw_rows) = match ctx.catalog.table(table) {
                 Some(t) => (t.total_pages() as f64, t.row_count() as f64),
@@ -163,7 +167,10 @@ fn physical_alternatives(
             ));
             alts
         }
-        LogicalOp::Aggregate { group_by, aggregate_count } => {
+        LogicalOp::Aggregate {
+            group_by,
+            aggregate_count,
+        } => {
             let input = memo.group(children[0]);
             vec![(
                 PhysicalOp::HashAggregate {
@@ -275,7 +282,11 @@ mod tests {
                 used_seek = true;
             }
         });
-        assert!(used_seek, "point lookup on the PK should use an index seek:\n{}", plan.display_indented());
+        assert!(
+            used_seek,
+            "point lookup on the PK should use an index seek:\n{}",
+            plan.display_indented()
+        );
     }
 
     #[test]
@@ -302,7 +313,11 @@ mod tests {
                 hash = true;
             }
         });
-        assert!(hash, "large equi-join should hash:\n{}", plan.display_indented());
+        assert!(
+            hash,
+            "large equi-join should hash:\n{}",
+            plan.display_indented()
+        );
         assert!(plan.total_memory_requirement() > 0);
     }
 
@@ -340,7 +355,11 @@ mod tests {
         let used_after_first = mem.used_bytes();
         let c2 = optimize_group(&mut memo, root, &ctx, &mut mem).unwrap();
         assert_eq!(c1.total(), c2.total());
-        assert_eq!(mem.used_bytes(), used_after_first, "cached winner should not re-charge");
+        assert_eq!(
+            mem.used_bytes(),
+            used_after_first,
+            "cached winner should not re-charge"
+        );
     }
 
     #[test]

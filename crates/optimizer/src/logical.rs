@@ -303,11 +303,21 @@ impl LogicalPlan {
         fn rec(plan: &LogicalPlan, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
             match &plan.op {
-                LogicalOp::Get { table, binding, predicates } => {
-                    out.push_str(&format!("Get {table} as {binding} [{} filters]\n", predicates.len()));
+                LogicalOp::Get {
+                    table,
+                    binding,
+                    predicates,
+                } => {
+                    out.push_str(&format!(
+                        "Get {table} as {binding} [{} filters]\n",
+                        predicates.len()
+                    ));
                 }
                 LogicalOp::Join { kind, predicates } => {
-                    out.push_str(&format!("Join {kind:?} on {} predicate(s)\n", predicates.len()));
+                    out.push_str(&format!(
+                        "Join {kind:?} on {} predicate(s)\n",
+                        predicates.len()
+                    ));
                 }
                 other => out.push_str(&format!("{}\n", other.name())),
             }
@@ -349,10 +359,22 @@ mod tests {
 
     #[test]
     fn arity_matches_structure() {
-        assert_eq!(LogicalOp::Get { table: "t".into(), binding: "t".into(), predicates: vec![] }.arity(), 0);
+        assert_eq!(
+            LogicalOp::Get {
+                table: "t".into(),
+                binding: "t".into(),
+                predicates: vec![]
+            }
+            .arity(),
+            0
+        );
         assert_eq!(LogicalOp::Limit { count: 1 }.arity(), 1);
         assert_eq!(
-            LogicalOp::Join { kind: JoinKind::Inner, predicates: vec![] }.arity(),
+            LogicalOp::Join {
+                kind: JoinKind::Inner,
+                predicates: vec![]
+            }
+            .arity(),
             2
         );
     }
@@ -400,7 +422,13 @@ mod tests {
             value: 5.0.into(),
         };
         assert_eq!(p.column(), Some(&c));
-        assert_eq!(Predicate::Opaque { selectivity_ppm: 100 }.column(), None);
+        assert_eq!(
+            Predicate::Opaque {
+                selectivity_ppm: 100
+            }
+            .column(),
+            None
+        );
     }
 
     #[test]

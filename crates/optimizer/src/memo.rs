@@ -233,7 +233,10 @@ impl Memo {
                 b.extend(right.bindings.iter().cloned());
                 (left.row_width + right.row_width, b)
             }
-            LogicalOp::Aggregate { group_by, aggregate_count } => {
+            LogicalOp::Aggregate {
+                group_by,
+                aggregate_count,
+            } => {
                 let child = self.group(children[0]);
                 (
                     (group_by.len() as u32 + aggregate_count) * 8 + 16,
@@ -242,7 +245,10 @@ impl Memo {
             }
             LogicalOp::Project { column_count } => {
                 let child = self.group(children[0]);
-                ((*column_count * 8 + 8).min(child.row_width.max(8)), child.bindings.clone())
+                (
+                    (*column_count * 8 + 8).min(child.row_width.max(8)),
+                    child.bindings.clone(),
+                )
             }
             _ => {
                 let child = self.group(children[0]);
@@ -371,7 +377,10 @@ mod tests {
         let j = memo.group(gj);
         // FK->PK join keeps the orders cardinality.
         assert!((j.rows - 1_500_000.0).abs() < 1.0);
-        assert_eq!(j.row_width, memo.group(go).row_width + memo.group(gc).row_width);
+        assert_eq!(
+            j.row_width,
+            memo.group(go).row_width + memo.group(gc).row_width
+        );
     }
 
     #[test]

@@ -127,7 +127,10 @@ impl CompilationMemory {
 
     /// Release `bytes` (e.g. transient rule bindings freed after use).
     pub fn release(&mut self, bytes: u64) {
-        debug_assert!(self.used >= bytes, "compilation released more than it charged");
+        debug_assert!(
+            self.used >= bytes,
+            "compilation released more than it charged"
+        );
         let bytes = bytes.min(self.used);
         self.used -= bytes;
         if let Some(clerk) = &self.clerk {

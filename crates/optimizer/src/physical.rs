@@ -92,7 +92,9 @@ impl PhysicalOp {
     pub fn is_memory_consuming(&self) -> bool {
         matches!(
             self,
-            PhysicalOp::HashJoin { .. } | PhysicalOp::HashAggregate { .. } | PhysicalOp::Sort { .. }
+            PhysicalOp::HashJoin { .. }
+                | PhysicalOp::HashAggregate { .. }
+                | PhysicalOp::Sort { .. }
         )
     }
 }
@@ -119,7 +121,11 @@ pub struct PhysicalPlan {
 impl PhysicalPlan {
     /// Number of operators in the plan.
     pub fn operator_count(&self) -> usize {
-        1 + self.children.iter().map(|c| c.operator_count()).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.operator_count())
+            .sum::<usize>()
     }
 
     /// Sum of execution memory grants needed across the plan. The paper's
@@ -244,11 +250,19 @@ mod tests {
 
     #[test]
     fn memory_consumers_flagged() {
-        assert!(PhysicalOp::HashJoin { kind: JoinKind::Inner, predicates: vec![] }.is_memory_consuming());
+        assert!(PhysicalOp::HashJoin {
+            kind: JoinKind::Inner,
+            predicates: vec![]
+        }
+        .is_memory_consuming());
         assert!(PhysicalOp::Sort { key_count: 1 }.is_memory_consuming());
         assert!(!PhysicalOp::Limit { count: 1 }.is_memory_consuming());
-        assert!(!PhysicalOp::TableScan { table: "t".into(), binding: "t".into(), predicates: vec![] }
-            .is_memory_consuming());
+        assert!(!PhysicalOp::TableScan {
+            table: "t".into(),
+            binding: "t".into(),
+            predicates: vec![]
+        }
+        .is_memory_consuming());
     }
 
     #[test]

@@ -89,7 +89,10 @@ pub fn apply_rule(
 fn as_inner_join(memo: &Memo, expr_id: ExprId) -> Option<(Vec<JoinPredicate>, GroupId, GroupId)> {
     let expr = memo.expr(expr_id);
     match &expr.op {
-        LogicalOp::Join { kind: JoinKind::Inner, predicates } if !predicates.is_empty() => {
+        LogicalOp::Join {
+            kind: JoinKind::Inner,
+            predicates,
+        } if !predicates.is_empty() => {
             Some((predicates.clone(), expr.children[0], expr.children[1]))
         }
         _ => None,
@@ -233,7 +236,10 @@ mod tests {
         let est = CardinalityEstimator::new(&cat);
         let mut mem = CompilationMemory::unlimited();
         let mut memo = Memo::new();
-        let plan = bind(&cat, "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey");
+        let plan = bind(
+            &cat,
+            "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+        );
         memo.insert_plan(&plan, &est, &mut mem);
         let join = top_join_expr(&memo);
         let group = memo.expr(join).group;
@@ -254,7 +260,10 @@ mod tests {
         let est = CardinalityEstimator::new(&cat);
         let mut mem = CompilationMemory::unlimited();
         let mut memo = Memo::new();
-        let plan = bind(&cat, "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey");
+        let plan = bind(
+            &cat,
+            "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+        );
         memo.insert_plan(&plan, &est, &mut mem);
         let join = top_join_expr(&memo);
         let first = apply_rule(Rule::JoinCommute, &mut memo, join, &est, &mut mem);
@@ -262,7 +271,13 @@ mod tests {
         assert_eq!(first.new_exprs.len(), 1);
         assert!(second.new_exprs.is_empty());
         // And the commuted expression never regenerates the original.
-        let third = apply_rule(Rule::JoinCommute, &mut memo, first.new_exprs[0], &est, &mut mem);
+        let third = apply_rule(
+            Rule::JoinCommute,
+            &mut memo,
+            first.new_exprs[0],
+            &est,
+            &mut mem,
+        );
         assert!(third.new_exprs.is_empty());
     }
 
@@ -303,12 +318,22 @@ mod tests {
         // Two new expressions: the intermediate (orders ⋈ customer) join and
         // the re-associated alternative in the top group.
         assert_eq!(out.new_exprs.len(), 2);
-        assert_eq!(memo.group_count(), groups_before + 1, "a new (orders ⋈ customer) group");
+        assert_eq!(
+            memo.group_count(),
+            groups_before + 1,
+            "a new (orders ⋈ customer) group"
+        );
         // The re-associated alternative lives in the same group as the original top join.
         let top_group = memo.expr(top).group;
-        assert!(out.new_exprs.iter().any(|e| memo.expr(*e).group == top_group));
+        assert!(out
+            .new_exprs
+            .iter()
+            .any(|e| memo.expr(*e).group == top_group));
         // The intermediate join lives in its own (new) group.
-        assert!(out.new_exprs.iter().any(|e| memo.expr(*e).group != top_group));
+        assert!(out
+            .new_exprs
+            .iter()
+            .any(|e| memo.expr(*e).group != top_group));
     }
 
     #[test]
@@ -350,7 +375,10 @@ mod tests {
         let est = CardinalityEstimator::new(&cat);
         let mut mem = CompilationMemory::unlimited();
         let mut memo = Memo::new();
-        let plan = bind(&cat, "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey");
+        let plan = bind(
+            &cat,
+            "SELECT o.o_orderkey FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+        );
         memo.insert_plan(&plan, &est, &mut mem);
         let before_used = mem.used_bytes();
         let join = top_join_expr(&memo);

@@ -17,21 +17,12 @@ use throttledb_membroker::Clerk;
 use throttledb_sqlparse::SelectStatement;
 
 /// Optimizer configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct OptimizerConfig {
     /// Stage-selection policy (how effort scales with estimated cost).
     pub stage_policy: StagePolicy,
     /// Cost model.
     pub cost_model: CostModel,
-}
-
-impl Default for OptimizerConfig {
-    fn default() -> Self {
-        OptimizerConfig {
-            stage_policy: StagePolicy::default(),
-            cost_model: CostModel::default(),
-        }
-    }
 }
 
 /// Statistics about one compilation, used by the experiments and by the
@@ -155,7 +146,9 @@ impl<'a> Optimizer<'a> {
                         break 'explore;
                     }
                     let outcome = apply_rule(rule, &mut memo, expr_id, &estimator, &mut mem);
-                    transformations += outcome.attempted.max(u64::from(!outcome.new_exprs.is_empty()));
+                    transformations += outcome
+                        .attempted
+                        .max(u64::from(!outcome.new_exprs.is_empty()));
                     for new_expr in outcome.new_exprs {
                         queue.push_back(new_expr);
                     }
@@ -322,7 +315,8 @@ mod tests {
         .unwrap();
         let tpch_out = Optimizer::new(&tpch_cat).optimize(&tpch_stmt).unwrap();
 
-        let ratio = sales_out.stats.peak_memory_bytes as f64 / tpch_out.stats.peak_memory_bytes as f64;
+        let ratio =
+            sales_out.stats.peak_memory_bytes as f64 / tpch_out.stats.peak_memory_bytes as f64;
         assert!(
             ratio >= 10.0,
             "SALES compile memory should be ≥10x TPC-H (paper: 1-2 orders of magnitude), got {ratio:.1}x \
@@ -402,16 +396,18 @@ mod tests {
         let clerk = broker.register(SubcomponentKind::Compilation);
         let cat = tpch_schema(1.0);
         let opt = Optimizer::new(&cat);
-        let stmt = parse(
-            "SELECT COUNT(*) FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT COUNT(*) FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey")
+                .unwrap();
         let out = opt
             .optimize_with_governor(&stmt, Box::new(UnlimitedGovernor), Some(clerk.clone()))
             .unwrap();
         assert!(out.stats.peak_memory_bytes > 0);
         assert_eq!(clerk.used_bytes(), 0, "all compile memory must be released");
-        assert!(clerk.total_allocated() > 0, "but the broker saw the allocations");
+        assert!(
+            clerk.total_allocated() > 0,
+            "but the broker saw the allocations"
+        );
     }
 
     #[test]

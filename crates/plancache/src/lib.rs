@@ -248,7 +248,10 @@ mod tests {
         cache.insert("cold", "b", MB, 1.0);
         cache.insert("x1", "c", MB, 1.0);
         cache.insert("x2", "d", MB, 1.0);
-        assert!(cache.get("hot").is_some(), "hot entry must survive eviction");
+        assert!(
+            cache.get("hot").is_some(),
+            "hot entry must survive eviction"
+        );
     }
 
     #[test]

@@ -166,9 +166,15 @@ mod tests {
         q.schedule(SimTime::from_secs(1), 2);
         q.schedule(SimTime::from_secs(2), 3);
         let first = q.pop_simultaneous();
-        assert_eq!(first.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            first.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
         let second = q.pop_simultaneous();
-        assert_eq!(second.iter().map(|e| e.payload).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(
+            second.iter().map(|e| e.payload).collect::<Vec<_>>(),
+            vec![3]
+        );
         assert!(q.pop_simultaneous().is_empty());
     }
 

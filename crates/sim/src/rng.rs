@@ -62,7 +62,10 @@ impl SimRng {
     /// A multiplicative jitter factor in `[1-spread, 1+spread]`, used to vary
     /// compile and execution times between "identical" query submissions.
     pub fn jitter(&mut self, spread: f64) -> f64 {
-        assert!((0.0..1.0).contains(&spread), "jitter spread must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "jitter spread must be in [0,1)"
+        );
         1.0 + self.uniform_f64(-spread, spread)
     }
 
@@ -92,7 +95,10 @@ impl SimRng {
 
     /// Choose an index in `[0, weights.len())` proportionally to `weights`.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
-        assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "weighted_index needs at least one weight"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must sum to a positive value");
         let mut target = self.unit() * total;
@@ -181,7 +187,10 @@ mod tests {
         let n = 20_000;
         let sum: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
         let mean = sum / n as f64;
-        assert!((mean - 5.0).abs() < 0.25, "sample mean {mean} too far from 5.0");
+        assert!(
+            (mean - 5.0).abs() < 0.25,
+            "sample mean {mean} too far from 5.0"
+        );
     }
 
     #[test]
@@ -192,7 +201,10 @@ mod tests {
         for _ in 0..n {
             counts[r.zipf(10, 1.0)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate rank 9: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate rank 9: {counts:?}"
+        );
     }
 
     #[test]
@@ -203,7 +215,10 @@ mod tests {
             counts[r.zipf(4, 0.0)] += 1;
         }
         for c in counts {
-            assert!((1_600..2_400).contains(&c), "uniform-ish expected, got {counts:?}");
+            assert!(
+                (1_600..2_400).contains(&c),
+                "uniform-ish expected, got {counts:?}"
+            );
         }
     }
 

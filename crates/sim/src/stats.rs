@@ -229,7 +229,7 @@ mod tests {
         }
         h.record(1_000_000);
         let p50 = h.percentile(50.0);
-        assert!(p50 >= 64 && p50 <= 256, "p50 = {p50}");
+        assert!((64..=256).contains(&p50), "p50 = {p50}");
         let p100 = h.percentile(100.0);
         assert!(p100 >= 1_000_000 / 2, "p100 = {p100}");
     }

@@ -1,0 +1,156 @@
+//! Satellite determinism tests: an identical RNG seed must produce a
+//! bit-identical event series and bit-identical statistics, so every figure
+//! in the paper reproduction can be regenerated exactly from its seed.
+
+use throttledb_sim::{
+    EventQueue, GaugeTimeline, Histogram, SimDuration, SimRng, SimTime, TimeSeries,
+};
+
+/// Everything a figure-scale experiment would persist from one run.
+#[derive(Debug, PartialEq)]
+struct RunArtifacts {
+    event_log: Vec<(u64, u64)>,
+    gauge: Vec<(SimTime, u64)>,
+    bucket_counts: Vec<u64>,
+    latency_sum: u64,
+}
+
+/// Drive a miniature simulation: exponential arrivals, jittered service
+/// times, a counter series, a memory gauge and a latency histogram.
+fn run_simulation(seed: u64) -> RunArtifacts {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut queue: EventQueue<u64> = EventQueue::new();
+    let mut completions = TimeSeries::new("completions", SimDuration::from_secs(60));
+    let mut memory = GaugeTimeline::new("memory");
+    let mut latency = Histogram::new("latency_us");
+
+    // Schedule 200 arrivals with exponential inter-arrival times.
+    let mut t = SimTime::ZERO;
+    for i in 0..200u64 {
+        t += SimDuration::from_secs_f64(rng.exponential(30.0));
+        queue.schedule(t, i);
+    }
+    // Pop in time order; each event records a jittered latency and a gauge
+    // step, and some events fork per-client RNG streams.
+    let mut event_log = Vec::new();
+    let mut used: u64 = 0;
+    while let Some(ev) = queue.pop() {
+        let svc = rng.jitter(0.3) * 1000.0;
+        latency.record(svc as u64);
+        used = used.wrapping_add(rng.uniform_u64(1 << 20, 8 << 20));
+        if ev.payload % 7 == 0 {
+            let mut child = rng.fork(ev.payload);
+            used = used.wrapping_add(child.next_u64() % (1 << 20));
+        }
+        memory.record(ev.at, used);
+        completions.record(ev.at);
+        event_log.push((ev.at.as_micros(), ev.payload));
+    }
+    let series: Vec<(SimTime, u64)> = completions.iter().collect();
+    RunArtifacts {
+        event_log,
+        gauge: memory.samples().to_vec(),
+        bucket_counts: series.iter().map(|(_, v)| *v).collect(),
+        latency_sum: latency.sum() as u64,
+    }
+}
+
+#[test]
+fn identical_seeds_produce_bit_identical_event_series_and_stats() {
+    let a = run_simulation(2007);
+    let b = run_simulation(2007);
+    assert_eq!(
+        a.event_log, b.event_log,
+        "event (time, payload) series must match exactly"
+    );
+    assert_eq!(a.gauge, b.gauge, "memory gauge samples must match exactly");
+    assert_eq!(
+        a.bucket_counts, b.bucket_counts,
+        "per-bucket completion counts must match exactly"
+    );
+    assert_eq!(
+        a.latency_sum, b.latency_sum,
+        "histogram totals must match exactly"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_series() {
+    let a = run_simulation(1);
+    let b = run_simulation(2);
+    assert_ne!(
+        a.event_log, b.event_log,
+        "distinct seeds should not collide on the whole series"
+    );
+}
+
+#[test]
+fn forked_streams_are_reproducible_and_independent() {
+    // Forking gives each simulated client its own stream: the fork is
+    // deterministic, and draining a forked child must not perturb the parent.
+    let mut parent_a = SimRng::seed_from_u64(99);
+    let mut parent_b = SimRng::seed_from_u64(99);
+
+    let child_a: Vec<u64> = {
+        let mut c = parent_a.fork(5);
+        (0..32).map(|_| c.next_u64()).collect()
+    };
+    let mut child_b = parent_b.fork(5);
+    let child_b_vals: Vec<u64> = (0..32).map(|_| child_b.next_u64()).collect();
+    assert_eq!(child_a, child_b_vals, "forks with the same salt must match");
+
+    // Drawing extra values from child_b must leave the parents in lockstep.
+    for _ in 0..1000 {
+        let _ = child_b.next_u64();
+    }
+    for _ in 0..32 {
+        assert_eq!(parent_a.next_u64(), parent_b.next_u64());
+    }
+}
+
+#[test]
+fn event_queue_breaks_time_ties_deterministically() {
+    // Many events at the same instant: pop order must be stable (insertion
+    // order) so simultaneous completions replay identically across runs.
+    let order: Vec<Vec<u32>> = (0..2)
+        .map(|_| {
+            let mut q = EventQueue::new();
+            for i in 0..50u32 {
+                q.schedule(SimTime::from_secs(7), i);
+            }
+            let mut popped = Vec::new();
+            while let Some(ev) = q.pop() {
+                popped.push(ev.payload);
+            }
+            popped
+        })
+        .collect();
+    assert_eq!(order[0], order[1], "tie-break order must be reproducible");
+    assert_eq!(
+        order[0],
+        (0..50).collect::<Vec<_>>(),
+        "ties pop in schedule order"
+    );
+}
+
+#[test]
+fn histogram_percentiles_are_seed_stable() {
+    let stats = |seed: u64| {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut h = Histogram::new("h");
+        for _ in 0..5000 {
+            h.record(rng.uniform_u64(0, 1_000_000));
+        }
+        (
+            h.percentile(50.0),
+            h.percentile(95.0),
+            h.percentile(99.0),
+            h.mean(),
+        )
+    };
+    assert_eq!(
+        stats(42),
+        stats(42),
+        "all derived statistics must be bit-identical"
+    );
+}

@@ -231,7 +231,9 @@ impl Expr {
                     e.walk(f);
                 }
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.walk(f);
                 low.walk(f);
                 high.walk(f);
@@ -446,7 +448,10 @@ mod tests {
     fn referenced_columns_are_collected() {
         let s = sample();
         let cols = s.where_clause.as_ref().unwrap().referenced_columns();
-        assert_eq!(cols, vec![(Some("d".to_string()), "calendar_year".to_string())]);
+        assert_eq!(
+            cols,
+            vec![(Some("d".to_string()), "calendar_year".to_string())]
+        );
     }
 
     #[test]
@@ -462,7 +467,9 @@ mod tests {
         assert!(n > 5);
         let small = Expr::column("a").node_count();
         assert_eq!(small, 1);
-        assert!(Expr::binary(Expr::column("a"), BinaryOp::Eq, Expr::number(1.0)).node_count() > small);
+        assert!(
+            Expr::binary(Expr::column("a"), BinaryOp::Eq, Expr::number(1.0)).node_count() > small
+        );
     }
 
     #[test]

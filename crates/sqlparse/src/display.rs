@@ -79,10 +79,22 @@ impl fmt::Display for Expr {
                 UnaryOp::Not => write!(f, "(NOT {expr})"),
                 UnaryOp::Neg => write!(f, "(-{expr})"),
             },
-            Expr::Aggregate { func, arg, distinct } => {
-                write!(f, "{func}({}{arg})", if *distinct { "DISTINCT " } else { "" })
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                write!(
+                    f,
+                    "{func}({}{arg})",
+                    if *distinct { "DISTINCT " } else { "" }
+                )
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -92,7 +104,12 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 write!(
                     f,
                     "{expr} {}BETWEEN {low} AND {high}",
@@ -236,7 +253,7 @@ mod tests {
             literal in 0i64..1_000_000,
             use_group in proptest::bool::ANY,
         ) {
-            let mut sql = format!("SELECT SUM(f.m) AS total FROM fact f");
+            let mut sql = "SELECT SUM(f.m) AS total FROM fact f".to_string();
             for i in 0..joins {
                 sql.push_str(&format!(" JOIN dim{i} d{i} ON f.k{i} = d{i}.key"));
             }

@@ -160,8 +160,9 @@ impl<'a> Lexer<'a> {
                 while let Some(n) = self.peek() {
                     if n.is_ascii_digit() {
                         self.pos += 1;
-                    } else if n == b'.' && !seen_dot
-                        && self.peek_next().map_or(false, |d| d.is_ascii_digit())
+                    } else if n == b'.'
+                        && !seen_dot
+                        && self.peek_next().is_some_and(|d| d.is_ascii_digit())
                     {
                         seen_dot = true;
                         self.pos += 1;
@@ -256,7 +257,11 @@ mod tests {
         let toks = lex("42 3.25 1000");
         assert_eq!(
             toks[..3],
-            vec![Token::Number(42.0), Token::Number(3.25), Token::Number(1000.0)]
+            vec![
+                Token::Number(42.0),
+                Token::Number(3.25),
+                Token::Number(1000.0)
+            ]
         );
     }
 

@@ -19,7 +19,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.token_index, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.token_index, self.message
+        )
     }
 }
 
@@ -188,7 +192,11 @@ impl Parser {
         let limit = if self.consume_keyword(Keyword::Limit) {
             match self.advance() {
                 Token::Number(n) if n >= 0.0 && n.fract() == 0.0 => Some(n as u64),
-                other => return self.error(format!("LIMIT expects a non-negative integer, found {other}")),
+                other => {
+                    return self.error(format!(
+                        "LIMIT expects a non-negative integer, found {other}"
+                    ))
+                }
             }
         } else {
             None
@@ -531,8 +539,14 @@ mod tests {
         let s = parse("SELECT a FROM t WHERE a = 1 AND b > 2 OR c < 3").unwrap();
         // OR binds loosest: (a=1 AND b>2) OR (c<3)
         match s.where_clause.unwrap() {
-            Expr::Binary { op: BinaryOp::Or, left, .. } => match *left {
-                Expr::Binary { op: BinaryOp::And, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or,
+                left,
+                ..
+            } => match *left {
+                Expr::Binary {
+                    op: BinaryOp::And, ..
+                } => {}
                 other => panic!("left of OR should be AND, got {other:?}"),
             },
             other => panic!("expected OR at top, got {other:?}"),
@@ -545,9 +559,23 @@ mod tests {
         let w = s.where_clause.unwrap();
         // a + (2*3) = 7
         match w {
-            Expr::Binary { op: BinaryOp::Eq, left, .. } => match *left {
-                Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                    assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                ..
+            } => match *left {
+                Expr::Binary {
+                    op: BinaryOp::Add,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        *right,
+                        Expr::Binary {
+                            op: BinaryOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("expected Add, got {other:?}"),
             },
@@ -567,7 +595,13 @@ mod tests {
         assert_eq!(conjuncts.len(), 5);
         assert!(matches!(conjuncts[0], Expr::InList { negated: false, .. }));
         assert!(matches!(conjuncts[1], Expr::Between { .. }));
-        assert!(matches!(conjuncts[2], Expr::Binary { op: BinaryOp::Like, .. }));
+        assert!(matches!(
+            conjuncts[2],
+            Expr::Binary {
+                op: BinaryOp::Like,
+                ..
+            }
+        ));
         assert!(matches!(conjuncts[3], Expr::IsNull { negated: true, .. }));
         assert!(matches!(conjuncts[4], Expr::InList { negated: true, .. }));
     }
@@ -593,7 +627,10 @@ mod tests {
         assert_eq!(s.limit, Some(5));
         assert!(matches!(
             s.items[2].expr,
-            Expr::Aggregate { func: AggregateFunc::Count, .. }
+            Expr::Aggregate {
+                func: AggregateFunc::Count,
+                ..
+            }
         ));
     }
 
@@ -617,7 +654,10 @@ mod tests {
         let s = parse("SELECT a FROM t WHERE NOT a = -5").unwrap();
         assert!(matches!(
             s.where_clause.unwrap(),
-            Expr::Unary { op: UnaryOp::Not, .. }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
         ));
     }
 
@@ -625,7 +665,13 @@ mod tests {
     fn parses_parenthesised_predicates() {
         let s = parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
         let w = s.where_clause.unwrap();
-        assert!(matches!(w, Expr::Binary { op: BinaryOp::And, .. }));
+        assert!(matches!(
+            w,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,9 +1,9 @@
+use std::time::Instant;
+use throttledb_catalog::tpch_schema;
 use throttledb_catalog::{sales_schema, SalesScale};
 use throttledb_optimizer::Optimizer;
 use throttledb_sqlparse::parse;
-use throttledb_workload::{sales_templates, tpch_like_templates, oltp_templates};
-use throttledb_catalog::tpch_schema;
-use std::time::Instant;
+use throttledb_workload::{oltp_templates, sales_templates, tpch_like_templates};
 
 fn main() {
     let sales = sales_schema(SalesScale::paper());
@@ -12,18 +12,34 @@ fn main() {
         let opt = Optimizer::new(&sales);
         let start = Instant::now();
         let out = opt.optimize(&parse(&t.sql).unwrap()).unwrap();
-        println!("{}: peak={:.1}MB transforms={} exprs={} stage={:?} cost={:.0} grant={:.0}MB wall={:?}",
-            t.name, out.stats.peak_memory_bytes as f64/1e6, out.stats.transformations,
-            out.stats.memo_exprs, out.stats.stage, out.plan.total_cost.total(),
-            out.plan.total_memory_requirement() as f64/1e6, start.elapsed());
+        println!(
+            "{}: peak={:.1}MB transforms={} exprs={} stage={:?} cost={:.0} grant={:.0}MB wall={:?}",
+            t.name,
+            out.stats.peak_memory_bytes as f64 / 1e6,
+            out.stats.transformations,
+            out.stats.memo_exprs,
+            out.stats.stage,
+            out.plan.total_cost.total(),
+            out.plan.total_memory_requirement() as f64 / 1e6,
+            start.elapsed()
+        );
     }
     for t in tpch_like_templates().iter().chain(oltp_templates().iter()) {
-        let cat = if t.name.starts_with("tpch") { &tpch } else { &sales };
+        let cat = if t.name.starts_with("tpch") {
+            &tpch
+        } else {
+            &sales
+        };
         let opt = Optimizer::new(cat);
         let start = Instant::now();
         let out = opt.optimize(&parse(&t.sql).unwrap()).unwrap();
-        println!("{}: peak={:.1}MB transforms={} cost={:.0} wall={:?}",
-            t.name, out.stats.peak_memory_bytes as f64/1e6, out.stats.transformations,
-            out.plan.total_cost.total(), start.elapsed());
+        println!(
+            "{}: peak={:.1}MB transforms={} cost={:.0} wall={:?}",
+            t.name,
+            out.stats.peak_memory_bytes as f64 / 1e6,
+            out.stats.transformations,
+            out.plan.total_cost.total(),
+            start.elapsed()
+        );
     }
 }

@@ -45,9 +45,7 @@ impl ClientModel {
 
     /// Draw the back-off before a retry.
     pub fn retry_delay(&self, rng: &mut SimRng) -> SimDuration {
-        SimDuration::from_secs_f64(
-            self.retry_backoff.as_secs_f64() * rng.jitter(0.5),
-        )
+        SimDuration::from_secs_f64(self.retry_backoff.as_secs_f64() * rng.jitter(0.5))
     }
 
     /// Choose the next template for a client, given the DSS templates and the
@@ -109,7 +107,10 @@ mod tests {
                 oltp_count += 1;
             }
         }
-        assert!((800..1200).contains(&oltp_count), "oltp picks: {oltp_count}");
+        assert!(
+            (800..1200).contains(&oltp_count),
+            "oltp picks: {oltp_count}"
+        );
     }
 
     #[test]
@@ -140,6 +141,10 @@ mod tests {
             seen.insert(m.choose_template(&dss, &oltp, &mut rng).name.clone());
         }
         let dss_seen = seen.iter().filter(|n| n.starts_with("sales_")).count();
-        assert_eq!(dss_seen, dss.len(), "every template should eventually be chosen");
+        assert_eq!(
+            dss_seen,
+            dss.len(),
+            "every template should eventually be chosen"
+        );
     }
 }

@@ -26,5 +26,7 @@ pub mod templates;
 pub mod uniquify;
 
 pub use client::ClientModel;
-pub use templates::{oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, WorkloadKind};
+pub use templates::{
+    oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, WorkloadKind,
+};
 pub use uniquify::Uniquifier;

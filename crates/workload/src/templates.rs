@@ -100,16 +100,86 @@ fn sales_query(
 /// representative of the workload", 15–20 joins each).
 pub fn sales_templates() -> Vec<QueryTemplate> {
     vec![
-        sales_query("sales_q01", 15, "net_amount", "dim_date", "calendar_year", 900),
-        sales_query("sales_q02", 16, "net_amount", "dim_store", "region_id", 1200),
-        sales_query("sales_q03", 17, "cost_amount", "dim_product", "category_id", 300),
-        sales_query("sales_q04", 18, "net_amount", "dim_region", "continent", 2100),
-        sales_query("sales_q05", 19, "quantity", "dim_customer", "segment_id", 750),
-        sales_query("sales_q06", 15, "discount", "dim_channel", "channel_name", 60),
-        sales_query("sales_q07", 16, "net_amount", "dim_supplier", "country", 1800),
-        sales_query("sales_q08", 17, "cost_amount", "dim_brand", "manufacturer", 450),
-        sales_query("sales_q09", 18, "net_amount", "dim_campaign", "start_year", 2600),
-        sales_query("sales_q10", 19, "quantity", "dim_warehouse", "region_id", 1500),
+        sales_query(
+            "sales_q01",
+            15,
+            "net_amount",
+            "dim_date",
+            "calendar_year",
+            900,
+        ),
+        sales_query(
+            "sales_q02",
+            16,
+            "net_amount",
+            "dim_store",
+            "region_id",
+            1200,
+        ),
+        sales_query(
+            "sales_q03",
+            17,
+            "cost_amount",
+            "dim_product",
+            "category_id",
+            300,
+        ),
+        sales_query(
+            "sales_q04",
+            18,
+            "net_amount",
+            "dim_region",
+            "continent",
+            2100,
+        ),
+        sales_query(
+            "sales_q05",
+            19,
+            "quantity",
+            "dim_customer",
+            "segment_id",
+            750,
+        ),
+        sales_query(
+            "sales_q06",
+            15,
+            "discount",
+            "dim_channel",
+            "channel_name",
+            60,
+        ),
+        sales_query(
+            "sales_q07",
+            16,
+            "net_amount",
+            "dim_supplier",
+            "country",
+            1800,
+        ),
+        sales_query(
+            "sales_q08",
+            17,
+            "cost_amount",
+            "dim_brand",
+            "manufacturer",
+            450,
+        ),
+        sales_query(
+            "sales_q09",
+            18,
+            "net_amount",
+            "dim_campaign",
+            "start_year",
+            2600,
+        ),
+        sales_query(
+            "sales_q10",
+            19,
+            "quantity",
+            "dim_warehouse",
+            "region_id",
+            1500,
+        ),
     ]
 }
 
@@ -264,8 +334,14 @@ mod tests {
         let binder = Binder::new(&cat);
         for t in oltp_templates() {
             let stmt = parse(&t.sql).unwrap();
-            assert!(stmt.table_count() <= 2, "{} should touch at most 2 tables", t.name);
-            binder.bind(&stmt).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            assert!(
+                stmt.table_count() <= 2,
+                "{} should touch at most 2 tables",
+                t.name
+            );
+            binder
+                .bind(&stmt)
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name));
         }
     }
 

@@ -84,7 +84,9 @@ fn perturb_expr(expr: &mut Expr, rng: &mut SimRng) {
                 perturb_expr(e, rng);
             }
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             perturb_expr(expr, rng);
             perturb_expr(low, rng);
             perturb_expr(high, rng);

@@ -17,7 +17,10 @@ use throttledb_workload::{oltp_templates, sales_templates, Uniquifier};
 
 fn main() {
     let broker = MemoryBroker::new(BrokerConfig::paper_machine());
-    let throttle = Arc::new(ThreadedThrottle::new(ThrottleConfig::for_cpus(2), broker.clone()));
+    let throttle = Arc::new(ThreadedThrottle::new(
+        ThrottleConfig::for_cpus(2),
+        broker.clone(),
+    ));
     let catalog = Arc::new(sales_schema(SalesScale::paper()));
 
     let mut handles = Vec::new();
@@ -29,7 +32,11 @@ fn main() {
             let uniquifier = Uniquifier::new();
             let mut rng = SimRng::seed_from_u64(worker);
             let optimizer = Optimizer::new(&catalog);
-            let templates = if worker % 3 == 0 { oltp_templates() } else { sales_templates() };
+            let templates = if worker % 3 == 0 {
+                oltp_templates()
+            } else {
+                sales_templates()
+            };
             for i in 0..2u64 {
                 let template = &templates[(worker as usize + i as usize) % templates.len()];
                 let sql = uniquifier.uniquify(&template.sql, &mut rng, worker * 10 + i);
@@ -41,7 +48,11 @@ fn main() {
                         "worker {worker}: {} compiled, peak {:.0} MB{}",
                         template.name,
                         out.stats.peak_memory_bytes as f64 / 1e6,
-                        if out.stats.finished_best_effort { " (best-effort)" } else { "" }
+                        if out.stats.finished_best_effort {
+                            " (best-effort)"
+                        } else {
+                            ""
+                        }
                     ),
                     Err(e) => println!("worker {worker}: {} failed: {e}", template.name),
                 }

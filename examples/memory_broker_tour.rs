@@ -18,14 +18,22 @@ fn main() {
     exec.allocate(600 << 20);
 
     let cfg = ThrottleConfig::paper_machine();
-    println!("{:>6} {:>12} {:>12} {:>10} | per-clerk verdicts", "t(s)", "compile MB", "target MB", "pressure");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} | per-clerk verdicts",
+        "t(s)", "compile MB", "target MB", "pressure"
+    );
     for step in 0..10u64 {
         compile.allocate(120 << 20); // a compile storm ramping up
         let decisions = broker.recalculate(SimTime::from_secs(step * 5));
         let target = broker.target_for_kind(SubcomponentKind::Compilation);
         let verdicts: Vec<String> = decisions
             .iter()
-            .map(|d| format!("{}={}", d.notification.kind_of_component, d.notification.kind))
+            .map(|d| {
+                format!(
+                    "{}={}",
+                    d.notification.kind_of_component, d.notification.kind
+                )
+            })
             .collect();
         println!(
             "{:>6} {:>12} {:>12} {:>10} | {}",
@@ -36,6 +44,9 @@ fn main() {
             verdicts.join(" ")
         );
         let thresholds = DynamicThresholds::effective(&cfg, Some(target), &[0, 6, 1, 0]);
-        println!("        dynamic gateway thresholds: {:?} MB", thresholds.iter().map(|t| t >> 20).collect::<Vec<_>>());
+        println!(
+            "        dynamic gateway thresholds: {:?} MB",
+            thresholds.iter().map(|t| t >> 20).collect::<Vec<_>>()
+        );
     }
 }

@@ -14,7 +14,10 @@ use throttledb_workload::sales_templates;
 fn main() {
     // The paper's machine: 8 CPUs, 4 GB of physical memory.
     let broker = MemoryBroker::new(BrokerConfig::paper_machine());
-    let throttle = Arc::new(ThreadedThrottle::new(ThrottleConfig::paper_machine(), broker.clone()));
+    let throttle = Arc::new(ThreadedThrottle::new(
+        ThrottleConfig::paper_machine(),
+        broker.clone(),
+    ));
 
     // A full-scale SALES warehouse and its optimizer.
     let catalog = sales_schema(SalesScale::paper());
@@ -37,7 +40,10 @@ fn main() {
             outcome.stats.stage,
         );
     }
-    println!("\nGateway ladder statistics: {}", throttle.stats().summary_line());
+    println!(
+        "\nGateway ladder statistics: {}",
+        throttle.stats().summary_line()
+    );
     let snap = broker.snapshot();
     println!(
         "Broker: {} clerks, {:.0} MB live of {:.0} MB brokered, pressure {}",

@@ -1,0 +1,28 @@
+//! # throttledb
+//!
+//! Facade crate for the `throttledb` workspace — a Rust reproduction of
+//! Baryshnikov et al., *"Managing Query Compilation Memory Consumption to
+//! Improve DBMS Throughput"* (CIDR 2007).
+//!
+//! This crate re-exports the workspace's member crates under one roof so the
+//! root-level integration tests and examples can depend on a single package,
+//! and so downstream users can pull the whole stack with one dependency.
+//! The substance lives in the members:
+//!
+//! * [`membroker`] — the §3 Memory Broker (clerks, trends, notifications)
+//! * [`core`] — the §4 gateway-ladder compilation throttle
+//! * [`optimizer`] — memo-based optimizer with byte-accurate compile memory
+//! * [`catalog`], [`sqlparse`], [`workload`] — schemas, SQL, query templates
+//! * [`executor`], [`bufferpool`] — execution grants and the page pool
+//! * [`engine`], [`sim`] — the discrete-event server reproducing §5
+
+#![warn(missing_docs)]
+
+pub use throttledb_catalog as catalog;
+pub use throttledb_core as core;
+pub use throttledb_engine as engine;
+pub use throttledb_membroker as membroker;
+pub use throttledb_optimizer as optimizer;
+pub use throttledb_sim as sim;
+pub use throttledb_sqlparse as sqlparse;
+pub use throttledb_workload as workload;

@@ -31,8 +31,15 @@ fn figure2_scenario_produces_three_complete_timelines() {
     let timelines = figure2_timeline();
     assert_eq!(timelines.len(), 3);
     for (name, g) in &timelines {
-        assert!(g.max_value() > 10 << 20, "{name} should allocate tens of MB");
-        assert_eq!(g.samples().last().map(|(_, v)| *v), Some(0), "{name} must release its memory");
+        assert!(
+            g.max_value() > 10 << 20,
+            "{name} should allocate tens of MB"
+        );
+        assert_eq!(
+            g.samples().last().map(|(_, v)| *v),
+            Some(0),
+            "{name} must release its memory"
+        );
     }
 }
 
@@ -52,5 +59,8 @@ fn profiles_show_sales_needs_orders_of_magnitude_more_compile_memory() {
         .map(|t| profiles.profile(&t.name).peak_compile_bytes)
         .max()
         .unwrap();
-    assert!(sales_min > 50 * oltp_max, "SALES {sales_min} vs OLTP {oltp_max}");
+    assert!(
+        sales_min > 50 * oltp_max,
+        "SALES {sales_min} vs OLTP {oltp_max}"
+    );
 }

@@ -12,7 +12,10 @@ use throttledb_workload::{oltp_templates, sales_templates};
 #[test]
 fn real_sales_compilation_climbs_the_gateway_ladder() {
     let broker = MemoryBroker::new(BrokerConfig::paper_machine());
-    let throttle = Arc::new(ThreadedThrottle::new(ThrottleConfig::paper_machine(), broker.clone()));
+    let throttle = Arc::new(ThreadedThrottle::new(
+        ThrottleConfig::paper_machine(),
+        broker.clone(),
+    ));
     let catalog = sales_schema(SalesScale::paper());
     let optimizer = Optimizer::new(&catalog);
     let stmt = parse(&sales_templates()[0].sql).unwrap();
@@ -32,7 +35,10 @@ fn real_sales_compilation_climbs_the_gateway_ladder() {
 #[test]
 fn diagnostic_queries_never_touch_the_gateways() {
     let broker = MemoryBroker::new(BrokerConfig::paper_machine());
-    let throttle = Arc::new(ThreadedThrottle::new(ThrottleConfig::paper_machine(), broker.clone()));
+    let throttle = Arc::new(ThreadedThrottle::new(
+        ThrottleConfig::paper_machine(),
+        broker.clone(),
+    ));
     let catalog = sales_schema(SalesScale::paper());
     let optimizer = Optimizer::new(&catalog);
     for t in oltp_templates() {
@@ -42,6 +48,10 @@ fn diagnostic_queries_never_touch_the_gateways() {
             .expect("compiles");
     }
     let stats = throttle.stats();
-    assert_eq!(stats.acquisitions.iter().sum::<u64>(), 0, "OLTP compiles stay exempt");
+    assert_eq!(
+        stats.acquisitions.iter().sum::<u64>(),
+        0,
+        "OLTP compiles stay exempt"
+    );
     assert_eq!(stats.exempt_compilations, oltp_templates().len() as u64);
 }

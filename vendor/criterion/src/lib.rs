@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container has no registry access, so this crate provides the
+//! `criterion` API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `black_box`, `criterion_group!`,
+//! `criterion_main!` — with a simple measurement loop: warm up, run a fixed
+//! number of timed samples, report min/mean/max per iteration. Swap the real
+//! crate back in via the root `Cargo.toml` for statistics, plots and
+//! regression detection; the bench sources need no changes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, timing the batch.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: one untimed call.
+    let mut warmup = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+    let per_iter = warmup.elapsed.max(Duration::from_nanos(1));
+
+    // Aim for ~50 ms per sample, clamped to [1, 1000] iterations.
+    let target = Duration::from_millis(50);
+    let iterations = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1000) as u64;
+
+    let mut times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iterations as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{name:<50} [{} samples x {iterations} iters]  min {:>12}  mean {:>12}  max {:>12}",
+        times.len(),
+        format_seconds(times[0]),
+        format_seconds(mean),
+        format_seconds(*times.last().unwrap()),
+    );
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Collect benchmark functions into a runnable group, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0;
+        g.sample_size(2).bench_function("inner", |b| {
+            b.iter(|| ());
+        });
+        ran += 1;
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its public data types with
+//! `#[derive(Serialize, Deserialize)]` so that real serde can be swapped in
+//! the moment the build environment has registry access, but no code path in
+//! the tree performs serialization today. This stub keeps the annotations
+//! compiling: the traits are empty markers and the derives
+//! (from the sibling `serde_derive` stub) emit nothing.
+//!
+//! Swapping in real serde is a one-line change in the root `Cargo.toml`
+//! (`serde = "1"` instead of the `vendor/serde` path) and requires no source
+//! edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

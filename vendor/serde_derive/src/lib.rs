@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, and nothing in this
+//! workspace ever serializes (there is no `serde_json` in the tree) — the
+//! derives exist so downstream consumers can plug real serde in later. These
+//! no-op macros accept the same syntax, including `#[serde(...)]` helper
+//! attributes, and emit no code: the types simply do not implement the
+//! (equally stubbed) traits' methods, which nothing calls.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
