@@ -1,5 +1,9 @@
-//! Figure 1: the memory-monitor ladder (thresholds up, concurrency down).
+//! Figure 1: the memory-monitor ladder (thresholds up, concurrency down),
+//! plus the observed per-gateway wait-time distributions from a quick
+//! overloaded run.
+use std::sync::Arc;
 use throttledb_core::ThrottleConfig;
+use throttledb_engine::{Server, ServerConfig, WorkloadProfiles};
 
 fn main() {
     let cfg = ThrottleConfig::paper_machine();
@@ -22,6 +26,58 @@ fn main() {
             format!("> {}", m.threshold_bytes >> 20),
             m.concurrency.resolve(cfg.cpus),
             m.timeout.as_secs()
+        );
+    }
+
+    // Observed wait-time distributions: run an overloaded quick
+    // configuration and report each gateway's wait histogram.
+    let run_cfg = ServerConfig::quick(24, true);
+    println!();
+    println!("characterizing the SALES workload through the real optimizer...");
+    let profiles = Arc::new(WorkloadProfiles::characterize_sales(&run_cfg));
+    let metrics = Server::new(run_cfg, profiles).run();
+
+    println!();
+    println!("== per-gateway wait-time histograms (quick scale, 24 clients) ==");
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "gateway", "waits", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"
+    );
+    for level in 0..metrics.throttle.levels() {
+        let s = metrics.throttle.wait_summary(level);
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>10} {:>10} {:>10} {:>10}",
+            level + 1,
+            s.count,
+            s.mean / 1e3,
+            s.p50 / 1_000,
+            s.p95 / 1_000,
+            s.p99 / 1_000,
+            s.max / 1_000
+        );
+    }
+    let grants =
+        metrics
+            .classes
+            .iter()
+            .fold(None::<throttledb_sim::Histogram>, |acc, c| match acc {
+                None => Some(c.grants.wait_time.clone()),
+                Some(mut h) => {
+                    h.merge(&c.grants.wait_time);
+                    Some(h)
+                }
+            });
+    if let Some(h) = grants {
+        let s = h.summary();
+        println!(
+            "{:>8} {:>8} {:>12.1} {:>10} {:>10} {:>10} {:>10}",
+            "grants",
+            s.count,
+            s.mean / 1e3,
+            s.p50 / 1_000,
+            s.p95 / 1_000,
+            s.p99 / 1_000,
+            s.max / 1_000
         );
     }
 }

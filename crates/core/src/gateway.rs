@@ -4,9 +4,15 @@
 //! explicit state machine so that both the threaded deployment (which blocks
 //! real threads on a condition variable) and the discrete-event engine
 //! (which schedules virtual-time events) can drive the same policy code.
+//! Waiting is backed by the resource-governor layer's
+//! [`throttledb_governor::WaitQueue`], the same substrate the
+//! execution grant queue uses, so cancellation (gateway timeouts) is O(1)
+//! instead of a linear scan.
 
 use crate::ladder::TaskId;
-use std::collections::VecDeque;
+use std::collections::HashMap;
+use throttledb_governor::{WaitQueue, WaiterKey};
+use throttledb_sim::SimTime;
 
 /// Result of asking a gateway for admission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +30,9 @@ pub enum GatewayAdmission {
 pub struct Gateway {
     capacity: u32,
     holders: Vec<TaskId>,
-    waiters: VecDeque<TaskId>,
+    waiters: WaitQueue<TaskId>,
+    /// Ticket index for O(1) cancellation by task id.
+    tickets: HashMap<TaskId, WaiterKey>,
 }
 
 impl Gateway {
@@ -34,7 +42,8 @@ impl Gateway {
         Gateway {
             capacity,
             holders: Vec::new(),
-            waiters: VecDeque::new(),
+            waiters: WaitQueue::new(),
+            tickets: HashMap::new(),
         }
     }
 
@@ -60,26 +69,39 @@ impl Gateway {
 
     /// True when `task` is waiting in this gateway's queue.
     pub fn is_waiting(&self, task: TaskId) -> bool {
-        self.waiters.contains(&task)
+        self.tickets.contains_key(&task)
     }
 
-    /// Ask for admission.
+    /// Ask for admission at an unspecified time with no wait deadline.
+    /// Callers that track virtual time should prefer
+    /// [`Gateway::request_at`], which stamps the enqueue time and deadline
+    /// on the queue entry.
     pub fn request(&mut self, task: TaskId) -> GatewayAdmission {
+        self.request_at(task, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Ask for admission at `now`; a queued task should be abandoned after
+    /// `deadline`.
+    pub fn request_at(
+        &mut self,
+        task: TaskId,
+        now: SimTime,
+        deadline: SimTime,
+    ) -> GatewayAdmission {
         if self.holds(task) {
             return GatewayAdmission::AlreadyHeld;
         }
         if self.is_waiting(task) {
             return GatewayAdmission::Queued;
         }
+        // Admit only when capacity exists *and* no one is queued ahead
+        // (FIFO fairness: a newcomer cannot jump the queue).
         if (self.holders.len() as u32) < self.capacity && self.waiters.is_empty() {
             self.holders.push(task);
             GatewayAdmission::Acquired
-        } else if (self.holders.len() as u32) < self.capacity {
-            // Capacity exists but others are queued ahead; keep FIFO fairness.
-            self.waiters.push_back(task);
-            GatewayAdmission::Queued
         } else {
-            self.waiters.push_back(task);
+            let key = self.waiters.push(task, now, deadline);
+            self.tickets.insert(task, key);
             GatewayAdmission::Queued
         }
     }
@@ -95,11 +117,12 @@ impl Gateway {
     }
 
     /// Remove `task` from the wait queue (it gave up, e.g. on timeout).
-    /// Returns true if it was actually waiting.
+    /// Returns true if it was actually waiting. O(1).
     pub fn cancel_wait(&mut self, task: TaskId) -> bool {
-        let before = self.waiters.len();
-        self.waiters.retain(|t| *t != task);
-        before != self.waiters.len()
+        let Some(key) = self.tickets.remove(&task) else {
+            return false;
+        };
+        self.waiters.cancel(key).is_some()
     }
 
     /// Grow or shrink capacity at runtime (used by ablation experiments).
@@ -113,11 +136,12 @@ impl Gateway {
     fn admit_waiters(&mut self) -> Vec<TaskId> {
         let mut admitted = Vec::new();
         while (self.holders.len() as u32) < self.capacity {
-            let Some(next) = self.waiters.pop_front() else {
+            let Some(waiter) = self.waiters.pop_front() else {
                 break;
             };
-            self.holders.push(next);
-            admitted.push(next);
+            self.tickets.remove(&waiter.payload);
+            self.holders.push(waiter.payload);
+            admitted.push(waiter.payload);
         }
         admitted
     }

@@ -39,6 +39,26 @@ pub enum LadderDecision {
     FinishBestEffort,
 }
 
+impl LadderDecision {
+    /// Translate into the resource-governor layer's common
+    /// [`AdmissionDecision`](throttledb_governor::AdmissionDecision)
+    /// vocabulary: *proceed* is a (single-slot) admission, *wait* carries an
+    /// absolute deadline derived from the gateway timeout, and *finish
+    /// best-effort* is a degraded admission — the compilation continues, but
+    /// with reduced service.
+    pub fn admission(self, now: SimTime) -> throttledb_governor::AdmissionDecision {
+        match self {
+            LadderDecision::Proceed => throttledb_governor::AdmissionDecision::Admit { units: 1 },
+            LadderDecision::Wait { timeout, .. } => throttledb_governor::AdmissionDecision::Wait {
+                deadline: now.saturating_add(timeout),
+            },
+            LadderDecision::FinishBestEffort => {
+                throttledb_governor::AdmissionDecision::Degrade { units: 1 }
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct TaskState {
     bytes: u64,
@@ -185,7 +205,8 @@ impl GatewayLadder {
             held < required
         } {
             let level = self.tasks[&task].held;
-            match self.gateways[level].request(task) {
+            let deadline = now.saturating_add(self.config.monitors[level].timeout);
+            match self.gateways[level].request_at(task, now, deadline) {
                 GatewayAdmission::Acquired | GatewayAdmission::AlreadyHeld => {
                     let state = self.tasks.get_mut(&task).expect("task exists");
                     state.held = level + 1;
@@ -218,7 +239,7 @@ impl GatewayLadder {
             if let Some(level) = state.waiting_at.take() {
                 self.gateways[level].cancel_wait(task);
                 if let Some(started) = state.wait_started.take() {
-                    self.stats.total_wait[level] += now.saturating_since(started);
+                    self.stats.record_wait(level, now.saturating_since(started));
                 }
                 self.stats.timeouts += 1;
             }
@@ -253,7 +274,7 @@ impl GatewayLadder {
             if let Some(s) = self.tasks.get_mut(resumed) {
                 let level = s.waiting_at.take().unwrap_or(s.held);
                 if let Some(started) = s.wait_started.take() {
-                    self.stats.total_wait[level] += now.saturating_since(started);
+                    self.stats.record_wait(level, now.saturating_since(started));
                 }
                 s.held = s.held.max(level + 1);
                 self.stats.acquisitions[level] += 1;
@@ -501,6 +522,45 @@ mod tests {
         }
         assert_eq!(waited, 1, "exactly the 33rd compilation must wait");
         assert_eq!(l.holders_at(0), 32);
+    }
+
+    #[test]
+    fn decisions_translate_into_the_governor_vocabulary() {
+        use throttledb_governor::AdmissionDecision;
+        let at = now(10);
+        assert_eq!(
+            LadderDecision::Proceed.admission(at),
+            AdmissionDecision::Admit { units: 1 }
+        );
+        assert_eq!(
+            LadderDecision::FinishBestEffort.admission(at),
+            AdmissionDecision::Degrade { units: 1 }
+        );
+        let wait = LadderDecision::Wait {
+            level: 1,
+            timeout: SimDuration::from_secs(300),
+        };
+        assert_eq!(
+            wait.admission(at),
+            AdmissionDecision::Wait { deadline: now(310) }
+        );
+    }
+
+    #[test]
+    fn waits_populate_the_per_gateway_histograms() {
+        let mut l = small_ladder();
+        let a = l.begin_task();
+        let b = l.begin_task();
+        l.report_memory(a, 30 * MB, now(0));
+        assert!(matches!(
+            l.report_memory(b, 30 * MB, now(0)),
+            LadderDecision::Wait { level: 1, .. }
+        ));
+        l.finish_task(a, now(9));
+        let summary = l.stats().wait_summary(1);
+        assert_eq!(summary.count, 1);
+        assert!(summary.min >= 8_000_000, "waited ~9 s: {summary:?}");
+        assert_eq!(l.stats().wait_summary(0).count, 0);
     }
 
     #[test]

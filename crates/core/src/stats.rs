@@ -1,7 +1,7 @@
 //! Throttle statistics, the raw material of the paper's figures.
 
 use serde::{Deserialize, Serialize};
-use throttledb_sim::SimDuration;
+use throttledb_sim::{Histogram, SimDuration, Summary};
 
 /// Counters kept by the gateway ladder.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -20,6 +20,9 @@ pub struct ThrottleStats {
     pub waits: Vec<u64>,
     /// Total time spent waiting at each level.
     pub total_wait: Vec<SimDuration>,
+    /// Distribution of individual wait durations at each level, in
+    /// microseconds (each completed or abandoned wait is one sample).
+    pub wait_histograms: Vec<Histogram>,
     /// Compilations aborted because a gateway wait exceeded its timeout.
     pub timeouts: u64,
     /// Compilations told to finish with the best plan found so far.
@@ -36,9 +39,23 @@ impl ThrottleStats {
             acquisitions: vec![0; levels],
             waits: vec![0; levels],
             total_wait: vec![SimDuration::ZERO; levels],
+            wait_histograms: (0..levels)
+                .map(|i| Histogram::new(format!("gateway{i}-wait-us")))
+                .collect(),
             timeouts: 0,
             best_effort_completions: 0,
         }
+    }
+
+    /// Record one finished (or abandoned) wait of `duration` at `level`.
+    pub fn record_wait(&mut self, level: usize, duration: SimDuration) {
+        self.total_wait[level] += duration;
+        self.wait_histograms[level].record(duration.as_micros());
+    }
+
+    /// Summary of the wait-time distribution at `level` (microseconds).
+    pub fn wait_summary(&self, level: usize) -> Summary {
+        self.wait_histograms[level].summary()
     }
 
     /// Number of gateway levels these statistics cover.
@@ -80,6 +97,7 @@ impl ThrottleStats {
             self.acquisitions[i] += other.acquisitions[i];
             self.waits[i] += other.waits[i];
             self.total_wait[i] += other.total_wait[i];
+            self.wait_histograms[i].merge(&other.wait_histograms[i]);
         }
     }
 
@@ -108,6 +126,30 @@ mod tests {
         assert_eq!(s.total_waits(), 0);
         assert_eq!(s.total_wait_time(), SimDuration::ZERO);
         assert_eq!(s.mean_wait(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn record_wait_feeds_totals_and_histograms() {
+        let mut s = ThrottleStats::new(2);
+        s.record_wait(1, SimDuration::from_secs(4));
+        s.record_wait(1, SimDuration::from_secs(12));
+        assert_eq!(s.total_wait[1], SimDuration::from_secs(16));
+        let summary = s.wait_summary(1);
+        assert_eq!(summary.count, 2);
+        assert_eq!(summary.min, 4_000_000);
+        assert_eq!(summary.max, 12_000_000);
+        assert_eq!(s.wait_summary(0).count, 0);
+    }
+
+    #[test]
+    fn merge_combines_wait_histograms() {
+        let mut a = ThrottleStats::new(1);
+        let mut b = ThrottleStats::new(1);
+        a.record_wait(0, SimDuration::from_secs(1));
+        b.record_wait(0, SimDuration::from_secs(3));
+        a.merge(&b);
+        assert_eq!(a.wait_summary(0).count, 2);
+        assert_eq!(a.wait_summary(0).max, 3_000_000);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! [`ThreadedThrottle`] wraps the [`GatewayLadder`] state machine in a mutex
 //! plus condition variable and exposes a
-//! [`MemoryGovernor`](throttledb_optimizer::MemoryGovernor) per compilation.
+//! [`throttledb_optimizer::MemoryGovernor`] per compilation.
 //! From the optimizer's point of view nothing changes — "the only perceptible
 //! difference ... is that the thread sometimes receives less time for its
 //! work" — while the ladder decides which compilations proceed.

@@ -6,6 +6,69 @@ use throttledb_membroker::BrokerConfig;
 use throttledb_sim::SimDuration;
 use throttledb_workload::ClientModel;
 
+/// One named workload class, mapped to its own per-class admission pools: a
+/// gateway ladder with scaled thresholds and a slice of the execution
+/// memory-grant budget. Classes let one server give interactive sessions,
+/// ad-hoc analysts and scheduled reports different throttling envelopes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadClassConfig {
+    /// Class name ("default", "adhoc", "report", ...).
+    pub name: String,
+    /// Fraction of the client population assigned to this class. Shares are
+    /// normalized over all classes, so any positive weights work.
+    pub client_share: f64,
+    /// Multiplier applied to the base ladder's gateway thresholds: < 1
+    /// throttles this class's compilations earlier, > 1 later.
+    pub threshold_scale: f64,
+    /// Fraction of the broker's execution-memory target given to this
+    /// class's grant pool. Fractions across classes should sum to at most 1.
+    pub grant_fraction: f64,
+}
+
+impl WorkloadClassConfig {
+    /// The single catch-all class used when no classes are configured
+    /// explicitly: the whole population, unscaled ladder, whole grant budget.
+    pub fn default_class() -> Self {
+        WorkloadClassConfig {
+            name: "default".to_string(),
+            client_share: 1.0,
+            threshold_scale: 1.0,
+            grant_fraction: 1.0,
+        }
+    }
+
+    /// This class's ladder configuration: `base` with every gateway
+    /// threshold scaled by [`WorkloadClassConfig::threshold_scale`]. The
+    /// exemption floor is clamped below the first scaled threshold so the
+    /// diagnostic-query exemption invariant survives aggressive
+    /// down-scaling.
+    pub fn scaled_throttle(&self, base: &ThrottleConfig) -> ThrottleConfig {
+        let mut cfg = base.clone();
+        if (self.threshold_scale - 1.0).abs() > f64::EPSILON {
+            for m in &mut cfg.monitors {
+                m.threshold_bytes =
+                    ((m.threshold_bytes as f64 * self.threshold_scale) as u64).max(1);
+            }
+            cfg.exempt_bytes = cfg.exempt_bytes.min(cfg.monitors[0].threshold_bytes);
+        }
+        cfg
+    }
+
+    /// Panics on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "workload class needs a name");
+        assert!(self.client_share > 0.0, "client_share must be positive");
+        assert!(
+            self.threshold_scale > 0.0,
+            "threshold_scale must be positive"
+        );
+        assert!(
+            self.grant_fraction > 0.0 && self.grant_fraction <= 1.0,
+            "grant_fraction must be in (0,1]"
+        );
+    }
+}
+
 /// Configuration of one simulated server run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -63,6 +126,10 @@ pub struct ServerConfig {
     pub broker_tick: SimDuration,
     /// Fraction of OLTP/diagnostic queries mixed into the stream.
     pub oltp_fraction: f64,
+    /// Named workload classes, each with its own per-class admission pools
+    /// (scaled gateway ladder + grant-budget slice). The default single
+    /// "default" class reproduces the paper's undifferentiated population.
+    pub classes: Vec<WorkloadClassConfig>,
 }
 
 impl ServerConfig {
@@ -98,6 +165,7 @@ impl ServerConfig {
             grant_timeout: SimDuration::from_secs(900),
             broker_tick: SimDuration::from_secs(5),
             oltp_fraction: 0.05,
+            classes: vec![WorkloadClassConfig::default_class()],
         }
     }
 
@@ -111,6 +179,36 @@ impl ServerConfig {
             slice: SimDuration::from_secs(600),
             ..ServerConfig::paper(clients, throttled)
         }
+    }
+
+    /// Replace the class list with the standard three-class split used by
+    /// the per-class experiments: half the population in "default"
+    /// (unscaled ladder, 40% of the grant budget), 30% in "adhoc"
+    /// (thresholds halved — ad-hoc exploration is throttled early — 25% of
+    /// grants) and 20% in "report" (thresholds relaxed 1.5×, 35% of grants
+    /// for the big scheduled reports).
+    pub fn with_standard_classes(mut self) -> Self {
+        self.classes = vec![
+            WorkloadClassConfig {
+                name: "default".to_string(),
+                client_share: 0.5,
+                threshold_scale: 1.0,
+                grant_fraction: 0.40,
+            },
+            WorkloadClassConfig {
+                name: "adhoc".to_string(),
+                client_share: 0.3,
+                threshold_scale: 0.5,
+                grant_fraction: 0.25,
+            },
+            WorkloadClassConfig {
+                name: "report".to_string(),
+                client_share: 0.2,
+                threshold_scale: 1.5,
+                grant_fraction: 0.35,
+            },
+        ];
+        self
     }
 
     /// Panics on inconsistent settings.
@@ -129,6 +227,37 @@ impl ServerConfig {
         assert!(self.exec_cpu_calibration > 0.0);
         self.broker.validate();
         self.throttle.validate();
+        assert!(!self.classes.is_empty(), "need at least one workload class");
+        let mut grant_total = 0.0;
+        for class in &self.classes {
+            class.validate();
+            class.scaled_throttle(&self.throttle).validate();
+            grant_total += class.grant_fraction;
+        }
+        assert!(
+            grant_total <= 1.0 + 1e-9,
+            "class grant fractions oversubscribe the execution budget (sum = {grant_total})"
+        );
+    }
+
+    /// Deterministically assign each client to a class: contiguous ranges
+    /// sized by the normalized [`WorkloadClassConfig::client_share`]s, with
+    /// the last class absorbing rounding remainder. Returns one class index
+    /// per client id.
+    pub fn class_assignment(&self) -> Vec<usize> {
+        let total_share: f64 = self.classes.iter().map(|c| c.client_share).sum();
+        let mut assignment = vec![self.classes.len() - 1; self.clients as usize];
+        let mut start = 0usize;
+        let mut acc = 0.0;
+        for (idx, class) in self.classes.iter().enumerate().take(self.classes.len() - 1) {
+            acc += class.client_share / total_share;
+            let end = ((self.clients as f64 * acc).round() as usize).min(self.clients as usize);
+            for slot in assignment.iter_mut().take(end).skip(start) {
+                *slot = idx;
+            }
+            start = end;
+        }
+        assignment
     }
 }
 
@@ -161,6 +290,56 @@ mod tests {
     fn warmup_longer_than_run_rejected() {
         let mut c = ServerConfig::quick(5, true);
         c.warmup = SimDuration::from_secs(7200);
+        c.validate();
+    }
+
+    #[test]
+    fn default_config_has_one_catch_all_class() {
+        let c = ServerConfig::quick(10, true);
+        assert_eq!(c.classes.len(), 1);
+        assert_eq!(c.classes[0].name, "default");
+        assert_eq!(c.class_assignment(), vec![0; 10]);
+        // The catch-all class uses the base ladder unchanged.
+        assert_eq!(c.classes[0].scaled_throttle(&c.throttle), c.throttle);
+    }
+
+    #[test]
+    fn standard_classes_validate_and_partition_clients() {
+        let c = ServerConfig::quick(20, true).with_standard_classes();
+        c.validate();
+        let assignment = c.class_assignment();
+        assert_eq!(assignment.len(), 20);
+        let count = |idx: usize| assignment.iter().filter(|a| **a == idx).count();
+        assert_eq!(count(0), 10, "50% share of 20 clients");
+        assert_eq!(count(1), 6, "30% share");
+        assert_eq!(count(2), 4, "20% share");
+        // Assignment is deterministic and contiguous.
+        assert_eq!(c.class_assignment(), assignment);
+        assert!(assignment.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn threshold_scaling_keeps_ladder_invariants() {
+        let c = ServerConfig::quick(10, true).with_standard_classes();
+        for class in &c.classes {
+            let t = class.scaled_throttle(&c.throttle);
+            t.validate();
+        }
+        // The "adhoc" class halves the thresholds.
+        let adhoc = c.classes[1].scaled_throttle(&c.throttle);
+        assert_eq!(
+            adhoc.monitors[1].threshold_bytes,
+            c.throttle.monitors[1].threshold_bytes / 2
+        );
+        // Exemption floor is clamped below the first scaled threshold.
+        assert!(adhoc.exempt_bytes <= adhoc.monitors[0].threshold_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribe")]
+    fn oversubscribed_grant_fractions_rejected() {
+        let mut c = ServerConfig::quick(5, true).with_standard_classes();
+        c.classes[0].grant_fraction = 0.9;
         c.validate();
     }
 }

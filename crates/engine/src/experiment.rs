@@ -1,7 +1,7 @@
 //! The experiments that regenerate the paper's figures and tables.
 
 use crate::config::ServerConfig;
-use crate::metrics::RunMetrics;
+use crate::metrics::{ClassMetrics, RunMetrics};
 use crate::profile::WorkloadProfiles;
 use crate::server::Server;
 use serde::{Deserialize, Serialize};
@@ -129,6 +129,36 @@ pub fn client_sweep(base: &ServerConfig, client_counts: &[u32]) -> Vec<SweepRow>
                 unthrottled_completed: cmp.unthrottled.completed_after_warmup,
                 throttled_failures: cmp.throttled.total_failures(),
                 unthrottled_failures: cmp.unthrottled.total_failures(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the per-class client sweep: the class breakdown of one
+/// throttled run at a given client count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassSweepRow {
+    /// Total client count of the run.
+    pub clients: u32,
+    /// Per-class results, in configuration order.
+    pub per_class: Vec<ClassMetrics>,
+}
+
+/// Per-class variant of the client sweep: run the throttled configuration
+/// of `base` (which should carry multiple workload classes, e.g. from
+/// [`ServerConfig::with_standard_classes`]) at each client count and report
+/// the class breakdowns. Deterministic for a given seed.
+pub fn client_sweep_per_class(base: &ServerConfig, client_counts: &[u32]) -> Vec<ClassSweepRow> {
+    let profiles = Arc::new(WorkloadProfiles::characterize_sales(base));
+    client_counts
+        .iter()
+        .map(|&clients| {
+            let mut cfg = base.clone();
+            cfg.clients = clients;
+            let metrics = Server::new(cfg, profiles.clone()).run();
+            ClassSweepRow {
+                clients,
+                per_class: metrics.classes,
             }
         })
         .collect()
@@ -321,6 +351,25 @@ mod tests {
         assert!(
             cmp.unthrottled.compile_memory.max_value() > cmp.throttled.compile_memory.max_value()
         );
+    }
+
+    #[test]
+    fn per_class_sweep_is_seed_stable() {
+        let base = ServerConfig::quick(12, true).with_standard_classes();
+        let a = client_sweep_per_class(&base, &[8, 12]);
+        let b = client_sweep_per_class(&base, &[8, 12]);
+        assert_eq!(a.len(), 2);
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            assert_eq!(ra.clients, rb.clients);
+            assert_eq!(ra.per_class.len(), 3);
+            for (ca, cb) in ra.per_class.iter().zip(rb.per_class.iter()) {
+                assert_eq!(ca.name, cb.name);
+                assert_eq!(ca.completed, cb.completed, "class {} unstable", ca.name);
+                assert_eq!(ca.failed, cb.failed);
+            }
+        }
+        // The sweep covers every configured class with clients.
+        assert!(a[1].per_class.iter().all(|c| c.clients > 0));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use throttledb_core::ThrottleStats;
+use throttledb_governor::PoolStats;
 use throttledb_sim::{GaugeTimeline, SimDuration, SimTime, TimeSeries};
 
 /// Why a query failed.
@@ -13,6 +14,29 @@ pub enum FailureKind {
     CompileTimeout,
     /// Timed out waiting for an execution memory grant.
     GrantTimeout,
+}
+
+/// Per-workload-class results of one run (one entry per configured class).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Class name.
+    pub name: String,
+    /// Number of clients assigned to the class.
+    pub clients: u32,
+    /// Successful completions (whole run).
+    pub completed: u64,
+    /// Successful completions after warm-up.
+    pub completed_after_warmup: u64,
+    /// Failed queries.
+    pub failed: u64,
+    /// Queries completed with a best-effort plan.
+    pub best_effort_plans: u64,
+    /// The class ladder's statistics (including per-gateway wait
+    /// histograms).
+    pub throttle: ThrottleStats,
+    /// The class grant pool's statistics (including the grant-wait
+    /// histogram).
+    pub grants: PoolStats,
 }
 
 /// Metrics collected over one simulated run.
@@ -34,8 +58,10 @@ pub struct RunMetrics {
     pub completed_after_warmup: u64,
     /// Compilation-memory timeline (total across concurrent compilations).
     pub compile_memory: GaugeTimeline,
-    /// Final gateway-ladder statistics.
+    /// Final gateway-ladder statistics, merged across all workload classes.
     pub throttle: ThrottleStats,
+    /// Per-workload-class breakdown (one entry per configured class).
+    pub classes: Vec<ClassMetrics>,
     /// Warm-up boundary used by the reporting helpers.
     pub warmup: SimTime,
     /// Slice width.
@@ -55,6 +81,7 @@ impl RunMetrics {
             completed_after_warmup: 0,
             compile_memory: GaugeTimeline::new("compile-memory"),
             throttle: ThrottleStats::new(throttle_levels),
+            classes: Vec::new(),
             warmup,
             slice,
         }

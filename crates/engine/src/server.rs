@@ -1,13 +1,20 @@
-//! The discrete-event DBMS server.
+//! The discrete-event DBMS server: event dispatch over the pipeline stages.
+//!
+//! The server owns the simulation state — clients, per-class admission
+//! pools, the broker, the event queue — and routes each popped event to the
+//! stage that handles it. All compile/grant/execute *policy* lives in the
+//! [`crate::stages`] modules; what remains here is dispatch plus the shared
+//! machine model (CPU load factor, submission scheduling).
 
 use crate::config::ServerConfig;
-use crate::metrics::{FailureKind, RunMetrics};
+use crate::metrics::{ClassMetrics, RunMetrics};
 use crate::profile::{CompileProfile, WorkloadProfiles};
+use crate::stages::{ClassRuntime, Query};
 use std::collections::HashMap;
 use std::sync::Arc;
 use throttledb_bufferpool::HitRateModel;
-use throttledb_core::{GatewayLadder, LadderDecision, TaskId};
-use throttledb_executor::{GrantManager, GrantOutcome, GrantRequestId};
+use throttledb_core::TaskId;
+use throttledb_executor::GrantRequestId;
 use throttledb_membroker::{Clerk, MemoryBroker, SubcomponentKind};
 use throttledb_plancache::PlanCache;
 use throttledb_sim::{EventQueue, SimDuration, SimRng, SimTime};
@@ -15,7 +22,7 @@ use throttledb_workload::{ClientModel, Uniquifier};
 
 /// Discrete events driving the simulation.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+pub(crate) enum Event {
     /// A client submits its next query.
     Submit { client: u32 },
     /// One compilation memory-growth step completes.
@@ -30,41 +37,30 @@ enum Event {
     BrokerTick,
 }
 
-#[derive(Debug)]
-struct Query {
-    client: u32,
-    template: String,
-    profile: CompileProfile,
-    task: TaskId,
-    compile_step: u32,
-    compile_bytes: u64,
-    waiting_level: Option<usize>,
-    grant_id: Option<GrantRequestId>,
-    grant_requested: u64,
-}
-
 /// The simulated server: builds the paper's machine, runs the client
 /// population, and returns the run's metrics.
 pub struct Server {
-    config: ServerConfig,
-    profiles: Arc<WorkloadProfiles>,
-    broker: Arc<MemoryBroker>,
-    compile_clerk: Clerk,
-    ladder: GatewayLadder,
-    grants: GrantManager,
-    plan_cache: PlanCache<String>,
-    hit_model: HitRateModel,
-    uniquifier: Uniquifier,
-    client_model: ClientModel,
-    rng: SimRng,
-    queue: EventQueue<Event>,
-    queries: HashMap<u64, Query>,
-    task_to_query: HashMap<TaskId, u64>,
-    grant_to_query: HashMap<GrantRequestId, u64>,
-    next_query: u64,
-    running_cpu_tasks: u32,
-    metrics: RunMetrics,
-    now: SimTime,
+    pub(crate) config: ServerConfig,
+    pub(crate) profiles: Arc<WorkloadProfiles>,
+    pub(crate) broker: Arc<MemoryBroker>,
+    pub(crate) compile_clerk: Clerk,
+    /// One admission-pool runtime per configured workload class.
+    pub(crate) classes: Vec<ClassRuntime>,
+    /// Client id -> class index (precomputed, deterministic).
+    pub(crate) class_by_client: Vec<usize>,
+    pub(crate) plan_cache: PlanCache<String>,
+    pub(crate) hit_model: HitRateModel,
+    pub(crate) uniquifier: Uniquifier,
+    pub(crate) client_model: ClientModel,
+    pub(crate) rng: SimRng,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) queries: HashMap<u64, Query>,
+    pub(crate) task_to_query: HashMap<(usize, TaskId), u64>,
+    pub(crate) grant_to_query: HashMap<(usize, GrantRequestId), u64>,
+    pub(crate) next_query: u64,
+    pub(crate) running_cpu_tasks: u32,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) now: SimTime,
 }
 
 impl Server {
@@ -76,9 +72,13 @@ impl Server {
         let exec_clerk = broker.register(SubcomponentKind::Execution);
         let cache_clerk = broker.register(SubcomponentKind::PlanCache);
         let exec_budget = broker.target_for_kind(SubcomponentKind::Execution);
-        let grants = GrantManager::new(exec_budget, Some(exec_clerk));
+        let classes = config
+            .classes
+            .iter()
+            .map(|spec| ClassRuntime::new(spec.clone(), &config.throttle, exec_budget, &exec_clerk))
+            .collect();
+        let class_by_client = config.class_assignment();
         let plan_cache = PlanCache::new(256 << 20, Some(cache_clerk));
-        let ladder = GatewayLadder::new(config.throttle.clone());
         let metrics = RunMetrics::new(
             config.slice,
             SimTime::ZERO + config.warmup,
@@ -91,8 +91,8 @@ impl Server {
             profiles,
             broker,
             compile_clerk,
-            ladder,
-            grants,
+            classes,
+            class_by_client,
             plan_cache,
             hit_model: HitRateModel::default(),
             uniquifier: Uniquifier::new(),
@@ -134,347 +134,52 @@ impl Server {
                 Event::BrokerTick => self.on_broker_tick(),
             }
         }
-        self.metrics.throttle = self.ladder.stats().clone();
-        self.metrics
+        self.finalize_metrics()
     }
 
-    // --- event handlers ----------------------------------------------------
+    // --- shared machine model ---------------------------------------------
 
-    fn on_submit(&mut self, client: u32) {
-        let template = self
-            .client_model
-            .choose_template(&self.profiles.dss, &self.profiles.oltp, &mut self.rng)
-            .clone();
-        let profile = self
-            .profiles
-            .profile(&template.name)
-            .jittered(&mut self.rng);
-        let id = self.next_query;
-        self.next_query += 1;
-        let text = self.uniquifier.uniquify(&template.sql, &mut self.rng, id);
-
-        // The uniquifier defeats the plan cache (as in the paper); a hit can
-        // only happen for the rare literal-free diagnostic queries.
-        if self.plan_cache.get(&text).is_some() {
-            let query = Query {
-                client,
-                template: template.name.clone(),
-                profile,
-                task: self.ladder.begin_task(),
-                compile_step: self.config.compile_steps,
-                compile_bytes: 0,
-                waiting_level: None,
-                grant_id: None,
-                grant_requested: 0,
-            };
-            self.queries.insert(id, query);
-            self.finish_compile(id);
-            return;
-        }
-
-        let task = self.ladder.begin_task();
-        self.task_to_query.insert(task, id);
-        self.queries.insert(
-            id,
-            Query {
-                client,
-                template: template.name.clone(),
-                profile,
-                task,
-                compile_step: 0,
-                compile_bytes: 0,
-                waiting_level: None,
-                grant_id: None,
-                grant_requested: 0,
-            },
-        );
-        self.running_cpu_tasks += 1;
-        let step = self.compile_step_duration(&profile);
-        self.queue
-            .schedule(self.now + step, Event::CompileStep { query: id });
+    /// The class index of `client`.
+    pub(crate) fn class_of(&self, client: u32) -> usize {
+        self.class_by_client[client as usize]
     }
 
-    fn on_compile_step(&mut self, id: u64) {
-        let Some(q) = self.queries.get(&id) else {
-            return;
-        };
-        if q.waiting_level.is_some() {
-            // A stale step event for a query that has since blocked.
-            return;
-        }
-        let profile = q.profile;
-        let delta = (profile.peak_compile_bytes / self.config.compile_steps as u64).max(1);
-
-        // Out-of-memory: the machine genuinely has no room for this step.
-        if self.broker.available_bytes() < delta {
-            self.fail_query(id, FailureKind::OutOfMemory);
-            return;
-        }
-        let (task, bytes, step) = {
-            let q = self.queries.get_mut(&id).expect("query exists");
-            q.compile_bytes += delta;
-            q.compile_step += 1;
-            (q.task, q.compile_bytes, q.compile_step)
-        };
-        self.compile_clerk.allocate(delta);
-        self.metrics
-            .compile_memory
-            .record(self.now, self.compile_clerk.used_bytes());
-
-        match self.ladder.report_memory(task, bytes, self.now) {
-            LadderDecision::Proceed => {
-                if step >= self.config.compile_steps {
-                    self.finish_compile(id);
-                } else {
-                    let d = self.compile_step_duration(&profile);
-                    self.queue
-                        .schedule(self.now + d, Event::CompileStep { query: id });
-                }
-            }
-            LadderDecision::Wait { level, timeout } => {
-                if let Some(q) = self.queries.get_mut(&id) {
-                    q.waiting_level = Some(level);
-                }
-                self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
-                self.queue.schedule(
-                    self.now + timeout,
-                    Event::CompileTimeout { query: id, level },
-                );
-            }
-            LadderDecision::FinishBestEffort => {
-                self.metrics.best_effort_plans += 1;
-                self.finish_compile(id);
-            }
-        }
-    }
-
-    fn on_compile_timeout(&mut self, id: u64, level: usize) {
-        let still_waiting = self
-            .queries
-            .get(&id)
-            .map(|q| q.waiting_level == Some(level))
-            .unwrap_or(false);
-        if !still_waiting {
-            return;
-        }
-        if let Some(q) = self.queries.get(&id) {
-            self.ladder.timeout_task(q.task, self.now);
-        }
-        self.fail_query(id, FailureKind::CompileTimeout);
-    }
-
-    fn finish_compile(&mut self, id: u64) {
-        let (task, compile_bytes, template, profile) = {
-            let q = self.queries.get(&id).expect("query exists");
-            (q.task, q.compile_bytes, q.template.clone(), q.profile)
-        };
-        // Compilation memory is freed when the plan is produced.
-        self.compile_clerk.free(compile_bytes);
-        self.metrics
-            .compile_memory
-            .record(self.now, self.compile_clerk.used_bytes());
-        if let Some(q) = self.queries.get_mut(&id) {
-            q.compile_bytes = 0;
-        }
-        self.task_to_query.remove(&task);
-        let resumed = self.ladder.finish_task(task, self.now);
-        self.resume_tasks(resumed);
-        self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
-
-        // Cache the plan (uniquified text means this rarely helps — by design).
-        self.plan_cache.insert(
-            format!("{template}-{id}"),
-            template,
-            96 << 10,
-            profile.compile_cpu_seconds,
-        );
-
-        // Ask for the execution memory grant.
-        let requested = profile.exec_grant_bytes.max(1 << 20);
-        let (grant_id, outcome) = self.grants.request(requested);
-        if let Some(q) = self.queries.get_mut(&id) {
-            q.grant_id = Some(grant_id);
-            q.grant_requested = requested;
-        }
-        self.grant_to_query.insert(grant_id, id);
-        match outcome {
-            GrantOutcome::Granted { bytes } | GrantOutcome::Reduced { bytes } => {
-                self.start_exec(id, bytes);
-            }
-            GrantOutcome::Queued => {
-                self.queue.schedule(
-                    self.now + self.config.grant_timeout,
-                    Event::GrantTimeout { query: id },
-                );
-            }
-        }
-    }
-
-    fn on_grant_timeout(&mut self, id: u64) {
-        // Only fires if the grant was never given (start_exec removes the
-        // mapping when it runs).
-        let Some(q) = self.queries.get(&id) else {
-            return;
-        };
-        let Some(grant_id) = q.grant_id else { return };
-        if !self.grant_to_query.contains_key(&grant_id) {
-            return;
-        }
-        if self.grants.cancel(grant_id) {
-            self.grant_to_query.remove(&grant_id);
-            self.fail_query(id, FailureKind::GrantTimeout);
-        }
-    }
-
-    fn start_exec(&mut self, id: u64, granted_bytes: u64) {
-        let Some(q) = self.queries.get(&id) else {
-            return;
-        };
-        let profile = q.profile;
-        let requested = q.grant_requested;
-        if let Some(grant_id) = q.grant_id {
-            self.grant_to_query.remove(&grant_id);
-        }
-        self.running_cpu_tasks += 1;
-
-        // CPU time: parallelized over the machine, inflated by spills and by
-        // CPU contention.
-        let spill = if requested == 0 {
-            1.0
-        } else {
-            let fraction = (granted_bytes as f64 / requested as f64).clamp(0.05, 1.0);
-            1.0 + (1.0 / fraction - 1.0) * 0.45
-        };
-        let cpu_seconds =
-            profile.exec_cpu_seconds * spill / self.config.exec_parallelism * self.load_factor();
-
-        // I/O time: whatever memory is not claimed by compilation, grants and
-        // caches acts as the page buffer pool.
-        let pool_bytes = self
-            .config
-            .broker
-            .brokered_bytes()
-            .saturating_sub(self.broker.used_bytes());
-        let touched =
-            (profile.exec_footprint_bytes as f64 * self.config.io_touched_fraction) as u64;
-        let io_seconds = self.hit_model.io_seconds(
-            touched,
-            pool_bytes,
-            self.config.hot_working_set_bytes,
-            self.config.io_bandwidth_bytes_per_sec,
-        );
-
-        let duration = SimDuration::from_secs_f64((cpu_seconds + io_seconds).max(1.0));
-        self.queue
-            .schedule(self.now + duration, Event::ExecFinish { query: id });
-    }
-
-    fn on_exec_finish(&mut self, id: u64) {
-        let Some(q) = self.queries.remove(&id) else {
-            return;
-        };
-        self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
-        if let Some(grant_id) = q.grant_id {
-            let admitted = self.grants.release(grant_id);
-            self.start_admitted(admitted);
-        }
-        self.metrics.record_completion(self.now);
-        let think = self.client_model.think_time(&mut self.rng);
-        self.schedule_submit(q.client, think);
-    }
-
-    fn on_broker_tick(&mut self) {
-        let decisions = self.broker.recalculate(self.now);
-        let constrained = decisions
-            .iter()
-            .any(|d| d.notification.target_bytes.is_some());
-        let compile_target = if constrained {
-            Some(self.broker.target_for_kind(SubcomponentKind::Compilation))
-        } else {
-            None
-        };
-        self.ladder.set_compilation_target(compile_target);
-        self.grants
-            .set_budget(self.broker.target_for_kind(SubcomponentKind::Execution));
-        // The plan cache responds to pressure by shrinking toward its target.
-        if let Some(target) = decisions
-            .iter()
-            .find(|d| d.notification.kind_of_component == SubcomponentKind::PlanCache)
-            .and_then(|d| d.notification.target_bytes)
-        {
-            if self.plan_cache.used_bytes() > target {
-                self.plan_cache.shrink_to(target);
-            }
-        }
-        if self.now + self.config.broker_tick < SimTime::ZERO + self.config.duration {
-            self.queue
-                .schedule(self.now + self.config.broker_tick, Event::BrokerTick);
-        }
-    }
-
-    // --- helpers -------------------------------------------------------------
-
-    fn resume_tasks(&mut self, resumed: Vec<TaskId>) {
-        for task in resumed {
-            if let Some(&qid) = self.task_to_query.get(&task) {
-                if let Some(q) = self.queries.get_mut(&qid) {
-                    q.waiting_level = None;
-                }
-                self.running_cpu_tasks += 1;
-                self.queue
-                    .schedule(self.now, Event::CompileStep { query: qid });
-            }
-        }
-    }
-
-    fn start_admitted(&mut self, admitted: Vec<(GrantRequestId, GrantOutcome)>) {
-        for (grant_id, outcome) in admitted {
-            if let Some(&qid) = self.grant_to_query.get(&grant_id) {
-                let bytes = match outcome {
-                    GrantOutcome::Granted { bytes } | GrantOutcome::Reduced { bytes } => bytes,
-                    GrantOutcome::Queued => continue,
-                };
-                self.start_exec(qid, bytes);
-            }
-        }
-    }
-
-    fn fail_query(&mut self, id: u64, kind: FailureKind) {
-        let Some(q) = self.queries.remove(&id) else {
-            return;
-        };
-        self.compile_clerk.free(q.compile_bytes);
-        self.task_to_query.remove(&q.task);
-        if q.waiting_level.is_none() && q.compile_step < self.config.compile_steps {
-            self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
-        }
-        let resumed = self.ladder.finish_task(q.task, self.now);
-        self.resume_tasks(resumed);
-        if let Some(grant_id) = q.grant_id {
-            self.grant_to_query.remove(&grant_id);
-            let admitted = self.grants.release(grant_id);
-            self.start_admitted(admitted);
-        }
-        self.metrics.record_failure(self.now, kind);
-        // "Those aborted queries likely need to be resubmitted to the system."
-        let delay = self.client_model.retry_delay(&mut self.rng);
-        self.schedule_submit(q.client, delay);
-    }
-
-    fn schedule_submit(&mut self, client: u32, delay: SimDuration) {
+    pub(crate) fn schedule_submit(&mut self, client: u32, delay: SimDuration) {
         let at = self.now + delay;
         if at <= SimTime::ZERO + self.config.duration {
             self.queue.schedule(at, Event::Submit { client });
         }
     }
 
-    fn compile_step_duration(&mut self, profile: &CompileProfile) -> SimDuration {
+    pub(crate) fn compile_step_duration(&mut self, profile: &CompileProfile) -> SimDuration {
         let per_step = profile.compile_cpu_seconds / self.config.compile_steps as f64;
         SimDuration::from_secs_f64((per_step * self.load_factor()).max(0.001))
     }
 
-    fn load_factor(&self) -> f64 {
+    pub(crate) fn load_factor(&self) -> f64 {
         (self.running_cpu_tasks as f64 / self.config.cpus as f64).max(1.0)
+    }
+
+    /// Fold per-class results into the run metrics.
+    fn finalize_metrics(mut self) -> RunMetrics {
+        let mut class_clients = vec![0u32; self.classes.len()];
+        for class in &self.class_by_client {
+            class_clients[*class] += 1;
+        }
+        for (idx, class) in self.classes.iter().enumerate() {
+            self.metrics.throttle.merge(class.ladder.stats());
+            self.metrics.classes.push(ClassMetrics {
+                name: class.spec.name.clone(),
+                clients: class_clients[idx],
+                completed: class.completed,
+                completed_after_warmup: class.completed_after_warmup,
+                failed: class.failed,
+                best_effort_plans: class.best_effort_plans,
+                throttle: class.ladder.stats().clone(),
+                grants: class.grants.pool_stats(),
+            });
+        }
+        self.metrics
     }
 }
 
@@ -536,5 +241,65 @@ mod tests {
             throttled.compile_memory.max_value()
         );
         assert!(throttled.throttle.compilations_started >= throttled.completed.total());
+    }
+
+    #[test]
+    fn single_class_run_reports_one_class_covering_everything() {
+        let profiles = profiles();
+        let metrics = Server::new(ServerConfig::quick(8, true), profiles).run();
+        assert_eq!(metrics.classes.len(), 1);
+        let class = &metrics.classes[0];
+        assert_eq!(class.name, "default");
+        assert_eq!(class.clients, 8);
+        assert_eq!(class.completed, metrics.completed.total());
+        assert_eq!(class.completed_after_warmup, metrics.completed_after_warmup);
+        assert_eq!(class.throttle, metrics.throttle);
+    }
+
+    #[test]
+    fn multi_class_run_is_deterministic_and_covers_all_classes() {
+        let profiles = profiles();
+        let run = || {
+            let cfg = ServerConfig::quick(16, true).with_standard_classes();
+            Server::new(cfg, profiles.clone()).run()
+        };
+        let a = run();
+        assert_eq!(a.classes.len(), 3);
+        let names: Vec<&str> = a.classes.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["default", "adhoc", "report"]);
+        assert_eq!(a.classes.iter().map(|c| c.clients).sum::<u32>(), 16);
+        // Every class makes progress...
+        for class in &a.classes {
+            assert!(class.completed > 0, "class {} idle", class.name);
+        }
+        // ...and the per-class counters add up to the run totals.
+        assert_eq!(
+            a.classes.iter().map(|c| c.completed).sum::<u64>(),
+            a.completed.total()
+        );
+        assert_eq!(
+            a.classes.iter().map(|c| c.failed).sum::<u64>(),
+            a.failed.total()
+        );
+        // Seed-stable: an identical run reproduces the same per-class counts.
+        let b = run();
+        for (x, y) in a.classes.iter().zip(b.classes.iter()) {
+            assert_eq!(x.completed, y.completed, "class {} not seed-stable", x.name);
+            assert_eq!(x.failed, y.failed);
+        }
+    }
+
+    #[test]
+    fn class_ladders_throttle_independently() {
+        let profiles = profiles();
+        let cfg = ServerConfig::quick(16, true).with_standard_classes();
+        let metrics = Server::new(cfg, profiles).run();
+        let adhoc = &metrics.classes[1];
+        // The adhoc ladder's thresholds are halved, so its compilations
+        // acquire gateways at sizes the default class would wave through.
+        assert!(
+            adhoc.throttle.acquisitions.iter().sum::<u64>() > 0,
+            "adhoc class never engaged its ladder"
+        );
     }
 }

@@ -1,0 +1,193 @@
+//! Stage 1: submission and compilation.
+//!
+//! A submitted query compiles in discrete memory-growth steps; after each
+//! step the accumulated bytes are reported to the query's class gateway
+//! ladder, which answers proceed / wait-at-gateway / finish-best-effort.
+//! Gateway waits are realised as virtual-time timeout events; admission is
+//! signalled by the ladder when a holder releases.
+
+use super::{Query, QueryLifecycle};
+use crate::metrics::FailureKind;
+use crate::server::{Event, Server};
+use throttledb_core::LadderDecision;
+
+impl Server {
+    /// A client submits its next query: choose a template, uniquify its
+    /// text, and start (or skip, on a plan-cache hit) compilation.
+    pub(crate) fn on_submit(&mut self, client: u32) {
+        let class = self.class_of(client);
+        let template = self
+            .client_model
+            .choose_template(&self.profiles.dss, &self.profiles.oltp, &mut self.rng)
+            .clone();
+        let profile = self
+            .profiles
+            .profile(&template.name)
+            .jittered(&mut self.rng);
+        let id = self.next_query;
+        self.next_query += 1;
+        let text = self.uniquifier.uniquify(&template.sql, &mut self.rng, id);
+
+        // The uniquifier defeats the plan cache (as in the paper); a hit can
+        // only happen for the rare literal-free diagnostic queries.
+        if self.plan_cache.get(&text).is_some() {
+            let query = Query {
+                client,
+                class,
+                template: template.name.clone(),
+                profile,
+                task: self.classes[class].ladder.begin_task(),
+                compile_step: self.config.compile_steps,
+                compile_bytes: 0,
+                lifecycle: QueryLifecycle::Compiling,
+                grant_id: None,
+                grant_requested: 0,
+            };
+            self.queries.insert(id, query);
+            // finish_compile releases the CPU slot the compile path would
+            // have taken; take it here so the accounting stays balanced.
+            self.running_cpu_tasks += 1;
+            self.finish_compile(id);
+            return;
+        }
+
+        let task = self.classes[class].ladder.begin_task();
+        self.task_to_query.insert((class, task), id);
+        self.queries.insert(
+            id,
+            Query {
+                client,
+                class,
+                template: template.name.clone(),
+                profile,
+                task,
+                compile_step: 0,
+                compile_bytes: 0,
+                lifecycle: QueryLifecycle::Compiling,
+                grant_id: None,
+                grant_requested: 0,
+            },
+        );
+        self.running_cpu_tasks += 1;
+        let step = self.compile_step_duration(&profile);
+        self.queue
+            .schedule(self.now + step, Event::CompileStep { query: id });
+    }
+
+    /// One compilation memory-growth step: allocate the step's bytes, report
+    /// the total to the class ladder, and act on its decision.
+    pub(crate) fn on_compile_step(&mut self, id: u64) {
+        let Some(q) = self.queries.get(&id) else {
+            return;
+        };
+        if q.lifecycle.waiting_level().is_some() {
+            // A stale step event for a query that has since blocked.
+            return;
+        }
+        let class = q.class;
+        let profile = q.profile;
+        let delta = (profile.peak_compile_bytes / self.config.compile_steps as u64).max(1);
+
+        // Out-of-memory: the machine genuinely has no room for this step.
+        if self.broker.available_bytes() < delta {
+            self.fail_query(id, FailureKind::OutOfMemory);
+            return;
+        }
+        let (task, bytes, step) = {
+            let q = self.queries.get_mut(&id).expect("query exists");
+            q.compile_bytes += delta;
+            q.compile_step += 1;
+            (q.task, q.compile_bytes, q.compile_step)
+        };
+        self.compile_clerk.allocate(delta);
+        self.metrics
+            .compile_memory
+            .record(self.now, self.compile_clerk.used_bytes());
+
+        match self.classes[class]
+            .ladder
+            .report_memory(task, bytes, self.now)
+        {
+            LadderDecision::Proceed => {
+                if step >= self.config.compile_steps {
+                    self.finish_compile(id);
+                } else {
+                    let d = self.compile_step_duration(&profile);
+                    self.queue
+                        .schedule(self.now + d, Event::CompileStep { query: id });
+                }
+            }
+            LadderDecision::Wait { level, timeout } => {
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.lifecycle
+                        .advance(QueryLifecycle::WaitingAtGateway { level });
+                }
+                self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+                self.queue.schedule(
+                    self.now + timeout,
+                    Event::CompileTimeout { query: id, level },
+                );
+            }
+            LadderDecision::FinishBestEffort => {
+                self.metrics.best_effort_plans += 1;
+                self.classes[class].best_effort_plans += 1;
+                self.finish_compile(id);
+            }
+        }
+    }
+
+    /// A gateway wait expired. If the query is still blocked at that level,
+    /// abort it with a compile-timeout failure.
+    pub(crate) fn on_compile_timeout(&mut self, id: u64, level: usize) {
+        let still_waiting = self
+            .queries
+            .get(&id)
+            .map(|q| q.lifecycle.waiting_level() == Some(level))
+            .unwrap_or(false);
+        if !still_waiting {
+            return;
+        }
+        if let Some(q) = self.queries.get(&id) {
+            self.classes[q.class].ladder.timeout_task(q.task, self.now);
+        }
+        self.fail_query(id, FailureKind::CompileTimeout);
+    }
+
+    /// Compilation produced a plan (fully or best-effort): free compile
+    /// memory, release the ladder, cache the plan, and hand the query to
+    /// the grant stage.
+    pub(crate) fn finish_compile(&mut self, id: u64) {
+        let (class, task, compile_bytes, template, profile) = {
+            let q = self.queries.get(&id).expect("query exists");
+            (
+                q.class,
+                q.task,
+                q.compile_bytes,
+                q.template.clone(),
+                q.profile,
+            )
+        };
+        // Compilation memory is freed when the plan is produced.
+        self.compile_clerk.free(compile_bytes);
+        self.metrics
+            .compile_memory
+            .record(self.now, self.compile_clerk.used_bytes());
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.compile_bytes = 0;
+        }
+        self.task_to_query.remove(&(class, task));
+        let resumed = self.classes[class].ladder.finish_task(task, self.now);
+        self.resume_tasks(class, resumed);
+        self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+
+        // Cache the plan (uniquified text means this rarely helps — by design).
+        self.plan_cache.insert(
+            format!("{template}-{id}"),
+            template,
+            96 << 10,
+            profile.compile_cpu_seconds,
+        );
+
+        self.request_grant(id, profile.exec_grant_bytes);
+    }
+}

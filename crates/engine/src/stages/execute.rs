@@ -1,0 +1,80 @@
+//! Stage 3: execution.
+//!
+//! Execution is modelled analytically: CPU seconds inflated by hash spills
+//! (when the grant was reduced) and machine load, plus I/O seconds through
+//! the buffer-pool hit-rate model over whatever physical memory the
+//! brokered subcomponents have left free.
+
+use super::QueryLifecycle;
+use crate::server::{Event, Server};
+use throttledb_sim::SimDuration;
+
+impl Server {
+    /// Begin executing query `id` with `granted_bytes` of execution memory.
+    pub(crate) fn start_exec(&mut self, id: u64, granted_bytes: u64) {
+        let Some(q) = self.queries.get_mut(&id) else {
+            return;
+        };
+        let class = q.class;
+        let profile = q.profile;
+        let requested = q.grant_requested;
+        q.lifecycle.advance(QueryLifecycle::Executing);
+        if let Some(grant_id) = q.grant_id {
+            self.grant_to_query.remove(&(class, grant_id));
+        }
+        self.running_cpu_tasks += 1;
+
+        // CPU time: parallelized over the machine, inflated by spills and by
+        // CPU contention.
+        let spill = if requested == 0 {
+            1.0
+        } else {
+            let fraction = (granted_bytes as f64 / requested as f64).clamp(0.05, 1.0);
+            1.0 + (1.0 / fraction - 1.0) * 0.45
+        };
+        let cpu_seconds =
+            profile.exec_cpu_seconds * spill / self.config.exec_parallelism * self.load_factor();
+
+        // I/O time: whatever memory is not claimed by compilation, grants and
+        // caches acts as the page buffer pool.
+        let pool_bytes = self
+            .config
+            .broker
+            .brokered_bytes()
+            .saturating_sub(self.broker.used_bytes());
+        let touched =
+            (profile.exec_footprint_bytes as f64 * self.config.io_touched_fraction) as u64;
+        let io_seconds = self.hit_model.io_seconds(
+            touched,
+            pool_bytes,
+            self.config.hot_working_set_bytes,
+            self.config.io_bandwidth_bytes_per_sec,
+        );
+
+        let duration = SimDuration::from_secs_f64((cpu_seconds + io_seconds).max(1.0));
+        self.queue
+            .schedule(self.now + duration, Event::ExecFinish { query: id });
+    }
+
+    /// A query finished executing: release its grant (starting admitted
+    /// waiters), record the completion, and schedule the client's next
+    /// think-time submission.
+    pub(crate) fn on_exec_finish(&mut self, id: u64) {
+        let Some(q) = self.queries.remove(&id) else {
+            return;
+        };
+        self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+        if let Some(grant_id) = q.grant_id {
+            let admitted = self.classes[q.class].grants.release_at(grant_id, self.now);
+            self.start_admitted(q.class, admitted);
+        }
+        self.metrics.record_completion(self.now);
+        let class = &mut self.classes[q.class];
+        class.completed += 1;
+        if self.now >= self.metrics.warmup {
+            class.completed_after_warmup += 1;
+        }
+        let think = self.client_model.think_time(&mut self.rng);
+        self.schedule_submit(q.client, think);
+    }
+}

@@ -1,0 +1,284 @@
+//! The query pipeline stages and their shared state machine.
+//!
+//! The engine server processes every query through three stages, each in
+//! its own module:
+//!
+//! 1. [`compile`] — submission, compilation memory growth through the
+//!    class's gateway ladder, gateway timeouts;
+//! 2. [`grant`] — the execution memory-grant request against the class's
+//!    grant pool, grant-wait timeouts;
+//! 3. [`execute`] — the execution model (CPU, spill inflation, buffer-pool
+//!    I/O) and completion.
+//!
+//! [`QueryLifecycle`] is the explicit state machine tying the stages
+//! together; illegal transitions panic, so stage bugs surface immediately
+//! in the deterministic simulation. Cross-stage policy — failing a query
+//! out of any stage, resuming ladder waiters, distributing broker budgets
+//! to the per-class pools — lives here in the stage root.
+
+pub mod compile;
+pub mod execute;
+pub mod grant;
+
+use crate::config::WorkloadClassConfig;
+use crate::metrics::FailureKind;
+use crate::profile::CompileProfile;
+use crate::server::Server;
+use throttledb_core::{GatewayLadder, TaskId, ThrottleConfig};
+use throttledb_executor::{GrantManager, GrantRequestId};
+use throttledb_membroker::{Clerk, SubcomponentKind};
+
+/// Where a query currently is in the compile → grant → execute pipeline.
+///
+/// Terminal outcomes (completion, failure) are represented by the query
+/// leaving the server's query table, not by a lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLifecycle {
+    /// Holding a CPU, growing compilation memory step by step.
+    Compiling,
+    /// Blocked at gateway `level` of its class's ladder.
+    WaitingAtGateway {
+        /// The gateway level being waited for.
+        level: usize,
+    },
+    /// Compiled; queued in its class's grant pool for execution memory.
+    WaitingForGrant,
+    /// Executing with a memory grant.
+    Executing,
+}
+
+impl QueryLifecycle {
+    /// Move to `next`, panicking on an illegal transition.
+    pub fn advance(&mut self, next: QueryLifecycle) {
+        assert!(
+            self.can_advance(next),
+            "illegal query lifecycle transition {self:?} -> {next:?}"
+        );
+        *self = next;
+    }
+
+    /// The legal transitions of the pipeline.
+    fn can_advance(self, next: QueryLifecycle) -> bool {
+        use QueryLifecycle::*;
+        matches!(
+            (self, next),
+            (Compiling, WaitingAtGateway { .. })
+                | (WaitingAtGateway { .. }, Compiling)
+                | (Compiling, WaitingForGrant)
+                | (Compiling, Executing)
+                | (WaitingForGrant, Executing)
+        )
+    }
+
+    /// The gateway level being waited for, if blocked at one.
+    pub fn waiting_level(self) -> Option<usize> {
+        match self {
+            QueryLifecycle::WaitingAtGateway { level } => Some(level),
+            _ => None,
+        }
+    }
+
+    /// True while the query occupies a CPU compiling.
+    pub fn is_compiling(self) -> bool {
+        matches!(self, QueryLifecycle::Compiling)
+    }
+}
+
+/// One in-flight query.
+#[derive(Debug)]
+pub(crate) struct Query {
+    pub client: u32,
+    /// Index into the server's class table.
+    pub class: usize,
+    pub template: String,
+    pub profile: CompileProfile,
+    pub task: TaskId,
+    pub compile_step: u32,
+    pub compile_bytes: u64,
+    pub lifecycle: QueryLifecycle,
+    pub grant_id: Option<GrantRequestId>,
+    pub grant_requested: u64,
+}
+
+/// Runtime state of one workload class: its admission pools plus counters.
+pub(crate) struct ClassRuntime {
+    pub spec: WorkloadClassConfig,
+    /// This class's gateway ladder (thresholds scaled per the spec).
+    pub ladder: GatewayLadder,
+    /// This class's execution memory-grant pool.
+    pub grants: GrantManager,
+    pub completed: u64,
+    pub completed_after_warmup: u64,
+    pub failed: u64,
+    pub best_effort_plans: u64,
+}
+
+impl ClassRuntime {
+    /// Build the runtime for `spec`: a ladder over the scaled thresholds
+    /// and a grant pool over this class's slice of the execution budget,
+    /// reporting to the shared execution clerk.
+    pub fn new(
+        spec: WorkloadClassConfig,
+        base_throttle: &ThrottleConfig,
+        exec_budget: u64,
+        exec_clerk: &Clerk,
+    ) -> Self {
+        let ladder = GatewayLadder::new(spec.scaled_throttle(base_throttle));
+        let grants = GrantManager::new(
+            scaled_budget(exec_budget, spec.grant_fraction),
+            Some(exec_clerk.clone()),
+        );
+        ClassRuntime {
+            spec,
+            ladder,
+            grants,
+            completed: 0,
+            completed_after_warmup: 0,
+            failed: 0,
+            best_effort_plans: 0,
+        }
+    }
+}
+
+/// `budget * fraction`, exact when the fraction is 1 (the default class).
+pub(crate) fn scaled_budget(budget: u64, fraction: f64) -> u64 {
+    if (fraction - 1.0).abs() < f64::EPSILON {
+        budget
+    } else {
+        (budget as f64 * fraction) as u64
+    }
+}
+
+impl Server {
+    /// Resume ladder waiters of `class` admitted by a release: unblock each
+    /// query and schedule its next compile step immediately.
+    pub(crate) fn resume_tasks(&mut self, class: usize, resumed: Vec<TaskId>) {
+        for task in resumed {
+            if let Some(&qid) = self.task_to_query.get(&(class, task)) {
+                if let Some(q) = self.queries.get_mut(&qid) {
+                    q.lifecycle.advance(QueryLifecycle::Compiling);
+                }
+                self.running_cpu_tasks += 1;
+                self.queue
+                    .schedule(self.now, crate::server::Event::CompileStep { query: qid });
+            }
+        }
+    }
+
+    /// Fail `id` out of whatever stage it is in: release its ladder and
+    /// grant holdings (admitting waiters), record the failure, and schedule
+    /// the client's retry — "those aborted queries likely need to be
+    /// resubmitted to the system."
+    pub(crate) fn fail_query(&mut self, id: u64, kind: FailureKind) {
+        let Some(q) = self.queries.remove(&id) else {
+            return;
+        };
+        self.compile_clerk.free(q.compile_bytes);
+        self.task_to_query.remove(&(q.class, q.task));
+        if q.lifecycle.is_compiling() {
+            self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
+        }
+        let resumed = self.classes[q.class].ladder.finish_task(q.task, self.now);
+        self.resume_tasks(q.class, resumed);
+        if let Some(grant_id) = q.grant_id {
+            self.grant_to_query.remove(&(q.class, grant_id));
+            let admitted = self.classes[q.class].grants.release_at(grant_id, self.now);
+            self.start_admitted(q.class, admitted);
+        }
+        self.metrics.record_failure(self.now, kind);
+        self.classes[q.class].failed += 1;
+        let delay = self.client_model.retry_delay(&mut self.rng);
+        self.schedule_submit(q.client, delay);
+    }
+
+    /// Broker housekeeping: recalculate, refresh every class ladder's
+    /// dynamic-threshold target, redistribute the execution budget over the
+    /// class grant pools, and squeeze the plan cache under pressure.
+    pub(crate) fn on_broker_tick(&mut self) {
+        let decisions = self.broker.recalculate(self.now);
+        let constrained = decisions
+            .iter()
+            .any(|d| d.notification.target_bytes.is_some());
+        let compile_target = if constrained {
+            Some(self.broker.target_for_kind(SubcomponentKind::Compilation))
+        } else {
+            None
+        };
+        let exec_target = self.broker.target_for_kind(SubcomponentKind::Execution);
+        // Each class throttles independently on its own compilation counts,
+        // so the broker's compilation target must be split across classes
+        // (by normalized client share) — handing every ladder the full
+        // target would let N classes admit N× the intended memory.
+        let total_share: f64 = self.classes.iter().map(|c| c.spec.client_share).sum();
+        for class in &mut self.classes {
+            let share = class.spec.client_share / total_share;
+            class
+                .ladder
+                .set_compilation_target(compile_target.map(|t| scaled_budget(t, share)));
+            class
+                .grants
+                .set_budget(scaled_budget(exec_target, class.spec.grant_fraction));
+        }
+        // The plan cache responds to pressure by shrinking toward its target.
+        if let Some(target) = decisions
+            .iter()
+            .find(|d| d.notification.kind_of_component == SubcomponentKind::PlanCache)
+            .and_then(|d| d.notification.target_bytes)
+        {
+            if self.plan_cache.used_bytes() > target {
+                self.plan_cache.shrink_to(target);
+            }
+        }
+        if self.now + self.config.broker_tick < throttledb_sim::SimTime::ZERO + self.config.duration
+        {
+            self.queue.schedule(
+                self.now + self.config.broker_tick,
+                crate::server::Event::BrokerTick,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_permits_the_pipeline_transitions() {
+        let mut l = QueryLifecycle::Compiling;
+        l.advance(QueryLifecycle::WaitingAtGateway { level: 1 });
+        assert_eq!(l.waiting_level(), Some(1));
+        l.advance(QueryLifecycle::Compiling);
+        assert!(l.is_compiling());
+        l.advance(QueryLifecycle::WaitingForGrant);
+        l.advance(QueryLifecycle::Executing);
+        assert_eq!(l.waiting_level(), None);
+    }
+
+    #[test]
+    fn lifecycle_permits_direct_compile_to_execute() {
+        let mut l = QueryLifecycle::Compiling;
+        l.advance(QueryLifecycle::Executing);
+        assert_eq!(l, QueryLifecycle::Executing);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal query lifecycle transition")]
+    fn lifecycle_rejects_skipping_backwards() {
+        let mut l = QueryLifecycle::Executing;
+        l.advance(QueryLifecycle::Compiling);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal query lifecycle transition")]
+    fn lifecycle_rejects_grant_wait_from_gateway_wait() {
+        let mut l = QueryLifecycle::WaitingAtGateway { level: 0 };
+        l.advance(QueryLifecycle::WaitingForGrant);
+    }
+
+    #[test]
+    fn scaled_budget_is_exact_for_the_default_class() {
+        assert_eq!(scaled_budget(12345, 1.0), 12345);
+        assert_eq!(scaled_budget(1000, 0.25), 250);
+    }
+}

@@ -1,8 +1,16 @@
 //! Execution memory grants (the "resource semaphore").
+//!
+//! Since the resource-governor refactor this is a thin, thread-safe facade
+//! over [`throttledb_governor::ResourcePool`]: the FIFO queue, budget
+//! accounting and wait statistics live in the shared governor layer — the
+//! same substrate that backs the gateway ladder's per-level queues — and
+//! this module adds grant-request identity, broker clerk reporting and the
+//! grant-flavoured [`GrantOutcome`] vocabulary.
 
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use throttledb_governor::{AdmissionDecision, PoolStats, ResourcePool};
 use throttledb_membroker::Clerk;
+use throttledb_sim::SimTime;
 
 /// Identifies a grant request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,167 +33,153 @@ pub enum GrantOutcome {
     Queued,
 }
 
-#[derive(Debug)]
-struct Waiter {
-    id: GrantRequestId,
-    requested: u64,
-}
-
-/// FIFO memory-grant manager over a fixed budget.
-#[derive(Debug)]
-pub struct GrantManager {
-    budget_bytes: Mutex<u64>,
-    inner: Mutex<Inner>,
-    clerk: Option<Clerk>,
-}
-
-#[derive(Debug, Default)]
-struct Inner {
-    in_use: u64,
-    outstanding: Vec<(GrantRequestId, u64)>,
-    queue: VecDeque<Waiter>,
-    next_id: u64,
-    grants: u64,
-    reduced_grants: u64,
-    queued: u64,
+impl GrantOutcome {
+    /// Translate a governor [`AdmissionDecision`] into grant vocabulary.
+    ///
+    /// Panics on [`AdmissionDecision::Reject`]: grant pools queue requests
+    /// that do not fit, they never reject them, and mapping a reject to
+    /// `Queued` would leave the caller waiting for an admission that can
+    /// never come.
+    pub fn from_admission(decision: AdmissionDecision) -> Self {
+        match decision {
+            AdmissionDecision::Admit { units } => GrantOutcome::Granted { bytes: units },
+            AdmissionDecision::Degrade { units } => GrantOutcome::Reduced { bytes: units },
+            AdmissionDecision::Wait { .. } => GrantOutcome::Queued,
+            AdmissionDecision::Reject => {
+                unreachable!("grant pools queue requests, they never reject")
+            }
+        }
+    }
 }
 
 /// A query never receives less than this fraction of its request when the
 /// manager falls back to a reduced grant.
 const MIN_GRANT_FRACTION: f64 = 0.25;
 
+/// FIFO memory-grant manager over a fixed budget.
+#[derive(Debug)]
+pub struct GrantManager {
+    inner: Mutex<Inner>,
+    clerk: Option<Clerk>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    pool: ResourcePool<GrantRequestId>,
+    next_id: u64,
+}
+
 impl GrantManager {
     /// A manager over `budget_bytes` of execution memory, optionally
     /// reporting usage to a broker clerk.
     pub fn new(budget_bytes: u64, clerk: Option<Clerk>) -> Self {
         GrantManager {
-            budget_bytes: Mutex::new(budget_bytes),
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner {
+                pool: ResourcePool::new("exec-grants", budget_bytes, MIN_GRANT_FRACTION),
+                next_id: 0,
+            }),
             clerk,
         }
     }
 
     /// The configured budget.
     pub fn budget_bytes(&self) -> u64 {
-        *self.budget_bytes.lock()
+        self.inner.lock().pool.budget()
     }
 
     /// Change the budget (e.g. on a broker notification). Does not revoke
     /// outstanding grants; future requests see the new value.
     pub fn set_budget(&self, budget_bytes: u64) {
-        *self.budget_bytes.lock() = budget_bytes;
+        self.inner.lock().pool.set_budget(budget_bytes);
     }
 
     /// Bytes currently granted out.
     pub fn in_use_bytes(&self) -> u64 {
-        self.inner.lock().in_use
+        self.inner.lock().pool.in_use()
     }
 
     /// Number of requests waiting in the queue.
     pub fn queued(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.inner.lock().pool.queued_len()
     }
 
     /// Lifetime counters: (full grants, reduced grants, queued requests).
     pub fn counters(&self) -> (u64, u64, u64) {
         let inner = self.inner.lock();
-        (inner.grants, inner.reduced_grants, inner.queued)
+        let stats = inner.pool.stats();
+        (stats.admitted, stats.degraded, stats.queued)
+    }
+
+    /// A snapshot of the underlying pool's statistics, including the
+    /// wait-time histogram.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.inner.lock().pool.stats().clone()
     }
 
     /// Request `bytes` of execution memory. The request is granted in full
     /// when it fits, granted reduced when at least the minimum fraction fits
     /// and nothing else is queued, and queued otherwise.
     pub fn request(&self, bytes: u64) -> (GrantRequestId, GrantOutcome) {
-        let budget = *self.budget_bytes.lock();
+        self.request_at(bytes, SimTime::ZERO, SimTime::MAX)
+    }
+
+    /// Like [`GrantManager::request`], stamping virtual time on a queued
+    /// request so wait durations are recorded when it is later admitted.
+    pub fn request_at(
+        &self,
+        bytes: u64,
+        now: SimTime,
+        deadline: SimTime,
+    ) -> (GrantRequestId, GrantOutcome) {
         let mut inner = self.inner.lock();
         let id = GrantRequestId(inner.next_id);
         inner.next_id += 1;
-
-        let available = budget.saturating_sub(inner.in_use);
-        let wanted = bytes.max(1);
-        if inner.queue.is_empty() && wanted <= available {
-            inner.in_use += wanted;
-            inner.outstanding.push((id, wanted));
-            inner.grants += 1;
+        let decision = inner.pool.request(id, bytes, now, deadline);
+        if let Some(granted) = decision.units() {
             if let Some(c) = &self.clerk {
-                c.allocate(wanted);
+                c.allocate(granted);
             }
-            return (id, GrantOutcome::Granted { bytes: wanted });
         }
-        let minimum = ((wanted as f64 * MIN_GRANT_FRACTION) as u64).max(1);
-        if inner.queue.is_empty() && minimum <= available && available > 0 {
-            inner.in_use += available;
-            inner.outstanding.push((id, available));
-            inner.reduced_grants += 1;
-            if let Some(c) = &self.clerk {
-                c.allocate(available);
-            }
-            return (id, GrantOutcome::Reduced { bytes: available });
-        }
-        inner.queue.push_back(Waiter {
-            id,
-            requested: wanted,
-        });
-        inner.queued += 1;
-        (id, GrantOutcome::Queued)
+        (id, GrantOutcome::from_admission(decision))
     }
 
     /// Release the grant held by `id` (a query finished or was aborted).
     /// Returns the queued requests that were granted as a result, with their
     /// outcomes.
     pub fn release(&self, id: GrantRequestId) -> Vec<(GrantRequestId, GrantOutcome)> {
-        let budget = *self.budget_bytes.lock();
+        self.release_at(id, SimTime::MAX)
+    }
+
+    /// Like [`GrantManager::release`], recording the admitted waiters' wait
+    /// durations as of `now`.
+    pub fn release_at(
+        &self,
+        id: GrantRequestId,
+        now: SimTime,
+    ) -> Vec<(GrantRequestId, GrantOutcome)> {
         let mut inner = self.inner.lock();
-        if let Some(pos) = inner.outstanding.iter().position(|(g, _)| *g == id) {
-            let (_, bytes) = inner.outstanding.swap_remove(pos);
-            inner.in_use = inner.in_use.saturating_sub(bytes);
-            if let Some(c) = &self.clerk {
+        let released = inner.pool.held(id);
+        let admitted = inner.pool.release(id, now);
+        if let Some(c) = &self.clerk {
+            if let Some(bytes) = released {
                 c.free(bytes);
             }
-        } else {
-            // Not outstanding: maybe it was still queued (abandoned wait).
-            inner.queue.retain(|w| w.id != id);
-            return Vec::new();
-        }
-
-        // Admit waiters FIFO while they fit.
-        let mut admitted = Vec::new();
-        while let Some(front) = inner.queue.front() {
-            let available = budget.saturating_sub(inner.in_use);
-            let wanted = front.requested;
-            let minimum = ((wanted as f64 * MIN_GRANT_FRACTION) as u64).max(1);
-            if wanted <= available {
-                let w = inner.queue.pop_front().expect("front exists");
-                inner.in_use += wanted;
-                inner.outstanding.push((w.id, wanted));
-                inner.grants += 1;
-                if let Some(c) = &self.clerk {
-                    c.allocate(wanted);
+            for (_, decision) in &admitted {
+                if let Some(bytes) = decision.units() {
+                    c.allocate(bytes);
                 }
-                admitted.push((w.id, GrantOutcome::Granted { bytes: wanted }));
-            } else if minimum <= available && available > 0 {
-                let w = inner.queue.pop_front().expect("front exists");
-                inner.in_use += available;
-                inner.outstanding.push((w.id, available));
-                inner.reduced_grants += 1;
-                if let Some(c) = &self.clerk {
-                    c.allocate(available);
-                }
-                admitted.push((w.id, GrantOutcome::Reduced { bytes: available }));
-            } else {
-                break;
             }
         }
         admitted
+            .into_iter()
+            .map(|(id, decision)| (id, GrantOutcome::from_admission(decision)))
+            .collect()
     }
 
     /// Abandon a queued request (the query timed out waiting for its grant —
     /// a "resource" error to the client). Returns true if it was queued.
     pub fn cancel(&self, id: GrantRequestId) -> bool {
-        let mut inner = self.inner.lock();
-        let before = inner.queue.len();
-        inner.queue.retain(|w| w.id != id);
-        before != inner.queue.len()
+        self.inner.lock().pool.cancel(id)
     }
 }
 

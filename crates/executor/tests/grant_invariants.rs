@@ -1,0 +1,94 @@
+//! Property tests of [`GrantManager`] invariants under arbitrary
+//! grant/release/timeout interleavings:
+//!
+//! 1. the budget is never oversubscribed,
+//! 2. waiters are admitted in strict FIFO order,
+//! 3. no waiter is leaked after a cancel (abandoned waits disappear from
+//!    the queue and can never be admitted later).
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use throttledb_executor::{GrantManager, GrantOutcome, GrantRequestId};
+
+const MB: u64 = 1 << 20;
+const BUDGET: u64 = 64 * MB;
+
+proptest! {
+    #[test]
+    fn budget_fifo_and_cancel_invariants(
+        ops in proptest::collection::vec((0u8..4, 1u64..32, 0usize..8), 1..200),
+    ) {
+        let m = GrantManager::new(BUDGET, None);
+        let mut outstanding: Vec<GrantRequestId> = Vec::new();
+        let mut queued: VecDeque<GrantRequestId> = VecDeque::new();
+        let mut cancelled: Vec<GrantRequestId> = Vec::new();
+
+        for (op, mb, pick) in ops {
+            match op {
+                // Request: 1..32 MB against the 64 MB budget.
+                0 | 1 => {
+                    let (id, outcome) = m.request(mb * MB);
+                    match outcome {
+                        GrantOutcome::Granted { bytes } => {
+                            prop_assert_eq!(bytes, mb * MB, "full grants give what was asked");
+                            prop_assert!(queued.is_empty(),
+                                "a grant can only bypass an empty queue");
+                            outstanding.push(id);
+                        }
+                        GrantOutcome::Reduced { bytes } => {
+                            prop_assert!(bytes < mb * MB);
+                            prop_assert!(bytes >= 1);
+                            prop_assert!(queued.is_empty());
+                            outstanding.push(id);
+                        }
+                        GrantOutcome::Queued => queued.push_back(id),
+                    }
+                }
+                // Release a random outstanding grant.
+                2 => {
+                    if !outstanding.is_empty() {
+                        let id = outstanding.remove(pick % outstanding.len());
+                        let admitted = m.release(id);
+                        // FIFO: admitted ids must be exactly the queue's prefix.
+                        for (aid, outcome) in admitted {
+                            let front = queued.pop_front();
+                            prop_assert_eq!(Some(aid), front,
+                                "admissions must come from the queue head");
+                            prop_assert!(!matches!(outcome, GrantOutcome::Queued));
+                            prop_assert!(!cancelled.contains(&aid),
+                                "a cancelled waiter must never be admitted");
+                            outstanding.push(aid);
+                        }
+                    }
+                }
+                // Cancel a random queued waiter (a grant-wait timeout).
+                _ => {
+                    if !queued.is_empty() {
+                        let idx = pick % queued.len();
+                        let id = queued.remove(idx).expect("index in range");
+                        prop_assert!(m.cancel(id), "queued waiter must be cancellable");
+                        prop_assert!(!m.cancel(id), "double cancel is a no-op");
+                        cancelled.push(id);
+                    }
+                }
+            }
+            // Invariant 1: never oversubscribed.
+            prop_assert!(m.in_use_bytes() <= BUDGET,
+                "in_use {} exceeds budget {}", m.in_use_bytes(), BUDGET);
+            // The manager's queue mirrors the model queue exactly.
+            prop_assert_eq!(m.queued(), queued.len());
+        }
+
+        // Drain: cancel every remaining waiter, release every grant.
+        for id in queued.drain(..) {
+            prop_assert!(m.cancel(id));
+            cancelled.push(id);
+        }
+        prop_assert_eq!(m.queued(), 0, "no waiter leaked after cancel");
+        for id in outstanding.drain(..) {
+            let admitted = m.release(id);
+            prop_assert!(admitted.is_empty(), "empty queue admits nothing");
+        }
+        prop_assert_eq!(m.in_use_bytes(), 0, "all grants returned");
+    }
+}

@@ -1,0 +1,36 @@
+//! # throttledb-governor
+//!
+//! The unified **resource-governor layer**: one waiting/admission substrate
+//! shared by every choke point in the system.
+//!
+//! The paper's core idea is a single throttling *policy* — the gateway
+//! ladder plus the memory broker — applied at several choke points: the
+//! compilation ladder's per-level queues, the execution memory-grant queue,
+//! and the broker's pressure notifications. This crate factors the common
+//! machinery out of those call sites:
+//!
+//! * [`WaitQueue`] — the shared FIFO wait queue: deadlines per waiter and
+//!   O(1) cancellation via slot-indexed tickets, replacing the per-crate
+//!   `VecDeque` + linear-scan queues.
+//! * [`AdmissionDecision`] — the common decision vocabulary
+//!   (admit / degrade / wait-with-deadline / reject) that
+//!   `LadderDecision`, `GrantOutcome` and broker notifications all
+//!   translate into.
+//! * [`ResourcePool`] — a budgeted pool (budget + queue + [`PoolStats`])
+//!   used by the execution grant manager and by the engine's per-class
+//!   workload pools.
+//!
+//! Layering: this crate depends only on `throttledb-sim` (virtual time and
+//! histograms); `throttledb-core`, `throttledb-executor`,
+//! `throttledb-membroker` and the engine all build on it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod decision;
+pub mod pool;
+pub mod queue;
+
+pub use decision::AdmissionDecision;
+pub use pool::{PoolStats, ResourcePool};
+pub use queue::{WaitQueue, Waiter, WaiterKey};

@@ -1,0 +1,355 @@
+//! A budgeted resource pool: budget + shared wait queue + statistics.
+//!
+//! A [`ResourcePool`] hands out units of a divisible resource (execution
+//! memory bytes, per-class admission slots) against a fixed budget. When a
+//! request does not fit it either receives a *degraded* allocation — the
+//! caller accepts less than it asked for, e.g. a reduced memory grant that
+//! will spill — or joins the pool's FIFO [`WaitQueue`]. Releases admit
+//! waiters in strict FIFO order, so large requests cannot be starved by
+//! small latecomers.
+
+use crate::decision::AdmissionDecision;
+use crate::queue::{WaitQueue, WaiterKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+use throttledb_sim::{Histogram, SimTime};
+
+/// Lifetime counters of one [`ResourcePool`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Requests admitted in full.
+    pub admitted: u64,
+    /// Requests admitted with a degraded (reduced) allocation.
+    pub degraded: u64,
+    /// Requests that had to queue.
+    pub queued: u64,
+    /// Queued requests abandoned before admission (timeouts / cancels).
+    pub cancelled: u64,
+    /// Time spent queued before admission, in microseconds.
+    pub wait_time: Histogram,
+}
+
+impl PoolStats {
+    fn new(name: &str) -> Self {
+        PoolStats {
+            admitted: 0,
+            degraded: 0,
+            queued: 0,
+            cancelled: 0,
+            wait_time: Histogram::new(format!("{name}-wait-us")),
+        }
+    }
+}
+
+/// A budgeted admission pool keyed by caller-chosen tags.
+///
+/// `T` identifies one request across its lifetime (request → wait → admit →
+/// release); the pool keeps the tag→queue-ticket index so cancellation stays
+/// O(1).
+#[derive(Debug)]
+pub struct ResourcePool<T: Copy + Eq + Hash> {
+    budget: u64,
+    in_use: u64,
+    min_fraction: f64,
+    outstanding: HashMap<T, u64>,
+    queue: WaitQueue<(T, u64)>,
+    keys: HashMap<T, WaiterKey>,
+    stats: PoolStats,
+}
+
+impl<T: Copy + Eq + Hash> ResourcePool<T> {
+    /// A pool over `budget` units. `min_fraction` is the smallest fraction
+    /// of its request a degraded admission may receive (0 disables degraded
+    /// admissions entirely; 1 makes every admission all-or-nothing).
+    pub fn new(name: &str, budget: u64, min_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&min_fraction),
+            "min_fraction must be in [0,1]"
+        );
+        ResourcePool {
+            budget,
+            in_use: 0,
+            min_fraction,
+            outstanding: HashMap::new(),
+            queue: WaitQueue::new(),
+            keys: HashMap::new(),
+            stats: PoolStats::new(name),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Change the budget. Outstanding allocations are not revoked; future
+    /// requests and releases see the new value.
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// Units currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Number of queued requests.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The pool's lifetime counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Units held by `tag`, if it has an outstanding allocation.
+    pub fn held(&self, tag: T) -> Option<u64> {
+        self.outstanding.get(&tag).copied()
+    }
+
+    /// Request `units` for `tag`. Admitted in full when it fits and no one
+    /// is queued ahead; admitted degraded when at least the minimum fraction
+    /// fits; queued (FIFO, with `deadline`) otherwise.
+    ///
+    /// A tag identifies at most one request at a time; panics if `tag`
+    /// already holds an allocation or is already queued (reuse would
+    /// silently corrupt the budget accounting).
+    pub fn request(
+        &mut self,
+        tag: T,
+        units: u64,
+        now: SimTime,
+        deadline: SimTime,
+    ) -> AdmissionDecision {
+        assert!(
+            !self.outstanding.contains_key(&tag) && !self.keys.contains_key(&tag),
+            "tag already has an outstanding or queued request"
+        );
+        let wanted = units.max(1);
+        let available = self.budget.saturating_sub(self.in_use);
+        if self.queue.is_empty() && wanted <= available {
+            self.in_use += wanted;
+            self.outstanding.insert(tag, wanted);
+            self.stats.admitted += 1;
+            return AdmissionDecision::Admit { units: wanted };
+        }
+        let minimum = self.minimum_for(wanted);
+        if self.min_fraction > 0.0 && self.queue.is_empty() && minimum <= available && available > 0
+        {
+            self.in_use += available;
+            self.outstanding.insert(tag, available);
+            self.stats.degraded += 1;
+            return AdmissionDecision::Degrade { units: available };
+        }
+        let key = self.queue.push((tag, wanted), now, deadline);
+        self.keys.insert(tag, key);
+        self.stats.queued += 1;
+        AdmissionDecision::Wait { deadline }
+    }
+
+    /// Release the allocation held by `tag` and admit queued requests FIFO
+    /// while they fit. `now` is used to record wait times; pass
+    /// [`SimTime::MAX`] from time-free contexts to skip recording. If `tag`
+    /// was still queued this cancels it instead.
+    pub fn release(&mut self, tag: T, now: SimTime) -> Vec<(T, AdmissionDecision)> {
+        match self.outstanding.remove(&tag) {
+            Some(units) => {
+                self.in_use = self.in_use.saturating_sub(units);
+            }
+            None => {
+                self.cancel(tag);
+                return Vec::new();
+            }
+        }
+        self.admit_waiters(now)
+    }
+
+    /// Abandon a queued request (timeout / caller gave up). Returns true if
+    /// it was actually queued. O(1).
+    pub fn cancel(&mut self, tag: T) -> bool {
+        let Some(key) = self.keys.remove(&tag) else {
+            return false;
+        };
+        let cancelled = self.queue.cancel(key).is_some();
+        if cancelled {
+            self.stats.cancelled += 1;
+        }
+        cancelled
+    }
+
+    fn minimum_for(&self, wanted: u64) -> u64 {
+        ((wanted as f64 * self.min_fraction) as u64).max(1)
+    }
+
+    fn admit_waiters(&mut self, now: SimTime) -> Vec<(T, AdmissionDecision)> {
+        let mut admitted = Vec::new();
+        while let Some((_, wanted)) = self.queue.front().copied() {
+            let available = self.budget.saturating_sub(self.in_use);
+            let decision = if wanted <= available {
+                self.stats.admitted += 1;
+                AdmissionDecision::Admit { units: wanted }
+            } else if self.min_fraction > 0.0
+                && self.minimum_for(wanted) <= available
+                && available > 0
+            {
+                self.stats.degraded += 1;
+                AdmissionDecision::Degrade { units: available }
+            } else {
+                break;
+            };
+            let waiter = self.queue.pop_front().expect("front exists");
+            let (tag, _) = waiter.payload;
+            self.keys.remove(&tag);
+            if now != SimTime::MAX {
+                self.stats.wait_time.record(waiter.waited(now).as_micros());
+            }
+            let units = decision.units().expect("admissions carry units");
+            self.in_use += units;
+            self.outstanding.insert(tag, units);
+            admitted.push((tag, decision));
+        }
+        admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn pool(budget: u64) -> ResourcePool<u64> {
+        ResourcePool::new("test", budget, 0.25)
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_secs(1)
+    }
+
+    #[test]
+    fn admits_within_budget() {
+        let mut p = pool(100 * MB);
+        assert_eq!(
+            p.request(1, 40 * MB, now(), SimTime::MAX),
+            AdmissionDecision::Admit { units: 40 * MB }
+        );
+        assert_eq!(p.in_use(), 40 * MB);
+        assert_eq!(p.held(1), Some(40 * MB));
+    }
+
+    #[test]
+    fn degrades_when_minimum_fraction_fits() {
+        let mut p = pool(100 * MB);
+        p.request(1, 70 * MB, now(), SimTime::MAX);
+        assert_eq!(
+            p.request(2, 80 * MB, now(), SimTime::MAX),
+            AdmissionDecision::Degrade { units: 30 * MB }
+        );
+        assert_eq!(p.stats().degraded, 1);
+    }
+
+    #[test]
+    fn queues_below_minimum_and_admits_fifo_on_release() {
+        let mut p = pool(100 * MB);
+        p.request(1, 90 * MB, now(), SimTime::MAX);
+        let d2 = p.request(2, 60 * MB, now(), SimTime::from_secs(100));
+        let d3 = p.request(3, 10 * MB, now(), SimTime::from_secs(100));
+        assert!(matches!(d2, AdmissionDecision::Wait { .. }));
+        assert!(matches!(d3, AdmissionDecision::Wait { .. }));
+        let admitted = p.release(1, SimTime::from_secs(20));
+        assert_eq!(admitted.len(), 2);
+        assert_eq!(admitted[0].0, 2, "FIFO: 2 before 3");
+        assert_eq!(admitted[0].1, AdmissionDecision::Admit { units: 60 * MB });
+        assert_eq!(admitted[1].0, 3);
+        assert_eq!(p.stats().wait_time.count(), 2);
+    }
+
+    #[test]
+    fn fifo_prevents_starvation() {
+        let mut p = pool(100 * MB);
+        p.request(1, 90 * MB, now(), SimTime::MAX);
+        assert!(matches!(
+            p.request(2, 80 * MB, now(), SimTime::MAX),
+            AdmissionDecision::Wait { .. }
+        ));
+        assert!(matches!(
+            p.request(3, 5 * MB, now(), SimTime::MAX),
+            AdmissionDecision::Wait { .. }
+        ));
+        let admitted = p.release(1, SimTime::MAX);
+        assert_eq!(admitted[0].0, 2, "large waiter admitted first");
+        assert_eq!(admitted[0].1, AdmissionDecision::Admit { units: 80 * MB });
+    }
+
+    #[test]
+    fn cancel_removes_queued_requests() {
+        let mut p = pool(10 * MB);
+        p.request(1, 10 * MB, now(), SimTime::MAX);
+        p.request(2, 10 * MB, now(), SimTime::MAX);
+        assert!(p.cancel(2));
+        assert!(!p.cancel(2));
+        assert!(p.release(1, SimTime::MAX).is_empty());
+        assert_eq!(p.queued_len(), 0);
+        assert_eq!(p.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn release_of_queued_tag_cancels_it() {
+        let mut p = pool(10 * MB);
+        p.request(1, 10 * MB, now(), SimTime::MAX);
+        p.request(2, 10 * MB, now(), SimTime::MAX);
+        assert!(p.release(2, SimTime::MAX).is_empty());
+        assert_eq!(p.queued_len(), 0);
+        assert_eq!(p.in_use(), 10 * MB);
+    }
+
+    #[test]
+    fn shrunken_budget_blocks_new_requests() {
+        let mut p = pool(100 * MB);
+        p.request(1, 50 * MB, now(), SimTime::MAX);
+        p.set_budget(40 * MB);
+        assert!(matches!(
+            p.request(2, 30 * MB, now(), SimTime::MAX),
+            AdmissionDecision::Wait { .. }
+        ));
+        assert_eq!(p.stats().admitted, 1);
+        assert_eq!(p.stats().queued, 1);
+    }
+
+    #[test]
+    fn zero_min_fraction_disables_degraded_admissions() {
+        let mut p: ResourcePool<u64> = ResourcePool::new("strict", 100 * MB, 0.0);
+        p.request(1, 99 * MB, now(), SimTime::MAX);
+        // 1 MB is available, but a degraded 1 MB grant must NOT be handed
+        // out: the request queues until the full amount fits.
+        assert!(matches!(
+            p.request(2, 80 * MB, now(), SimTime::MAX),
+            AdmissionDecision::Wait { .. }
+        ));
+        assert_eq!(p.stats().degraded, 0);
+        let admitted = p.release(1, SimTime::MAX);
+        assert_eq!(
+            admitted,
+            vec![(2, AdmissionDecision::Admit { units: 80 * MB })]
+        );
+    }
+
+    #[test]
+    fn all_or_nothing_pool_never_degrades() {
+        let mut p: ResourcePool<u64> = ResourcePool::new("slots", 2, 1.0);
+        assert_eq!(
+            p.request(1, 1, now(), SimTime::MAX),
+            AdmissionDecision::Admit { units: 1 }
+        );
+        assert_eq!(
+            p.request(2, 2, now(), SimTime::MAX),
+            AdmissionDecision::Wait {
+                deadline: SimTime::MAX
+            }
+        );
+        let admitted = p.release(1, SimTime::MAX);
+        assert_eq!(admitted, vec![(2, AdmissionDecision::Admit { units: 2 })]);
+    }
+}

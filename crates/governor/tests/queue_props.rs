@@ -1,0 +1,51 @@
+//! Property test: the slot-indexed [`WaitQueue`] behaves exactly like a
+//! naive `VecDeque` model under arbitrary push/pop/cancel interleavings.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use throttledb_governor::{WaitQueue, WaiterKey};
+use throttledb_sim::SimTime;
+
+proptest! {
+    #[test]
+    fn wait_queue_matches_vecdeque_model(
+        ops in proptest::collection::vec((0u8..3, 0usize..16), 1..300),
+    ) {
+        let mut q: WaitQueue<u64> = WaitQueue::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut keys: Vec<(WaiterKey, u64)> = Vec::new();
+        let mut next = 0u64;
+
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let key = q.push(next, SimTime::from_secs(next), SimTime::MAX);
+                    model.push_back(next);
+                    keys.push((key, next));
+                    next += 1;
+                }
+                1 => {
+                    let popped = q.pop_front().map(|w| w.payload);
+                    prop_assert_eq!(popped, model.pop_front());
+                    if let Some(v) = popped {
+                        keys.retain(|(_, payload)| *payload != v);
+                    }
+                }
+                _ => {
+                    if !keys.is_empty() {
+                        let (key, payload) = keys.remove(pick % keys.len());
+                        let cancelled = q.cancel(key).map(|w| w.payload);
+                        prop_assert_eq!(cancelled, Some(payload));
+                        model.retain(|v| *v != payload);
+                        // Cancelled keys are dead forever.
+                        prop_assert!(q.cancel(key).is_none());
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            let live: Vec<u64> = q.iter().map(|w| w.payload).collect();
+            let expected: Vec<u64> = model.iter().copied().collect();
+            prop_assert_eq!(live, expected, "FIFO order must match the model");
+        }
+    }
+}

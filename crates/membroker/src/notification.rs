@@ -64,6 +64,39 @@ impl Notification {
     pub fn may_allocate(&self) -> bool {
         !matches!(self.kind, NotificationKind::Shrink)
     }
+
+    /// Translate the broker's verdict into the resource-governor layer's
+    /// common [`AdmissionDecision`](throttledb_governor::AdmissionDecision)
+    /// vocabulary, answering "may this subcomponent grow by `bytes`?":
+    ///
+    /// * *grow* admits the allocation in full;
+    /// * *steady* admits it degraded — the subcomponent may allocate at its
+    ///   current rate but only up to its remaining headroom below the
+    ///   target (the whole request when unconstrained); with no headroom
+    ///   left the request is rejected rather than "admitted" at zero bytes;
+    /// * *shrink* rejects it — the subcomponent is above target and should
+    ///   be releasing memory, not allocating.
+    pub fn admission(&self, bytes: u64) -> throttledb_governor::AdmissionDecision {
+        use throttledb_governor::AdmissionDecision;
+        match self.kind {
+            NotificationKind::Grow => AdmissionDecision::Admit { units: bytes },
+            NotificationKind::Steady => {
+                let headroom = match self.target_bytes {
+                    Some(target) => target.saturating_sub(self.current_bytes),
+                    None => bytes,
+                };
+                let units = bytes.min(headroom);
+                if units == 0 {
+                    // At (or above) target with nothing to hand out: a
+                    // zero-byte "degraded admission" would read as admitted.
+                    AdmissionDecision::Reject
+                } else {
+                    AdmissionDecision::Degrade { units }
+                }
+            }
+            NotificationKind::Shrink => AdmissionDecision::Reject,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +129,31 @@ mod tests {
         assert!(base(NotificationKind::Grow, 0, None).may_allocate());
         assert!(base(NotificationKind::Steady, 0, None).may_allocate());
         assert!(!base(NotificationKind::Shrink, 0, Some(0)).may_allocate());
+    }
+
+    #[test]
+    fn verdicts_translate_into_the_governor_vocabulary() {
+        use throttledb_governor::AdmissionDecision;
+        let grow = base(NotificationKind::Grow, 100, None);
+        assert_eq!(grow.admission(50), AdmissionDecision::Admit { units: 50 });
+        // Steady with a target: degraded to the remaining headroom.
+        let steady = base(NotificationKind::Steady, 400, Some(600));
+        assert_eq!(
+            steady.admission(500),
+            AdmissionDecision::Degrade { units: 200 }
+        );
+        // Steady without a target: degraded but whole.
+        let steady_free = base(NotificationKind::Steady, 400, None);
+        assert_eq!(
+            steady_free.admission(500),
+            AdmissionDecision::Degrade { units: 500 }
+        );
+        let shrink = base(NotificationKind::Shrink, 1000, Some(600));
+        assert_eq!(shrink.admission(1), AdmissionDecision::Reject);
+        // Steady at (or above) target: no headroom means reject, never a
+        // zero-byte degraded admission.
+        let steady_full = base(NotificationKind::Steady, 600, Some(600));
+        assert_eq!(steady_full.admission(500), AdmissionDecision::Reject);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The broker exposes a coarse pressure signal that other policies key off —
 //! in particular the dynamic gateway thresholds of
 //! `throttledb-core` ("the monitor memory thresholds for the larger gateways
-//! [are] dynamic ... based on the broker memory target").
+//! \[are\] dynamic ... based on the broker memory target").
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -2,7 +2,7 @@
 //!
 //! The memo is where compilation memory goes. Every group and every group
 //! expression inserted charges the compilation's
-//! [`CompilationMemory`](crate::memory::CompilationMemory) account, so the
+//! [`crate::memory::CompilationMemory`] account, so the
 //! number of alternatives explored maps directly to bytes — "the memory
 //! consumed during optimization is closely related to the number of
 //! considered alternatives."

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// A histogram over `u64` values with power-of-two buckets plus an exact
 /// running sum/min/max. Suits the quantities we track — bytes, microseconds —
 //  which span many orders of magnitude.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     name: String,
     /// `buckets[i]` counts values `v` with `floor(log2(v.max(1))) == i`.
@@ -77,7 +77,7 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate percentile (p in [0,100]) using the bucket upper bounds.
+    /// Approximate percentile (p in \[0,100\]) using the bucket upper bounds.
     /// Accuracy is within a factor of two, which is sufficient for the
     /// order-of-magnitude comparisons the paper makes.
     pub fn percentile(&self, p: f64) -> u64 {

@@ -13,16 +13,22 @@
 //! * [`core`] — the §4 gateway-ladder compilation throttle
 //! * [`optimizer`] — memo-based optimizer with byte-accurate compile memory
 //! * [`catalog`], [`sqlparse`], [`workload`] — schemas, SQL, query templates
+//! * [`governor`] — shared admission layer: wait queues, decisions, pools
 //! * [`executor`], [`bufferpool`] — execution grants and the page pool
+//! * [`plancache`] — compiled-plan cache fronting the optimizer
 //! * [`engine`], [`sim`] — the discrete-event server reproducing §5
 
 #![warn(missing_docs)]
 
+pub use throttledb_bufferpool as bufferpool;
 pub use throttledb_catalog as catalog;
 pub use throttledb_core as core;
 pub use throttledb_engine as engine;
+pub use throttledb_executor as executor;
+pub use throttledb_governor as governor;
 pub use throttledb_membroker as membroker;
 pub use throttledb_optimizer as optimizer;
+pub use throttledb_plancache as plancache;
 pub use throttledb_sim as sim;
 pub use throttledb_sqlparse as sqlparse;
 pub use throttledb_workload as workload;
