@@ -1,0 +1,134 @@
+//! Run a named built-in scenario and print its per-phase report.
+//!
+//! ```text
+//! scenario_runner --list
+//! scenario_runner <name> [quick|paper] [seed] [--trace PATH | --replay PATH]
+//! ```
+//!
+//! `--trace PATH` additionally records the admission/grant event stream
+//! and writes it to `PATH` (a regression golden file). `--replay PATH`
+//! re-runs the scenario, decodes the stored trace, and fails (exit 3) if
+//! the stored trace's replay does not reproduce the live run's per-phase
+//! reports. Exit codes: 0 success, 1 I/O error, 2 usage/empty-metrics,
+//! 3 replay mismatch.
+//!
+//! See `docs/EXPERIMENTS.md` for the full experiment guide.
+
+use std::process::ExitCode;
+use throttledb_scenario::{Scale, Scenario, ScenarioRunner, Trace};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: scenario_runner --list");
+    eprintln!("       scenario_runner <name> [quick|paper] [seed] [--trace PATH | --replay PATH]");
+    eprintln!("built-in scenarios:");
+    for name in Scenario::builtin_names() {
+        eprintln!("  {name}");
+    }
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut name = None;
+    let mut scale = Scale::Paper;
+    let mut seed = None;
+    let mut trace_out = None;
+    let mut replay_in = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in Scenario::builtin_names() {
+                    let s = Scenario::builtin(name, Scale::Quick).expect("registry resolves");
+                    println!("{name:<22} {}", s.description);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--trace" => match iter.next() {
+                Some(path) => trace_out = Some(path.clone()),
+                None => return usage(),
+            },
+            "--replay" => match iter.next() {
+                Some(path) => replay_in = Some(path.clone()),
+                None => return usage(),
+            },
+            "quick" | "paper" => scale = Scale::parse(arg).expect("matched above"),
+            other if name.is_none() => name = Some(other.to_string()),
+            other => match other.parse::<u64>() {
+                Ok(s) => seed = Some(s),
+                Err(_) => return usage(),
+            },
+        }
+    }
+
+    let Some(name) = name else {
+        return usage();
+    };
+    let Some(mut scenario) = Scenario::builtin(&name, scale) else {
+        eprintln!("unknown scenario {name:?}");
+        return usage();
+    };
+    if let Some(seed) = seed {
+        scenario = scenario.with_seed(seed);
+    }
+
+    // Replay only compares the stored trace against the live per-phase
+    // reports, so it needs no recording of its own.
+    let record = trace_out.is_some();
+    eprintln!(
+        "running scenario {name} ({} phases, {} clients max, {}s simulated)...",
+        scenario.phases.len(),
+        scenario.max_clients(),
+        scenario.total_duration().as_secs()
+    );
+    let outcome = ScenarioRunner::new(scenario).record_trace(record).run();
+    print!("{}", outcome.render_report());
+
+    if outcome.total_completed() == 0 {
+        eprintln!("error: scenario completed zero queries (empty metrics)");
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = trace_out {
+        let trace = outcome.trace.as_ref().expect("recording was enabled");
+        if let Err(e) = std::fs::write(&path, trace.encode()) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {} events, digest {:016x}, written to {path}",
+            trace.len(),
+            trace.digest()
+        );
+    }
+
+    if let Some(path) = replay_in {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read trace from {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let stored = match Trace::decode(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path} is not a valid trace: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if stored.replay() == outcome.phases {
+            println!(
+                "replay: {path} reproduces the live run ({} phases match)",
+                outcome.phases.len()
+            );
+        } else {
+            eprintln!("replay MISMATCH: stored trace {path} does not reproduce this run");
+            eprintln!("(did the policy code, scenario definition, or seed change?)");
+            return ExitCode::from(3);
+        }
+    }
+
+    ExitCode::SUCCESS
+}

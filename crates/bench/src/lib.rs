@@ -1,15 +1,16 @@
 //! # throttledb-bench
 //!
 //! Shared helpers for the benchmark harness: the criterion micro-benchmarks
-//! live in `benches/`, and one binary per paper figure/table lives in
-//! `src/bin/` (see `DESIGN.md` §4 for the experiment index and
-//! `EXPERIMENTS.md` for paper-vs-measured results).
+//! live in `benches/`, one binary per paper figure/table lives in
+//! `src/bin/`, and `src/bin/scenario_runner.rs` drives the declarative
+//! scenario subsystem. `docs/EXPERIMENTS.md` (repo root) is the experiment
+//! book covering all of them.
 //!
 //! The figure binaries accept two optional positional arguments:
 //! `quick|paper` (scale) and a seed, e.g.
 //! `cargo run --release -p throttledb-bench --bin figure3_throughput_30 -- quick 7`.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use throttledb_engine::ServerConfig;
 

@@ -17,7 +17,7 @@
 //! [`Clerk`](throttledb_membroker::Clerk), so the Memory Broker sees buffer
 //! pool memory exactly as it sees compilation memory.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod model;

@@ -16,7 +16,7 @@
 //! the paper's subject — depends on schema complexity and statistics, not on
 //! the stored bytes themselves.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod builder;

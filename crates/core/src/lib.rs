@@ -65,7 +65,7 @@
 //! assert!(outcome.plan.join_count() > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;

@@ -135,6 +135,23 @@ pub struct ServerConfig {
 impl ServerConfig {
     /// The paper's evaluation configuration with `clients` concurrent users
     /// and throttling enabled or disabled.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use throttledb_engine::ServerConfig;
+    ///
+    /// // The §5 machine: 8 CPUs, an 8-hour run with a 3-hour warm-up and
+    /// // 3600-second reporting slices, throttling on.
+    /// let cfg = ServerConfig::paper(30, true);
+    /// cfg.validate();
+    /// assert_eq!(cfg.cpus, 8);
+    /// assert_eq!(cfg.duration.as_secs(), 8 * 3600);
+    /// assert!(cfg.throttle.enabled);
+    ///
+    /// // The baseline leg of every figure differs only in the throttle.
+    /// assert!(!ServerConfig::paper(30, false).throttle.enabled);
+    /// ```
     pub fn paper(clients: u32, throttled: bool) -> Self {
         let throttle = if throttled {
             ThrottleConfig::paper_machine()
@@ -240,6 +257,39 @@ impl ServerConfig {
         );
     }
 
+    /// The deterministic order in which clients are activated when fewer
+    /// than the configured maximum participate (scenario phases resize the
+    /// population): classes are interleaved proportionally to their
+    /// normalized shares, so any partial population still covers every
+    /// class. A contiguous prefix over [`ServerConfig::class_assignment`]'s
+    /// ranges would instead starve the later classes entirely — while the
+    /// broker kept reserving their grant and compile-target slices.
+    pub fn activation_order(&self) -> Vec<u32> {
+        let assignment = self.class_assignment();
+        let mut class_totals = vec![0u32; self.classes.len()];
+        for class in &assignment {
+            class_totals[*class] += 1;
+        }
+        // Position of each client within its class (0-based).
+        let mut seen = vec![0u32; self.classes.len()];
+        let mut keyed: Vec<(u32, usize, u32)> = Vec::with_capacity(assignment.len());
+        for (client, class) in assignment.iter().enumerate() {
+            keyed.push((seen[*class], *class, client as u32));
+            seen[*class] += 1;
+        }
+        // Sort by fractional position within the class ((pos+1)/total,
+        // compared exactly via cross-multiplication), tie-broken by class
+        // then client id: the i-th activated client of a class with N
+        // members arrives at fraction (i+1)/N, which interleaves classes
+        // in proportion to their sizes.
+        keyed.sort_by(|a, b| {
+            let lhs = (a.0 as u64 + 1) * class_totals[b.1] as u64;
+            let rhs = (b.0 as u64 + 1) * class_totals[a.1] as u64;
+            lhs.cmp(&rhs).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+        });
+        keyed.into_iter().map(|(_, _, client)| client).collect()
+    }
+
     /// Deterministically assign each client to a class: contiguous ranges
     /// sized by the normalized [`WorkloadClassConfig::client_share`]s, with
     /// the last class absorbing rounding remainder. Returns one class index
@@ -333,6 +383,44 @@ mod tests {
         );
         // Exemption floor is clamped below the first scaled threshold.
         assert!(adhoc.exempt_bytes <= adhoc.monitors[0].threshold_bytes);
+    }
+
+    #[test]
+    fn activation_order_is_identity_for_a_single_class() {
+        let c = ServerConfig::quick(10, true);
+        assert_eq!(c.activation_order(), (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn activation_order_interleaves_classes_proportionally() {
+        let c = ServerConfig::quick(20, true).with_standard_classes();
+        let order = c.activation_order();
+        assert_eq!(order.len(), 20);
+        // Every client appears exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+        // Any partial prefix covers every class roughly by share: with
+        // shares 50/30/20 over 20 clients, the first 5 activations must
+        // already include all three classes.
+        let assignment = c.class_assignment();
+        let classes_in = |n: usize| {
+            let mut seen = std::collections::HashSet::new();
+            for client in &order[..n] {
+                seen.insert(assignment[*client as usize]);
+            }
+            seen.len()
+        };
+        assert_eq!(classes_in(5), 3, "first 5 activations miss a class");
+        // And the 10-client prefix is close to the 5/3/2 share split.
+        let mut counts = [0usize; 3];
+        for client in &order[..10] {
+            counts[assignment[*client as usize]] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!((4..=6).contains(&counts[0]), "default {counts:?}");
+        assert!((2..=4).contains(&counts[1]), "adhoc {counts:?}");
+        assert!((1..=3).contains(&counts[2]), "report {counts:?}");
     }
 
     #[test]

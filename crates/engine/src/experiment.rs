@@ -117,6 +117,24 @@ pub struct SweepRow {
 /// Sweep the client count (§5.2: "this benchmark produces maximum throughput
 /// with 30 clients ... increasing the number of users beyond 30 saturates the
 /// server and causes some operations to fail").
+///
+/// # Examples
+///
+/// ```
+/// use throttledb_engine::{client_sweep, ServerConfig};
+/// use throttledb_sim::SimDuration;
+///
+/// // A miniature sweep (10 simulated minutes per run) over two client
+/// // counts; each row holds a throttled and an unthrottled run.
+/// let mut base = ServerConfig::quick(4, true);
+/// base.duration = SimDuration::from_secs(600);
+/// base.warmup = SimDuration::from_secs(60);
+/// base.slice = SimDuration::from_secs(60);
+/// let rows = client_sweep(&base, &[2, 4]);
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0].clients, 2);
+/// assert!(rows.iter().any(|r| r.throttled_completed > 0));
+/// ```
 pub fn client_sweep(base: &ServerConfig, client_counts: &[u32]) -> Vec<SweepRow> {
     let profiles = Arc::new(WorkloadProfiles::characterize_sales(base));
     client_counts

@@ -4,12 +4,12 @@
 use crate::config::ServerConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use throttledb_catalog::{sales_schema, Catalog, SalesScale};
+use throttledb_catalog::{sales_schema, tpch_schema, Catalog, SalesScale};
 use throttledb_executor::ExecutionModel;
 use throttledb_optimizer::Optimizer;
 use throttledb_sim::SimRng;
 use throttledb_sqlparse::parse;
-use throttledb_workload::{oltp_templates, sales_templates, QueryTemplate};
+use throttledb_workload::{oltp_templates, sales_templates, tpch_like_templates, QueryTemplate};
 
 /// Measured characteristics of compiling and executing one template.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -51,6 +51,9 @@ pub struct WorkloadProfiles {
     profiles: HashMap<String, CompileProfile>,
     /// DSS templates in workload order.
     pub dss: Vec<QueryTemplate>,
+    /// TPC-H-like comparison templates (empty unless characterized via
+    /// [`WorkloadProfiles::characterize_full`]).
+    pub tpch: Vec<QueryTemplate>,
     /// OLTP/diagnostic templates.
     pub oltp: Vec<QueryTemplate>,
 }
@@ -61,6 +64,19 @@ impl WorkloadProfiles {
     pub fn characterize_sales(config: &ServerConfig) -> Self {
         let catalog = sales_schema(SalesScale::paper());
         Self::characterize(config, &catalog, sales_templates(), oltp_templates())
+    }
+
+    /// Characterize all three template families: SALES and OLTP against the
+    /// warehouse schema, plus the TPC-H-like set against the TPC-H schema.
+    /// Scenario runs use this so phases can shift their mix toward any
+    /// family.
+    pub fn characterize_full(config: &ServerConfig) -> Self {
+        let mut profiles = Self::characterize_sales(config);
+        let tpch_catalog = tpch_schema(30.0);
+        let tpch = Self::characterize(config, &tpch_catalog, tpch_like_templates(), Vec::new());
+        profiles.profiles.extend(tpch.profiles);
+        profiles.tpch = tpch.dss;
+        profiles
     }
 
     /// Characterize an arbitrary template set against a catalog.
@@ -94,6 +110,7 @@ impl WorkloadProfiles {
         WorkloadProfiles {
             profiles,
             dss,
+            tpch: Vec::new(),
             oltp,
         }
     }
@@ -148,6 +165,22 @@ mod tests {
             let p = profiles.profile(&t.name);
             assert!(p.peak_compile_bytes < 2 << 20, "{}", t.name);
             assert!(p.compile_cpu_seconds < 5.0);
+        }
+    }
+
+    #[test]
+    fn full_characterization_covers_the_tpch_family() {
+        let config = ServerConfig::quick(8, true);
+        let profiles = WorkloadProfiles::characterize_full(&config);
+        assert_eq!(profiles.dss.len(), 10);
+        assert!(!profiles.tpch.is_empty());
+        for t in &profiles.tpch {
+            let p = profiles.profile(&t.name);
+            assert!(p.peak_compile_bytes > 0, "{} has no profile", t.name);
+        }
+        // SALES profiles survive the merge untouched.
+        for t in &profiles.dss {
+            assert!(profiles.profile(&t.name).peak_compile_bytes > 50 << 20);
         }
     }
 

@@ -10,6 +10,7 @@ use crate::config::ServerConfig;
 use crate::metrics::{ClassMetrics, RunMetrics};
 use crate::profile::{CompileProfile, WorkloadProfiles};
 use crate::stages::{ClassRuntime, Query};
+use crate::trace::TraceEvent;
 use std::collections::HashMap;
 use std::sync::Arc;
 use throttledb_bufferpool::HitRateModel;
@@ -18,7 +19,7 @@ use throttledb_executor::GrantRequestId;
 use throttledb_membroker::{Clerk, MemoryBroker, SubcomponentKind};
 use throttledb_plancache::PlanCache;
 use throttledb_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use throttledb_workload::{ClientModel, Uniquifier};
+use throttledb_workload::{ClientModel, Uniquifier, WorkloadMix};
 
 /// Discrete events driving the simulation.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +62,30 @@ pub struct Server {
     pub(crate) running_cpu_tasks: u32,
     pub(crate) metrics: RunMetrics,
     pub(crate) now: SimTime,
+    /// Number of clients currently in the closed loop (scenario phases
+    /// raise and lower this between windows).
+    pub(crate) active_clients: u32,
+    /// The order clients are activated in when only part of the population
+    /// participates: interleaves classes proportionally to their shares
+    /// (see [`ServerConfig::activation_order`]).
+    pub(crate) activation_order: Vec<u32>,
+    /// Per-client participation flag: the first `active_clients` entries of
+    /// `activation_order` are active.
+    pub(crate) client_active: Vec<bool>,
+    /// Per-client busy flag: true while the client has a pending submission
+    /// event or an in-flight query. Prevents a re-activated client from
+    /// running two closed loops at once.
+    pub(crate) client_busy: Vec<bool>,
+    /// The active workload mix submissions are sampled from.
+    pub(crate) mix: WorkloadMix,
+    /// Scenario knob: scales every class's grant-pool budget at each broker
+    /// tick (1.0 = the configured budgets; < 1 models a degraded pool).
+    pub(crate) grant_budget_scale: f64,
+    /// Recorded admission/grant events, when tracing is enabled.
+    pub(crate) trace: Option<Vec<TraceEvent>>,
+    /// Running compile-memory high-water mark since the last phase boundary
+    /// (trace recording only).
+    pub(crate) trace_peak: u64,
 }
 
 impl Server {
@@ -86,6 +111,7 @@ impl Server {
         );
         let mut client_model = config.client_model;
         client_model.oltp_fraction = config.oltp_fraction;
+        let clients = config.clients as usize;
         Server {
             rng: SimRng::seed_from_u64(config.seed),
             profiles,
@@ -105,25 +131,45 @@ impl Server {
             running_cpu_tasks: 0,
             metrics,
             now: SimTime::ZERO,
+            active_clients: 0,
+            activation_order: config.activation_order(),
+            client_active: vec![false; clients],
+            client_busy: vec![false; clients],
+            mix: WorkloadMix::paper_default(config.oltp_fraction),
+            grant_budget_scale: 1.0,
+            trace: None,
+            trace_peak: 0,
             config,
         }
     }
 
     /// Run the simulation to completion and return the metrics.
     pub fn run(mut self) -> RunMetrics {
-        // Stagger client start-up over the first minute.
-        for client in 0..self.config.clients {
-            let offset = SimDuration::from_millis(self.rng.uniform_u64(0, 60_000));
-            self.queue
-                .schedule(SimTime::ZERO + offset, Event::Submit { client });
-        }
-        self.queue.schedule(SimTime::ZERO, Event::BrokerTick);
+        self.set_active_clients(self.config.clients);
+        self.begin();
+        self.run_until(SimTime::ZERO + self.config.duration);
+        self.finish()
+    }
 
-        let end = SimTime::ZERO + self.config.duration;
-        while let Some(ev) = self.queue.pop() {
-            if ev.at > end {
-                break;
-            }
+    // --- scenario runner hooks --------------------------------------------
+    //
+    // `run()` is built from these four public hooks so an external driver
+    // (the `throttledb-scenario` runner) can interleave phase mutations with
+    // simulation windows: begin once, then alternate `set_*` mutators with
+    // `run_until` at phase boundaries, and `finish` at the end.
+
+    /// Start the server's housekeeping (the periodic broker tick). Call
+    /// once, after configuring the initial client population.
+    pub fn begin(&mut self) {
+        self.queue.schedule(self.now, Event::BrokerTick);
+    }
+
+    /// Advance the simulation, processing every event scheduled strictly
+    /// before `until`, then park the clock at `until`. Events at or beyond
+    /// the boundary stay queued, so a later call picks up exactly where
+    /// this one stopped.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(ev) = self.queue.pop_before(until) {
             self.now = ev.at;
             match ev.payload {
                 Event::Submit { client } => self.on_submit(client),
@@ -134,7 +180,146 @@ impl Server {
                 Event::BrokerTick => self.on_broker_tick(),
             }
         }
+        self.now = self.now.max(until);
+    }
+
+    /// Resize the active client population to `n` (capped at the configured
+    /// maximum). Clients are (de)activated in the proportional-interleave
+    /// order of [`ServerConfig::activation_order`], so a partial population
+    /// covers every workload class by share instead of starving the later
+    /// classes. New clients submit their first query within the next
+    /// simulated minute; removed clients leave the closed loop as soon as
+    /// their in-flight work completes.
+    pub fn set_active_clients(&mut self, n: u32) {
+        let n = n.min(self.config.clients) as usize;
+        for idx in 0..self.activation_order.len() {
+            let client = self.activation_order[idx] as usize;
+            let want = idx < n;
+            if want && !self.client_active[client] {
+                self.client_active[client] = true;
+                if !self.client_busy[client] {
+                    let offset = SimDuration::from_millis(self.rng.uniform_u64(0, 60_000));
+                    self.queue.schedule(
+                        self.now + offset,
+                        Event::Submit {
+                            client: client as u32,
+                        },
+                    );
+                    self.client_busy[client] = true;
+                }
+            } else if !want && self.client_active[client] {
+                self.client_active[client] = false;
+            }
+        }
+        self.active_clients = n as u32;
+    }
+
+    /// Replace the workload mix submissions are sampled from. TPC-H-like
+    /// weight is only effective when the server's profiles were
+    /// characterized with the TPC-H-like templates
+    /// (see [`WorkloadProfiles::characterize_full`]).
+    pub fn set_workload_mix(&mut self, mix: WorkloadMix) {
+        mix.validate();
+        self.mix = mix;
+    }
+
+    /// Override the mean think time of the client population (burst phases
+    /// shorten it; recovery phases restore the configured value).
+    pub fn set_mean_think_time(&mut self, mean: SimDuration) {
+        assert!(!mean.is_zero(), "mean think time must be positive");
+        self.client_model.mean_think_time = mean;
+    }
+
+    /// Scale every class's execution-grant budget (1.0 = configured
+    /// budgets). Takes effect at the next broker tick, within one
+    /// `broker_tick` interval. Scenario phases use this to model a
+    /// degrading resource pool.
+    pub fn set_grant_budget_scale(&mut self, scale: f64) {
+        assert!(scale > 0.0, "grant budget scale must be positive");
+        self.grant_budget_scale = scale;
+    }
+
+    /// Consume the server and return the run's metrics.
+    pub fn finish(self) -> RunMetrics {
         self.finalize_metrics()
+    }
+
+    // --- observers --------------------------------------------------------
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The metrics accumulated so far (scenario phase reports snapshot
+    /// these at boundaries).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Total queries submitted so far.
+    pub fn queries_submitted(&self) -> u64 {
+        self.next_query
+    }
+
+    /// The number of clients currently in the closed loop.
+    pub fn active_clients(&self) -> u32 {
+        self.active_clients
+    }
+
+    // --- trace recording --------------------------------------------------
+
+    /// Start recording the admission/grant event stream
+    /// (see [`TraceEvent`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Take the recorded events, leaving recording enabled but empty.
+    /// Returns an empty vector if tracing was never enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.as_mut() {
+            Some(events) => std::mem::take(events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Record a phase boundary: emits a [`TraceEvent::PhaseStart`] and
+    /// resets the compile-memory high-water mark that
+    /// [`TraceEvent::CompilePeak`] events are measured against.
+    pub fn trace_phase_start(&mut self, name: &str, clients: u32) {
+        self.trace_peak = 0;
+        let at = self.now;
+        self.trace_push(TraceEvent::PhaseStart {
+            at,
+            name: name.to_string(),
+            clients,
+        });
+    }
+
+    /// Append `event` to the trace if recording is enabled.
+    pub(crate) fn trace_push(&mut self, event: TraceEvent) {
+        if let Some(events) = self.trace.as_mut() {
+            events.push(event);
+        }
+    }
+
+    /// Record the aggregate compile-memory gauge, plus a trace peak event
+    /// when it reaches a new high since the last phase boundary. Every
+    /// compile-memory sample must flow through here so the gauge and the
+    /// trace agree on per-phase peaks.
+    pub(crate) fn record_compile_gauge(&mut self) {
+        let used = self.compile_clerk.used_bytes();
+        self.metrics.compile_memory.record(self.now, used);
+        if self.trace.is_some() && used > self.trace_peak {
+            self.trace_peak = used;
+            self.trace_push(TraceEvent::CompilePeak {
+                at: self.now,
+                bytes: used,
+            });
+        }
     }
 
     // --- shared machine model ---------------------------------------------
@@ -146,8 +331,15 @@ impl Server {
 
     pub(crate) fn schedule_submit(&mut self, client: u32, delay: SimDuration) {
         let at = self.now + delay;
-        if at <= SimTime::ZERO + self.config.duration {
+        // Strict bound to match run_until's exclusive boundary: an event at
+        // exactly `duration` would never be popped.
+        if self.client_active[client as usize] && at < SimTime::ZERO + self.config.duration {
             self.queue.schedule(at, Event::Submit { client });
+            self.client_busy[client as usize] = true;
+        } else {
+            // The client leaves the closed loop (deactivated by a scenario
+            // phase, or the run is over); a later phase may re-admit it.
+            self.client_busy[client as usize] = false;
         }
     }
 
@@ -286,6 +478,29 @@ mod tests {
         for (x, y) in a.classes.iter().zip(b.classes.iter()) {
             assert_eq!(x.completed, y.completed, "class {} not seed-stable", x.name);
             assert_eq!(x.failed, y.failed);
+        }
+    }
+
+    #[test]
+    fn partial_population_covers_every_class() {
+        // A scenario phase running far fewer clients than the configured
+        // maximum must still exercise every workload class (activation is
+        // share-proportional, not a contiguous prefix that would starve
+        // the later classes).
+        let profiles = profiles();
+        let cfg = ServerConfig::quick(18, true).with_standard_classes();
+        let mut server = Server::new(cfg, profiles);
+        server.set_active_clients(6);
+        server.begin();
+        server.run_until(SimTime::ZERO + SimDuration::from_secs(3600));
+        let metrics = server.finish();
+        assert_eq!(metrics.classes.len(), 3);
+        for class in &metrics.classes {
+            assert!(
+                class.completed > 0,
+                "class {} starved with a partial population",
+                class.name
+            );
         }
     }
 

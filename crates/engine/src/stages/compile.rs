@@ -9,16 +9,29 @@
 use super::{Query, QueryLifecycle};
 use crate::metrics::FailureKind;
 use crate::server::{Event, Server};
+use crate::trace::TraceEvent;
 use throttledb_core::LadderDecision;
 
 impl Server {
     /// A client submits its next query: choose a template, uniquify its
     /// text, and start (or skip, on a plan-cache hit) compilation.
     pub(crate) fn on_submit(&mut self, client: u32) {
+        if !self.client_active[client as usize] {
+            // The client was deactivated by a scenario phase after this
+            // submission was scheduled; it leaves the closed loop here.
+            self.client_busy[client as usize] = false;
+            return;
+        }
         let class = self.class_of(client);
         let template = self
             .client_model
-            .choose_template(&self.profiles.dss, &self.profiles.oltp, &mut self.rng)
+            .choose_mixed(
+                &self.mix,
+                &self.profiles.dss,
+                &self.profiles.tpch,
+                &self.profiles.oltp,
+                &mut self.rng,
+            )
             .clone();
         let profile = self
             .profiles
@@ -27,6 +40,12 @@ impl Server {
         let id = self.next_query;
         self.next_query += 1;
         let text = self.uniquifier.uniquify(&template.sql, &mut self.rng, id);
+        self.trace_push(TraceEvent::Submitted {
+            at: self.now,
+            query: id,
+            client,
+            class,
+        });
 
         // The uniquifier defeats the plan cache (as in the paper); a hit can
         // only happen for the rare literal-free diagnostic queries.
@@ -100,9 +119,7 @@ impl Server {
             (q.task, q.compile_bytes, q.compile_step)
         };
         self.compile_clerk.allocate(delta);
-        self.metrics
-            .compile_memory
-            .record(self.now, self.compile_clerk.used_bytes());
+        self.record_compile_gauge();
 
         match self.classes[class]
             .ladder
@@ -122,6 +139,11 @@ impl Server {
                     q.lifecycle
                         .advance(QueryLifecycle::WaitingAtGateway { level });
                 }
+                self.trace_push(TraceEvent::GatewayBlocked {
+                    at: self.now,
+                    query: id,
+                    level,
+                });
                 self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
                 self.queue.schedule(
                     self.now + timeout,
@@ -131,6 +153,10 @@ impl Server {
             LadderDecision::FinishBestEffort => {
                 self.metrics.best_effort_plans += 1;
                 self.classes[class].best_effort_plans += 1;
+                self.trace_push(TraceEvent::BestEffort {
+                    at: self.now,
+                    query: id,
+                });
                 self.finish_compile(id);
             }
         }
@@ -169,9 +195,7 @@ impl Server {
         };
         // Compilation memory is freed when the plan is produced.
         self.compile_clerk.free(compile_bytes);
-        self.metrics
-            .compile_memory
-            .record(self.now, self.compile_clerk.used_bytes());
+        self.record_compile_gauge();
         if let Some(q) = self.queries.get_mut(&id) {
             q.compile_bytes = 0;
         }

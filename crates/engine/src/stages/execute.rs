@@ -7,6 +7,7 @@
 
 use super::QueryLifecycle;
 use crate::server::{Event, Server};
+use crate::trace::TraceEvent;
 use throttledb_sim::SimDuration;
 
 impl Server {
@@ -22,6 +23,11 @@ impl Server {
         if let Some(grant_id) = q.grant_id {
             self.grant_to_query.remove(&(class, grant_id));
         }
+        self.trace_push(TraceEvent::ExecStarted {
+            at: self.now,
+            query: id,
+            bytes: granted_bytes,
+        });
         self.running_cpu_tasks += 1;
 
         // CPU time: parallelized over the machine, inflated by spills and by
@@ -69,6 +75,10 @@ impl Server {
             self.start_admitted(q.class, admitted);
         }
         self.metrics.record_completion(self.now);
+        self.trace_push(TraceEvent::Completed {
+            at: self.now,
+            query: id,
+        });
         let class = &mut self.classes[q.class];
         class.completed += 1;
         if self.now >= self.metrics.warmup {

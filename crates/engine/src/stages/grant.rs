@@ -9,6 +9,7 @@
 use super::QueryLifecycle;
 use crate::metrics::FailureKind;
 use crate::server::{Event, Server};
+use crate::trace::TraceEvent;
 use throttledb_executor::{GrantOutcome, GrantRequestId};
 
 impl Server {
@@ -37,6 +38,11 @@ impl Server {
                 if let Some(q) = self.queries.get_mut(&id) {
                     q.lifecycle.advance(QueryLifecycle::WaitingForGrant);
                 }
+                self.trace_push(TraceEvent::GrantQueued {
+                    at: self.now,
+                    query: id,
+                    bytes: requested,
+                });
                 self.queue
                     .schedule(deadline, Event::GrantTimeout { query: id });
             }

@@ -24,6 +24,7 @@ use crate::config::WorkloadClassConfig;
 use crate::metrics::FailureKind;
 use crate::profile::CompileProfile;
 use crate::server::Server;
+use crate::trace::TraceEvent;
 use throttledb_core::{GatewayLadder, TaskId, ThrottleConfig};
 use throttledb_executor::{GrantManager, GrantRequestId};
 use throttledb_membroker::{Clerk, SubcomponentKind};
@@ -186,6 +187,11 @@ impl Server {
             self.start_admitted(q.class, admitted);
         }
         self.metrics.record_failure(self.now, kind);
+        self.trace_push(TraceEvent::Failed {
+            at: self.now,
+            query: id,
+            kind,
+        });
         self.classes[q.class].failed += 1;
         let delay = self.client_model.retry_delay(&mut self.rng);
         self.schedule_submit(q.client, delay);
@@ -215,9 +221,10 @@ impl Server {
             class
                 .ladder
                 .set_compilation_target(compile_target.map(|t| scaled_budget(t, share)));
-            class
-                .grants
-                .set_budget(scaled_budget(exec_target, class.spec.grant_fraction));
+            class.grants.set_budget(scaled_budget(
+                scaled_budget(exec_target, class.spec.grant_fraction),
+                self.grant_budget_scale,
+            ));
         }
         // The plan cache responds to pressure by shrinking toward its target.
         if let Some(target) = decisions

@@ -1,0 +1,176 @@
+//! The recorded admission/grant event stream of a run.
+//!
+//! When tracing is enabled (see [`crate::server::Server::enable_trace`]),
+//! the pipeline stages record every admission-control decision the run
+//! makes: submissions, gateway blocks, best-effort finishes, grant queueing
+//! and issuance, completions, failures, and the running compile-memory
+//! peaks. The scenario subsystem (`throttledb-scenario`) serializes this
+//! stream to a line-oriented text format and replays it deterministically
+//! for regression comparison — a recorded trace is a golden file that a
+//! later build must reproduce byte for byte.
+
+use crate::metrics::FailureKind;
+use serde::{Deserialize, Serialize};
+use throttledb_sim::SimTime;
+
+/// One recorded admission-control event.
+///
+/// Events carry only policy-visible facts (virtual timestamps, query ids,
+/// byte counts), never wall-clock time or host state, so a trace is stable
+/// across machines and builds as long as the policy code behaves the same.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A scenario phase began. Recorded by the scenario runner at each
+    /// phase boundary; segments the stream for per-phase replay.
+    PhaseStart {
+        /// Boundary time.
+        at: SimTime,
+        /// Phase name.
+        name: String,
+        /// Active client count for the phase.
+        clients: u32,
+    },
+    /// A client submitted a query.
+    Submitted {
+        /// Submission time.
+        at: SimTime,
+        /// Query id (unique within the run).
+        query: u64,
+        /// Submitting client.
+        client: u32,
+        /// Workload-class index of the client.
+        class: usize,
+    },
+    /// A compilation blocked at a gateway of its class ladder.
+    GatewayBlocked {
+        /// Block time.
+        at: SimTime,
+        /// Query id.
+        query: u64,
+        /// Gateway level (0-based).
+        level: usize,
+    },
+    /// The ladder finished a compilation best-effort instead of blocking.
+    BestEffort {
+        /// Decision time.
+        at: SimTime,
+        /// Query id.
+        query: u64,
+    },
+    /// An execution memory-grant request could not be served immediately
+    /// and was queued.
+    GrantQueued {
+        /// Queue time.
+        at: SimTime,
+        /// Query id.
+        query: u64,
+        /// Requested grant bytes.
+        bytes: u64,
+    },
+    /// Execution began with a memory grant.
+    ExecStarted {
+        /// Start time.
+        at: SimTime,
+        /// Query id.
+        query: u64,
+        /// Granted bytes (may be less than requested).
+        bytes: u64,
+    },
+    /// The query completed successfully.
+    Completed {
+        /// Completion time.
+        at: SimTime,
+        /// Query id.
+        query: u64,
+    },
+    /// The query failed.
+    Failed {
+        /// Failure time.
+        at: SimTime,
+        /// Query id.
+        query: u64,
+        /// Why it failed.
+        kind: FailureKind,
+    },
+    /// Aggregate compilation memory reached a new high since the last
+    /// phase boundary.
+    CompilePeak {
+        /// Sample time.
+        at: SimTime,
+        /// Aggregate compile bytes in use.
+        bytes: u64,
+    },
+    /// End of the recording.
+    End {
+        /// Final time.
+        at: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time at which the event was recorded.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::PhaseStart { at, .. }
+            | TraceEvent::Submitted { at, .. }
+            | TraceEvent::GatewayBlocked { at, .. }
+            | TraceEvent::BestEffort { at, .. }
+            | TraceEvent::GrantQueued { at, .. }
+            | TraceEvent::ExecStarted { at, .. }
+            | TraceEvent::Completed { at, .. }
+            | TraceEvent::Failed { at, .. }
+            | TraceEvent::CompilePeak { at, .. }
+            | TraceEvent::End { at } => *at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_extracts_the_timestamp_of_every_variant() {
+        let t = SimTime::from_secs(42);
+        let events = [
+            TraceEvent::PhaseStart {
+                at: t,
+                name: "p".into(),
+                clients: 4,
+            },
+            TraceEvent::Submitted {
+                at: t,
+                query: 1,
+                client: 0,
+                class: 0,
+            },
+            TraceEvent::GatewayBlocked {
+                at: t,
+                query: 1,
+                level: 2,
+            },
+            TraceEvent::BestEffort { at: t, query: 1 },
+            TraceEvent::GrantQueued {
+                at: t,
+                query: 1,
+                bytes: 7,
+            },
+            TraceEvent::ExecStarted {
+                at: t,
+                query: 1,
+                bytes: 7,
+            },
+            TraceEvent::Completed { at: t, query: 1 },
+            TraceEvent::Failed {
+                at: t,
+                query: 1,
+                kind: FailureKind::OutOfMemory,
+            },
+            TraceEvent::CompilePeak { at: t, bytes: 9 },
+            TraceEvent::End { at: t },
+        ];
+        for ev in events {
+            assert_eq!(ev.at(), t);
+        }
+    }
+}

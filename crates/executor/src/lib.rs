@@ -17,7 +17,7 @@
 //!   the memory grant, including the slow-down applied when the grant is
 //!   reduced (hash spills).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod exec;

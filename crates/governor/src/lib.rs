@@ -24,7 +24,7 @@
 //! histograms); `throttledb-core`, `throttledb-executor`,
 //! `throttledb-membroker` and the engine all build on it.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod decision;

@@ -51,6 +51,31 @@ struct Slot<T> {
 /// All operations are O(1) amortized: `push` and `cancel` are O(1) exact;
 /// `pop_front`/`front` skip tickets invalidated by earlier cancels, each of
 /// which is visited at most once over the queue's lifetime.
+///
+/// # Examples
+///
+/// ```
+/// use throttledb_governor::WaitQueue;
+/// use throttledb_sim::SimTime;
+///
+/// let mut q = WaitQueue::new();
+/// let now = SimTime::from_secs(10);
+/// let deadline = SimTime::from_secs(40);
+/// let first = q.push("q1", now, deadline);
+/// let second = q.push("q2", now, deadline);
+///
+/// // Cancelling is O(1) and hands back the waiter...
+/// let cancelled = q.cancel(first).expect("still queued");
+/// assert_eq!(cancelled.payload, "q1");
+///
+/// // ...and pops transparently skip the vacated ticket (strict FIFO
+/// // over the survivors).
+/// assert!(!q.contains(first) && q.contains(second));
+/// let next = q.pop_front().expect("one waiter left");
+/// assert_eq!(next.payload, "q2");
+/// assert_eq!(next.deadline, deadline);
+/// assert!(q.is_empty());
+/// ```
 #[derive(Debug, Clone)]
 pub struct WaitQueue<T> {
     slots: Vec<Slot<T>>,

@@ -47,7 +47,7 @@
 //! assert!(decisions.iter().any(|d| d.notification.kind != NotificationKind::Grow));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod accounting;

@@ -29,7 +29,7 @@
 //! orders of magnitude more compilation memory than TPC-H-style queries, as
 //! §5.1 reports.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod binder;

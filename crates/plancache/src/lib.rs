@@ -12,7 +12,7 @@
 //! `recompile_cost / size` value first — cheap-to-rebuild, memory-hungry
 //! plans go first, exactly the trade-off a production cache makes.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use parking_lot::Mutex;

@@ -1,0 +1,397 @@
+//! The declarative scenario model and the built-in scenario catalog.
+//!
+//! A [`Scenario`] is a base [`ServerConfig`] plus an ordered list of
+//! [`Phase`]s. The built-ins come in two groups:
+//!
+//! * **paper scenarios** (`paper_figure3/4/5`) — the paper's own §5
+//!   throughput runs, expressed as single steady phases over
+//!   [`ServerConfig::paper`]; and
+//! * **beyond-the-paper scenarios** (`compile_storm`,
+//!   `diurnal_two_classes`, `burst_degrading_pool`, `class_mix_shift`,
+//!   `ramp_to_saturation`) — workload shapes the paper never evaluated,
+//!   exercising the same admission-control policy under phase-varying
+//!   load.
+
+use crate::phase::Phase;
+use serde::{Deserialize, Serialize};
+use throttledb_engine::{ServerConfig, WorkloadClassConfig};
+use throttledb_sim::SimDuration;
+use throttledb_workload::WorkloadMix;
+
+/// Experiment scale: `Quick` shrinks durations for tests and CI smoke
+/// runs; `Paper` stretches the same shapes to multi-hour runs comparable
+/// with the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// CI-friendly durations (minutes of virtual time per phase).
+    Quick,
+    /// Paper-comparable durations (6× the quick phase lengths; the paper
+    /// figures use the full 8-hour [`ServerConfig::paper`] run).
+    Paper,
+}
+
+impl Scale {
+    /// Parse `"quick"` / `"paper"` (the figure binaries' CLI convention).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// A phase duration that is `quick_minutes` long at quick scale and
+    /// 6× that at paper scale.
+    fn minutes(self, quick_minutes: u64) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_secs(quick_minutes * 60),
+            Scale::Paper => SimDuration::from_secs(quick_minutes * 360),
+        }
+    }
+}
+
+/// A declarative multi-phase workload: what to run, not how to run it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (the CLI and reports use it).
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Base server configuration. The runner overwrites `clients` (to the
+    /// maximum over phases) and `duration` (to the phase total); everything
+    /// else — machine, throttle, classes, seed — is taken as configured.
+    pub base: ServerConfig,
+    /// The phase schedule, executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// A scenario from parts.
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        base: ServerConfig,
+        phases: Vec<Phase>,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            description: description.into(),
+            base,
+            phases,
+        }
+    }
+
+    /// Replace the RNG seed (every other setting untouched).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.base.seed = seed;
+        self
+    }
+
+    /// Total virtual duration over all phases.
+    pub fn total_duration(&self) -> SimDuration {
+        self.phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+    }
+
+    /// The largest client count any phase uses.
+    pub fn max_clients(&self) -> u32 {
+        self.phases.iter().map(|p| p.clients).max().unwrap_or(0)
+    }
+
+    /// Panics on an empty or inconsistent phase schedule.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "scenario needs a name");
+        assert!(!self.phases.is_empty(), "scenario needs at least one phase");
+        for phase in &self.phases {
+            phase.validate();
+        }
+    }
+
+    // --- the paper's own runs, as scenarios --------------------------------
+
+    /// Figure 3: the paper's steady 30-client throughput run (throttled).
+    pub fn paper_figure3(scale: Scale) -> Self {
+        Self::paper_figure(scale, "paper_figure3", 30)
+    }
+
+    /// Figure 4: the paper's steady 35-client throughput run (throttled).
+    pub fn paper_figure4(scale: Scale) -> Self {
+        Self::paper_figure(scale, "paper_figure4", 35)
+    }
+
+    /// Figure 5: the paper's steady 40-client throughput run (throttled).
+    pub fn paper_figure5(scale: Scale) -> Self {
+        Self::paper_figure(scale, "paper_figure5", 40)
+    }
+
+    fn paper_figure(scale: Scale, name: &str, clients: u32) -> Self {
+        let base = match scale {
+            Scale::Paper => ServerConfig::paper(clients, true),
+            Scale::Quick => ServerConfig::quick(clients, true),
+        };
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("steady", base.duration, clients, mix)];
+        Scenario::new(
+            name,
+            format!("§5 throughput run at {clients} clients (throttled leg)"),
+            base,
+            phases,
+        )
+    }
+
+    // --- scenarios the paper never ran --------------------------------------
+
+    /// An ad-hoc compile storm lands mid-run: a steady population is joined
+    /// by a wave of impatient all-SALES clients (2 s think time), then the
+    /// system recovers. Exercises the ladder's behaviour through a step
+    /// overload and back.
+    pub fn compile_storm(scale: Scale) -> Self {
+        let base = Self::custom_base(scale, 2007);
+        let default_mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![
+            Phase::steady("steady", scale.minutes(15), 10, default_mix),
+            Phase::steady("storm", scale.minutes(10), 26, WorkloadMix::sales_only())
+                .with_think_time(SimDuration::from_secs(2)),
+            Phase::steady("recovery", scale.minutes(15), 10, default_mix),
+        ];
+        Scenario::new(
+            "compile_storm",
+            "ad-hoc compile storm mid-run: steady → 26-client SALES storm → recovery",
+            base,
+            phases,
+        )
+    }
+
+    /// A day/night load cycle over two workload classes: interactive
+    /// sessions (tighter ladder) and scheduled reports (relaxed ladder).
+    /// Night phases shift the mix toward OLTP/maintenance traffic.
+    pub fn diurnal_two_classes(scale: Scale) -> Self {
+        let mut base = Self::custom_base(scale, 2007);
+        base.classes = vec![
+            WorkloadClassConfig {
+                name: "interactive".to_string(),
+                client_share: 0.6,
+                threshold_scale: 0.8,
+                grant_fraction: 0.45,
+            },
+            WorkloadClassConfig {
+                name: "reports".to_string(),
+                client_share: 0.4,
+                threshold_scale: 1.4,
+                grant_fraction: 0.50,
+            },
+        ];
+        let day_mix = WorkloadMix::new(0.85, 0.10, 0.05);
+        let night_mix = WorkloadMix::new(0.45, 0.25, 0.30);
+        let mut phases = Phase::diurnal("cycle", scale.minutes(10), 8, 6, 22, day_mix);
+        let midpoint = (6 + 22) / 2;
+        for phase in &mut phases {
+            if phase.clients <= midpoint {
+                phase.mix = night_mix;
+            }
+        }
+        Scenario::new(
+            "diurnal_two_classes",
+            "sinusoidal day/night cycle, interactive + reports classes, night mix shift",
+            base,
+            phases,
+        )
+    }
+
+    /// Repeated bursts arrive while the execution-grant pool degrades
+    /// (70% → 45% → 25% of its budget), as if the machine were losing
+    /// memory to an external consumer. Shows grant queueing and timeouts
+    /// taking over as the pool shrinks.
+    pub fn burst_degrading_pool(scale: Scale) -> Self {
+        let base = Self::custom_base(scale, 2007);
+        let default_mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let burst = |name: &str, grant_scale: f64| {
+            Phase::steady(name, scale.minutes(8), 24, WorkloadMix::sales_only())
+                .with_think_time(SimDuration::from_secs(3))
+                .with_grant_budget_scale(grant_scale)
+        };
+        let phases = vec![
+            Phase::steady("baseline", scale.minutes(10), 8, default_mix),
+            burst("burst-70pct", 0.70),
+            burst("burst-45pct", 0.45),
+            burst("burst-25pct", 0.25),
+            Phase::steady("recovery", scale.minutes(10), 8, default_mix),
+        ];
+        Scenario::new(
+            "burst_degrading_pool",
+            "burst arrivals against a degrading grant pool (100% → 25% budget)",
+            base,
+            phases,
+        )
+    }
+
+    /// A class-mix shift at constant population: submissions move from
+    /// SALES-dominated to TPC-H-like-dominated across four phases,
+    /// contrasting the two families' very different compile-memory
+    /// appetites under one admission policy.
+    pub fn class_mix_shift(scale: Scale) -> Self {
+        let base = Self::custom_base(scale, 2007);
+        let mixes = [
+            (0.90, 0.05, 0.05),
+            (0.65, 0.30, 0.05),
+            (0.40, 0.55, 0.05),
+            (0.15, 0.80, 0.05),
+        ];
+        let phases = mixes
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, t, o))| {
+                Phase::steady(
+                    format!("shift-{i}"),
+                    scale.minutes(12),
+                    16,
+                    WorkloadMix::new(s, t, o),
+                )
+            })
+            .collect();
+        Scenario::new(
+            "class_mix_shift",
+            "constant 16 clients; mix shifts SALES-heavy → TPC-H-like-heavy over 4 phases",
+            base,
+            phases,
+        )
+    }
+
+    /// A client ramp across the paper's saturation knee: 8 → 40 clients in
+    /// six steps (§5.2 locates maximum throughput at 30).
+    pub fn ramp_to_saturation(scale: Scale) -> Self {
+        let base = Self::custom_base(scale, 2007);
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = Phase::ramp("ramp", scale.minutes(8), 6, 8, 40, mix);
+        Scenario::new(
+            "ramp_to_saturation",
+            "client ramp 8 → 40 across the §5.2 saturation knee",
+            base,
+            phases,
+        )
+    }
+
+    /// Base configuration for the beyond-the-paper scenarios: the paper's
+    /// machine at quick reporting granularity, no warm-up exclusion (every
+    /// phase is reported), fixed seed.
+    fn custom_base(scale: Scale, seed: u64) -> ServerConfig {
+        let mut base = ServerConfig::quick(1, true);
+        if scale == Scale::Paper {
+            base.slice = SimDuration::from_secs(3600);
+        }
+        base.warmup = SimDuration::ZERO;
+        base.seed = seed;
+        base
+    }
+
+    // --- registry -----------------------------------------------------------
+
+    /// The names [`Scenario::builtin`] accepts.
+    pub fn builtin_names() -> &'static [&'static str] {
+        &[
+            "paper_figure3",
+            "paper_figure4",
+            "paper_figure5",
+            "compile_storm",
+            "diurnal_two_classes",
+            "burst_degrading_pool",
+            "class_mix_shift",
+            "ramp_to_saturation",
+        ]
+    }
+
+    /// Look up a built-in scenario by name.
+    pub fn builtin(name: &str, scale: Scale) -> Option<Scenario> {
+        match name {
+            "paper_figure3" => Some(Self::paper_figure3(scale)),
+            "paper_figure4" => Some(Self::paper_figure4(scale)),
+            "paper_figure5" => Some(Self::paper_figure5(scale)),
+            "compile_storm" => Some(Self::compile_storm(scale)),
+            "diurnal_two_classes" => Some(Self::diurnal_two_classes(scale)),
+            "burst_degrading_pool" => Some(Self::burst_degrading_pool(scale)),
+            "class_mix_shift" => Some(Self::class_mix_shift(scale)),
+            "ramp_to_saturation" => Some(Self::ramp_to_saturation(scale)),
+            _ => None,
+        }
+    }
+
+    /// Every built-in scenario at the given scale.
+    pub fn all_builtins(scale: Scale) -> Vec<Scenario> {
+        Self::builtin_names()
+            .iter()
+            .map(|n| Self::builtin(n, scale).expect("registry names resolve"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_resolves_and_validates() {
+        for name in Scenario::builtin_names() {
+            for scale in [Scale::Quick, Scale::Paper] {
+                let s = Scenario::builtin(name, scale)
+                    .unwrap_or_else(|| panic!("builtin {name} missing"));
+                assert_eq!(&s.name, name);
+                s.validate();
+                assert!(s.max_clients() > 0);
+                assert!(!s.total_duration().is_zero());
+            }
+        }
+        assert!(Scenario::builtin("no_such_scenario", Scale::Quick).is_none());
+    }
+
+    #[test]
+    fn at_least_three_builtins_go_beyond_the_paper() {
+        let beyond: Vec<_> = Scenario::builtin_names()
+            .iter()
+            .filter(|n| !n.starts_with("paper_"))
+            .collect();
+        assert!(beyond.len() >= 3, "only {} custom scenarios", beyond.len());
+    }
+
+    #[test]
+    fn paper_figures_delegate_to_the_paper_config() {
+        let s = Scenario::paper_figure3(Scale::Paper);
+        let reference = ServerConfig::paper(30, true);
+        assert_eq!(s.base.cpus, reference.cpus);
+        assert_eq!(s.base.duration, reference.duration);
+        assert!(s.base.throttle.enabled);
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].clients, 30);
+        assert_eq!(s.total_duration(), reference.duration);
+    }
+
+    #[test]
+    fn paper_scale_stretches_custom_phase_durations() {
+        let quick = Scenario::compile_storm(Scale::Quick);
+        let paper = Scenario::compile_storm(Scale::Paper);
+        assert_eq!(
+            paper.total_duration().as_secs(),
+            quick.total_duration().as_secs() * 6
+        );
+    }
+
+    #[test]
+    fn degrading_pool_scenario_actually_degrades() {
+        let s = Scenario::burst_degrading_pool(Scale::Quick);
+        let scales: Vec<f64> = s
+            .phases
+            .iter()
+            .filter_map(|p| p.overrides.grant_budget_scale)
+            .collect();
+        assert_eq!(scales, vec![0.70, 0.45, 0.25]);
+        assert_eq!(s.max_clients(), 24);
+    }
+
+    #[test]
+    fn with_seed_only_changes_the_seed() {
+        let a = Scenario::compile_storm(Scale::Quick);
+        let b = Scenario::compile_storm(Scale::Quick).with_seed(99);
+        assert_eq!(b.base.seed, 99);
+        assert_eq!(a.phases, b.phases);
+    }
+}

@@ -1,0 +1,137 @@
+//! Scenario determinism and trace record/replay regression contracts:
+//!
+//! * same seed + same scenario ⇒ identical per-phase metrics and a
+//!   byte-identical recorded trace;
+//! * replay of a recorded trace reproduces the live run's per-phase
+//!   reports (and survives an encode/decode round trip);
+//! * a different seed produces a different trace.
+
+use std::sync::Arc;
+use throttledb_engine::{ServerConfig, WorkloadProfiles};
+use throttledb_scenario::{Phase, Scenario, ScenarioRunner, Trace};
+use throttledb_sim::SimDuration;
+use throttledb_workload::WorkloadMix;
+
+/// A small three-phase scenario exercising client-count changes, a mix
+/// shift, and a grant-budget degradation — quick enough for CI.
+fn test_scenario(seed: u64) -> Scenario {
+    let mut base = ServerConfig::quick(1, true);
+    base.warmup = SimDuration::ZERO;
+    base.seed = seed;
+    let phases = vec![
+        Phase::steady(
+            "steady",
+            SimDuration::from_secs(420),
+            6,
+            WorkloadMix::paper_default(0.05),
+        ),
+        Phase::steady(
+            "storm",
+            SimDuration::from_secs(300),
+            14,
+            WorkloadMix::sales_only(),
+        )
+        .with_think_time(SimDuration::from_secs(3))
+        .with_grant_budget_scale(0.5),
+        Phase::steady(
+            "recovery",
+            SimDuration::from_secs(420),
+            6,
+            WorkloadMix::paper_default(0.05),
+        ),
+    ];
+    Scenario::new("determinism_probe", "test scenario", base, phases)
+}
+
+fn profiles() -> Arc<WorkloadProfiles> {
+    let mut base = ServerConfig::quick(14, true);
+    base.warmup = SimDuration::ZERO;
+    Arc::new(WorkloadProfiles::characterize_full(&base))
+}
+
+#[test]
+fn same_seed_reproduces_reports_and_trace_bytes() {
+    let profiles = profiles();
+    let run = || {
+        ScenarioRunner::new(test_scenario(7))
+            .record_trace(true)
+            .with_profiles(profiles.clone())
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.phases, b.phases, "per-phase metrics must be seed-stable");
+    assert_eq!(a.render_report(), b.render_report());
+    let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+    assert_eq!(ta.encode(), tb.encode(), "trace must be byte-identical");
+    assert_eq!(ta.digest(), tb.digest());
+}
+
+#[test]
+fn replay_of_a_recorded_trace_reproduces_the_run() {
+    let outcome = ScenarioRunner::new(test_scenario(11))
+        .record_trace(true)
+        .with_profiles(profiles())
+        .run();
+    assert_eq!(outcome.phases.len(), 3);
+    // The run did real work in every phase.
+    for phase in &outcome.phases {
+        assert!(phase.submitted > 0, "phase {} idle", phase.name);
+        assert!(
+            phase.peak_compile_bytes > 0,
+            "phase {} no memory",
+            phase.name
+        );
+    }
+    let trace = outcome.trace.as_ref().unwrap();
+
+    // Replay straight from the recorded events...
+    assert_eq!(trace.replay(), outcome.phases);
+    // ...and through a full serialize/deserialize round trip, as a stored
+    // golden file would be.
+    let decoded = Trace::decode(&trace.encode()).expect("own encoding decodes");
+    assert_eq!(decoded.replay(), outcome.phases);
+    assert_eq!(decoded.encode(), trace.encode());
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let profiles = profiles();
+    let a = ScenarioRunner::new(test_scenario(1))
+        .record_trace(true)
+        .with_profiles(profiles.clone())
+        .run();
+    let b = ScenarioRunner::new(test_scenario(2))
+        .record_trace(true)
+        .with_profiles(profiles)
+        .run();
+    assert_ne!(
+        a.trace.unwrap().encode(),
+        b.trace.unwrap().encode(),
+        "different seeds must produce different traces"
+    );
+}
+
+#[test]
+fn storm_phase_reports_the_overload() {
+    let outcome = ScenarioRunner::new(test_scenario(7))
+        .record_trace(false)
+        .with_profiles(profiles())
+        .run();
+    assert!(outcome.trace.is_none());
+    let steady = &outcome.phases[0];
+    let storm = &outcome.phases[1];
+    // The storm more than doubles the population with impatient all-SALES
+    // clients: the submission rate must rise.
+    let rate = |p: &throttledb_scenario::PhaseReport| {
+        p.submitted as f64 / p.end.saturating_since(p.start).as_secs_f64()
+    };
+    assert!(
+        rate(storm) > rate(steady),
+        "storm {:.4}/s vs steady {:.4}/s",
+        rate(storm),
+        rate(steady)
+    );
+    // Cumulative metrics agree with the per-phase decomposition.
+    assert_eq!(outcome.metrics.completed.total(), outcome.total_completed());
+}

@@ -102,6 +102,19 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// Pop the next event only if it fires strictly before `until`, leaving
+    /// later events queued. This is the phase-boundary primitive: a driver
+    /// can advance the simulation to a boundary, mutate the model (client
+    /// count, workload mix, budgets), and continue, without disturbing
+    /// events already scheduled beyond the boundary.
+    pub fn pop_before(&mut self, until: SimTime) -> Option<ScheduledEvent<E>> {
+        if self.peek_time()? < until {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// Pop the next event in (time, insertion) order.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         let ev = self.heap.pop();
@@ -176,6 +189,31 @@ mod tests {
             vec![3]
         );
         assert!(q.pop_simultaneous().is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_the_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(5), "b");
+        q.schedule(SimTime::from_secs(5), "c");
+        q.schedule(SimTime::from_secs(9), "d");
+        // Events strictly before the boundary pop; the boundary itself and
+        // everything after stay queued.
+        let boundary = SimTime::from_secs(5);
+        let mut drained = Vec::new();
+        while let Some(e) = q.pop_before(boundary) {
+            drained.push(e.payload);
+        }
+        assert_eq!(drained, vec!["a"]);
+        assert_eq!(q.len(), 3);
+        // The next window picks up exactly where the last one stopped.
+        let mut rest = Vec::new();
+        while let Some(e) = q.pop_before(SimTime::from_secs(10)) {
+            rest.push(e.payload);
+        }
+        assert_eq!(rest, vec!["b", "c", "d"]);
+        assert!(q.pop_before(SimTime::MAX).is_none());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   paper's "completed queries per time slice" figures.
 //! * [`stats`] — histograms and summary statistics.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod clock;

@@ -24,20 +24,32 @@ pub enum UnaryOp {
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[allow(missing_docs)]
 pub enum BinaryOp {
+    /// `=` equality comparison.
     Eq,
+    /// `<>` / `!=` inequality comparison.
     NotEq,
+    /// `<` less-than comparison.
     Lt,
+    /// `<=` less-than-or-equal comparison.
     LtEq,
+    /// `>` greater-than comparison.
     Gt,
+    /// `>=` greater-than-or-equal comparison.
     GtEq,
+    /// Logical `AND`.
     And,
+    /// Logical `OR`.
     Or,
+    /// Arithmetic `+`.
     Add,
+    /// Arithmetic `-`.
     Sub,
+    /// Arithmetic `*`.
     Mul,
+    /// Arithmetic `/`.
     Div,
+    /// `LIKE` pattern match.
     Like,
 }
 
@@ -59,12 +71,16 @@ impl BinaryOp {
 
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[allow(missing_docs)]
 pub enum AggregateFunc {
+    /// `SUM(expr)`.
     Sum,
+    /// `COUNT(expr)` / `COUNT(*)`.
     Count,
+    /// `AVG(expr)`.
     Avg,
+    /// `MIN(expr)`.
     Min,
+    /// `MAX(expr)`.
     Max,
 }
 

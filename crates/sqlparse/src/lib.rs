@@ -23,7 +23,7 @@
 //! assert_eq!(stmt.joins.len(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ast;

@@ -5,38 +5,68 @@ use std::fmt;
 
 /// SQL keywords recognised by the subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[allow(missing_docs)]
 pub enum Keyword {
+    /// `SELECT`.
     Select,
+    /// `FROM`.
     From,
+    /// `WHERE`.
     Where,
+    /// `JOIN`.
     Join,
+    /// `INNER` (join qualifier).
     Inner,
+    /// `LEFT` (join qualifier).
     Left,
+    /// `RIGHT` (join qualifier).
     Right,
+    /// `OUTER` (join qualifier).
     Outer,
+    /// `ON` (join condition).
     On,
+    /// `GROUP` (of `GROUP BY`).
     Group,
+    /// `BY` (of `GROUP BY` / `ORDER BY`).
     By,
+    /// `HAVING`.
     Having,
+    /// `ORDER` (of `ORDER BY`).
     Order,
+    /// `LIMIT`.
     Limit,
+    /// `AS` (alias introducer).
     As,
+    /// `AND`.
     And,
+    /// `OR`.
     Or,
+    /// `NOT`.
     Not,
+    /// `IN`.
     In,
+    /// `BETWEEN`.
     Between,
+    /// `LIKE`.
     Like,
+    /// `IS` (of `IS [NOT] NULL`).
     Is,
+    /// `NULL`.
     Null,
+    /// `DISTINCT`.
     Distinct,
+    /// `ASC` (sort direction).
     Asc,
+    /// `DESC` (sort direction).
     Desc,
+    /// `SUM` aggregate.
     Sum,
+    /// `COUNT` aggregate.
     Count,
+    /// `AVG` aggregate.
     Avg,
+    /// `MIN` aggregate.
     Min,
+    /// `MAX` aggregate.
     Max,
 }
 

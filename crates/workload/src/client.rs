@@ -7,7 +7,8 @@
 //! queries are resubmitted after a back-off, because "those aborted queries
 //! likely need to be resubmitted to the system".
 
-use crate::templates::QueryTemplate;
+use crate::mix::WorkloadMix;
+use crate::templates::{QueryTemplate, WorkloadKind};
 use serde::{Deserialize, Serialize};
 use throttledb_sim::{SimDuration, SimRng};
 
@@ -56,12 +57,27 @@ impl ClientModel {
         oltp: &'a [QueryTemplate],
         rng: &mut SimRng,
     ) -> &'a QueryTemplate {
-        assert!(!dss.is_empty(), "need at least one DSS template");
-        if !oltp.is_empty() && rng.unit() < self.oltp_fraction {
-            rng.choose(oltp)
-        } else {
-            let idx = rng.zipf(dss.len(), self.template_skew);
-            &dss[idx]
+        let mix = WorkloadMix::paper_default(self.oltp_fraction);
+        self.choose_mixed(&mix, dss, &[], oltp, rng)
+    }
+
+    /// Choose the next template from an explicit [`WorkloadMix`] over the
+    /// three template families. DSS-style families (SALES, TPC-H-like) use
+    /// the Zipf skew over their template lists; OLTP picks uniformly. An
+    /// empty `tpch` or `oltp` set folds that family's weight into SALES.
+    pub fn choose_mixed<'a>(
+        &self,
+        mix: &WorkloadMix,
+        sales: &'a [QueryTemplate],
+        tpch: &'a [QueryTemplate],
+        oltp: &'a [QueryTemplate],
+        rng: &mut SimRng,
+    ) -> &'a QueryTemplate {
+        assert!(!sales.is_empty(), "need at least one SALES template");
+        match mix.sample(rng, !tpch.is_empty(), !oltp.is_empty()) {
+            WorkloadKind::Oltp => rng.choose(oltp),
+            WorkloadKind::TpchLike => &tpch[rng.zipf(tpch.len(), self.template_skew)],
+            WorkloadKind::Sales => &sales[rng.zipf(sales.len(), self.template_skew)],
         }
     }
 }
@@ -127,6 +143,40 @@ mod tests {
                 m.choose_template(&dss, &oltp, &mut rng).kind,
                 WorkloadKind::Sales
             );
+        }
+    }
+
+    #[test]
+    fn choose_mixed_draws_from_all_three_families() {
+        use crate::templates::tpch_like_templates;
+        let m = ClientModel::default();
+        let mix = crate::mix::WorkloadMix::new(0.4, 0.4, 0.2);
+        let sales = sales_templates();
+        let tpch = tpch_like_templates();
+        let oltp = oltp_templates();
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..500 {
+            kinds.insert(m.choose_mixed(&mix, &sales, &tpch, &oltp, &mut rng).kind);
+        }
+        assert_eq!(kinds.len(), 3, "all families should be sampled: {kinds:?}");
+    }
+
+    #[test]
+    fn choose_template_is_equivalent_to_the_paper_default_mix() {
+        // The legacy entry point must consume the identical RNG stream as
+        // choose_mixed with the paper-default mix, or seeded experiment
+        // results would shift under the scenario generalization.
+        let m = ClientModel::default();
+        let sales = sales_templates();
+        let oltp = oltp_templates();
+        let mix = crate::mix::WorkloadMix::paper_default(m.oltp_fraction);
+        let mut rng_a = SimRng::seed_from_u64(21);
+        let mut rng_b = SimRng::seed_from_u64(21);
+        for _ in 0..1_000 {
+            let a = m.choose_template(&sales, &oltp, &mut rng_a);
+            let b = m.choose_mixed(&mix, &sales, &[], &oltp, &mut rng_b);
+            assert_eq!(a.name, b.name);
         }
     }
 

@@ -17,15 +17,19 @@
 //!   features in the DBMS".
 //! * [`client`] — the closed-loop client model (think time, retry behaviour)
 //!   used by the discrete-event engine.
+//! * [`mix`] — workload-mix sampling across the three template families,
+//!   the knob the scenario subsystem turns per phase.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod mix;
 pub mod templates;
 pub mod uniquify;
 
 pub use client::ClientModel;
+pub use mix::WorkloadMix;
 pub use templates::{
     oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, WorkloadKind,
 };

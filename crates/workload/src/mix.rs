@@ -1,0 +1,179 @@
+//! Workload mix sampling: what fraction of submissions each template
+//! family receives.
+//!
+//! The paper's evaluation runs one fixed blend (SALES decision-support
+//! queries with a sliver of OLTP/diagnostic traffic). The scenario
+//! subsystem generalizes that: every phase of a scenario binds a
+//! [`WorkloadMix`] — fractions over the SALES, TPC-H-like and OLTP
+//! template families — and the engine samples the family of each
+//! submission from the active mix. Sampling consumes exactly one RNG draw
+//! whenever more than one family is available, so changing a fraction
+//! (without changing availability) never shifts the RNG stream consumed
+//! by unrelated decisions.
+
+use crate::templates::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use throttledb_sim::SimRng;
+
+/// Fractions of submissions drawn from each workload family.
+///
+/// Fractions are weights: they are normalized at sampling time, so any
+/// non-negative values with a positive sum are valid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Weight of the SALES decision-support templates.
+    pub sales: f64,
+    /// Weight of the TPC-H-like comparison templates.
+    pub tpch_like: f64,
+    /// Weight of the small OLTP/diagnostic templates.
+    pub oltp: f64,
+}
+
+impl WorkloadMix {
+    /// A mix with the given family weights (normalized when sampling).
+    pub fn new(sales: f64, tpch_like: f64, oltp: f64) -> Self {
+        let mix = WorkloadMix {
+            sales,
+            tpch_like,
+            oltp,
+        };
+        mix.validate();
+        mix
+    }
+
+    /// Only SALES queries (the compile-storm phases use this).
+    pub fn sales_only() -> Self {
+        WorkloadMix {
+            sales: 1.0,
+            tpch_like: 0.0,
+            oltp: 0.0,
+        }
+    }
+
+    /// The paper's §5 blend: SALES plus `oltp_fraction` of OLTP/diagnostic
+    /// traffic, no TPC-H-like queries.
+    pub fn paper_default(oltp_fraction: f64) -> Self {
+        WorkloadMix {
+            sales: (1.0 - oltp_fraction).max(0.0),
+            tpch_like: 0.0,
+            oltp: oltp_fraction,
+        }
+    }
+
+    /// Panics on negative weights or an all-zero mix.
+    pub fn validate(&self) {
+        assert!(
+            self.sales >= 0.0 && self.tpch_like >= 0.0 && self.oltp >= 0.0,
+            "workload mix weights must be non-negative"
+        );
+        assert!(
+            self.sales + self.tpch_like + self.oltp > 0.0,
+            "workload mix needs positive total weight"
+        );
+    }
+
+    /// Sample the family of one submission.
+    ///
+    /// `have_tpch` / `have_oltp` say whether those template sets are
+    /// available; an unavailable family's weight folds into SALES. One
+    /// uniform draw is consumed iff at least one non-SALES family is
+    /// available (matching the historical single `oltp_fraction` draw, so
+    /// seeded runs stay reproducible across the mix generalization).
+    pub fn sample(&self, rng: &mut SimRng, have_tpch: bool, have_oltp: bool) -> WorkloadKind {
+        if !have_tpch && !have_oltp {
+            return WorkloadKind::Sales;
+        }
+        let total = self.sales + self.tpch_like + self.oltp;
+        let f_oltp = if have_oltp { self.oltp / total } else { 0.0 };
+        let f_tpch = if have_tpch {
+            self.tpch_like / total
+        } else {
+            0.0
+        };
+        let u = rng.unit();
+        if have_oltp && u < f_oltp {
+            WorkloadKind::Oltp
+        } else if have_tpch && u < f_oltp + f_tpch {
+            WorkloadKind::TpchLike
+        } else {
+            WorkloadKind::Sales
+        }
+    }
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        WorkloadMix::paper_default(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_the_papers_blend() {
+        let m = WorkloadMix::default();
+        assert!((m.sales - 0.95).abs() < 1e-12);
+        assert_eq!(m.tpch_like, 0.0);
+        assert!((m.oltp - 0.05).abs() < 1e-12);
+        m.validate();
+    }
+
+    #[test]
+    fn sample_respects_the_fractions() {
+        let m = WorkloadMix::new(0.5, 0.3, 0.2);
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            match m.sample(&mut rng, true, true) {
+                WorkloadKind::Sales => counts[0] += 1,
+                WorkloadKind::TpchLike => counts[1] += 1,
+                WorkloadKind::Oltp => counts[2] += 1,
+            }
+        }
+        assert!((4_700..5_300).contains(&counts[0]), "sales {}", counts[0]);
+        assert!((2_700..3_300).contains(&counts[1]), "tpch {}", counts[1]);
+        assert!((1_700..2_300).contains(&counts[2]), "oltp {}", counts[2]);
+    }
+
+    #[test]
+    fn unavailable_families_fold_into_sales() {
+        let m = WorkloadMix::new(0.1, 0.6, 0.3);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..200 {
+            assert_eq!(m.sample(&mut rng, false, false), WorkloadKind::Sales);
+        }
+        // With only OLTP available, TPC-H weight folds into SALES.
+        for _ in 0..2_000 {
+            assert_ne!(m.sample(&mut rng, false, true), WorkloadKind::TpchLike);
+        }
+    }
+
+    #[test]
+    fn sampling_draw_count_depends_only_on_availability() {
+        // Two mixes with different fractions must consume the same number of
+        // draws, so phase-mix changes do not shift unrelated RNG streams.
+        let a = WorkloadMix::new(0.9, 0.0, 0.1);
+        let b = WorkloadMix::new(0.2, 0.5, 0.3);
+        let mut rng_a = SimRng::seed_from_u64(7);
+        let mut rng_b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            a.sample(&mut rng_a, true, true);
+            b.sample(&mut rng_b, true, true);
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn all_zero_mix_rejected() {
+        WorkloadMix::new(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        WorkloadMix::new(-0.1, 0.6, 0.5);
+    }
+}

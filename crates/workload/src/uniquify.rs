@@ -26,6 +26,25 @@ impl Uniquifier {
     ///
     /// Panics if the template does not parse — templates are static assets
     /// and a non-parsing one is a bug, not an input condition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use throttledb_sim::SimRng;
+    /// use throttledb_workload::Uniquifier;
+    ///
+    /// let template = "SELECT a FROM t WHERE b > 100 LIMIT 5";
+    /// let mut rng = SimRng::seed_from_u64(7);
+    /// let uniquifier = Uniquifier::new();
+    ///
+    /// // Two submissions of the same template differ textually (so a
+    /// // text-keyed plan cache misses) but stay semantically close: the
+    /// // numeric literals are nudged by at most a few percent.
+    /// let first = uniquifier.uniquify(template, &mut rng, 0);
+    /// let second = uniquifier.uniquify(template, &mut rng, 1);
+    /// assert_ne!(first, second);
+    /// assert!(first.contains("WHERE"));
+    /// ```
     pub fn uniquify(&self, template_sql: &str, rng: &mut SimRng, submission_id: u64) -> String {
         let mut stmt = parse(template_sql).expect("workload templates must parse");
         perturb_statement(&mut stmt, rng);

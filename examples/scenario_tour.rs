@@ -1,0 +1,67 @@
+//! Define a custom multi-phase scenario, run it, and round-trip its trace.
+//!
+//! This is the worked example from `docs/EXPERIMENTS.md`: a lunch-rush
+//! shape (quiet morning → rush with short think times → quiet afternoon)
+//! that the paper never evaluated, driven through the real gateway-ladder
+//! and broker policy code by the scenario runner.
+//!
+//! Run with: `cargo run --release --example scenario_tour`
+
+use throttledb::engine::ServerConfig;
+use throttledb::scenario::{Phase, Scenario, ScenarioRunner, Trace};
+use throttledb::sim::SimDuration;
+use throttledb::workload::WorkloadMix;
+
+fn main() {
+    // Base machine: the paper's 8-CPU / 4 GB box, quick reporting slices,
+    // no warm-up exclusion (we want every phase reported).
+    let mut base = ServerConfig::quick(1, true);
+    base.warmup = SimDuration::ZERO;
+    base.seed = 42;
+
+    let phases = vec![
+        Phase::steady(
+            "morning",
+            SimDuration::from_secs(600),
+            6,
+            WorkloadMix::paper_default(0.05),
+        ),
+        // The rush: twice the users, all-SALES, barely any think time.
+        Phase::steady(
+            "lunch-rush",
+            SimDuration::from_secs(600),
+            16,
+            WorkloadMix::sales_only(),
+        )
+        .with_think_time(SimDuration::from_secs(5)),
+        Phase::steady(
+            "afternoon",
+            SimDuration::from_secs(600),
+            6,
+            WorkloadMix::new(0.70, 0.25, 0.05),
+        ),
+    ];
+    let scenario = Scenario::new(
+        "lunch_rush",
+        "a custom scenario the paper never ran",
+        base,
+        phases,
+    );
+
+    println!("characterizing workloads through the real optimizer...");
+    let outcome = ScenarioRunner::new(scenario).record_trace(true).run();
+    print!("{}", outcome.render_report());
+
+    // The recorded trace is a regression golden file: its replay must
+    // reproduce the per-phase reports exactly, even after a round trip
+    // through the text format.
+    let trace = outcome.trace.expect("recording was enabled");
+    let decoded = Trace::decode(&trace.encode()).expect("own encoding decodes");
+    assert_eq!(decoded.replay(), outcome.phases);
+    println!(
+        "trace: {} events, digest {:016x}; replay reproduces all {} phases",
+        trace.len(),
+        trace.digest(),
+        outcome.phases.len()
+    );
+}

@@ -17,8 +17,10 @@
 //! * [`executor`], [`bufferpool`] — execution grants and the page pool
 //! * [`plancache`] — compiled-plan cache fronting the optimizer
 //! * [`engine`], [`sim`] — the discrete-event server reproducing §5
+//! * [`scenario`] — declarative multi-phase workloads with trace
+//!   record/replay (see `docs/EXPERIMENTS.md`)
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use throttledb_bufferpool as bufferpool;
 pub use throttledb_catalog as catalog;
@@ -29,6 +31,7 @@ pub use throttledb_governor as governor;
 pub use throttledb_membroker as membroker;
 pub use throttledb_optimizer as optimizer;
 pub use throttledb_plancache as plancache;
+pub use throttledb_scenario as scenario;
 pub use throttledb_sim as sim;
 pub use throttledb_sqlparse as sqlparse;
 pub use throttledb_workload as workload;
