@@ -1,0 +1,143 @@
+//! Fan a (scenario × seed) sweep across worker threads, deterministically.
+//!
+//! ```text
+//! sweep [--scenarios a,b,...] [--seeds 1,2,...] [--scale quick|paper]
+//!       [--workers N] [--out PATH] [--cells-out PATH]
+//! sweep --list
+//! ```
+//!
+//! Cell results depend only on (scenario, seed, scale): `--workers` changes
+//! wall-clock time and nothing else, which CI enforces by diffing the
+//! `--cells-out` file between `--workers 4` and `--workers 1` runs. `--out`
+//! writes the full `BENCH_sweep.json` (cells + wall-clock timing + sweep
+//! metadata); see `docs/EXPERIMENTS.md` for the schema.
+//!
+//! Exit codes: 0 success, 1 I/O error, 2 usage error.
+
+use std::process::ExitCode;
+use throttledb_bench::sweep::{run_sweep, SweepSpec};
+use throttledb_scenario::{Scale, Scenario};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sweep [--scenarios a,b,...] [--seeds 1,2,...] [--scale quick|paper]");
+    eprintln!("             [--workers N] [--out PATH] [--cells-out PATH]");
+    eprintln!("       sweep --list");
+    eprintln!("defaults: --scenarios compile_storm --seeds 2007 --scale quick");
+    eprintln!("          --workers <available parallelism>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenarios = vec!["compile_storm".to_string()];
+    let mut seeds = vec![2007u64];
+    let mut scale = Scale::Quick;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = None;
+    let mut cells_out = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in Scenario::builtin_names() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--scenarios" => match iter.next() {
+                Some(list) => scenarios = list.split(',').map(str::to_string).collect(),
+                None => return usage(),
+            },
+            "--seeds" => match iter.next().map(|list| {
+                list.split(',')
+                    .map(|s| s.trim().parse::<u64>())
+                    .collect::<Result<Vec<u64>, _>>()
+            }) {
+                Some(Ok(parsed)) if !parsed.is_empty() => seeds = parsed,
+                _ => return usage(),
+            },
+            "--scale" => match iter.next().and_then(|s| Scale::parse(s)) {
+                Some(s) => scale = s,
+                None => return usage(),
+            },
+            "--workers" => match iter.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return usage(),
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.clone()),
+                None => return usage(),
+            },
+            "--cells-out" => match iter.next() {
+                Some(path) => cells_out = Some(path.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    for name in &scenarios {
+        if Scenario::builtin(name, scale).is_none() {
+            eprintln!("unknown scenario {name:?} (try --list)");
+            return usage();
+        }
+    }
+
+    let spec = SweepSpec {
+        scenarios,
+        seeds,
+        scale,
+        workers,
+    };
+    eprintln!(
+        "sweeping {} scenario(s) x {} seed(s) on {} worker(s)...",
+        spec.scenarios.len(),
+        spec.seeds.len(),
+        spec.workers
+    );
+    let outcome = run_sweep(&spec);
+
+    println!(
+        "{:<22} {:>6} {:>7} {:>7} {:>6} {:>12} {:>10} {:>9} {:>12}",
+        "scenario", "seed", "subm", "done", "fail", "events", "peak-q", "wall-ms", "events/s"
+    );
+    for (cell, timing) in outcome.cells.iter().zip(outcome.timings.iter()) {
+        println!(
+            "{:<22} {:>6} {:>7} {:>7} {:>6} {:>12} {:>10} {:>9.0} {:>12.0}",
+            cell.scenario,
+            cell.seed,
+            cell.submitted,
+            cell.completed,
+            cell.failed,
+            cell.events_dispatched,
+            cell.peak_queue_depth,
+            timing.wall_ms,
+            timing.events_per_sec
+        );
+    }
+    println!(
+        "total: {} cells in {:.0} ms on {} worker(s)",
+        outcome.cells.len(),
+        outcome.total_wall_ms,
+        outcome.workers
+    );
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, outcome.full_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("full results written to {path}");
+    }
+    if let Some(path) = cells_out {
+        if let Err(e) = std::fs::write(&path, outcome.cells_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("deterministic cells written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -2,15 +2,18 @@
 //!
 //! Shared helpers for the benchmark harness: the criterion micro-benchmarks
 //! live in `benches/`, one binary per paper figure/table lives in
-//! `src/bin/`, and `src/bin/scenario_runner.rs` drives the declarative
-//! scenario subsystem. `docs/EXPERIMENTS.md` (repo root) is the experiment
-//! book covering all of them.
+//! `src/bin/`, `src/bin/scenario_runner.rs` drives the declarative
+//! scenario subsystem, and `src/bin/sweep.rs` fans (scenario × seed) cells
+//! across worker threads via the [`sweep`] module. `docs/EXPERIMENTS.md`
+//! (repo root) is the experiment book covering all of them.
 //!
 //! The figure binaries accept two optional positional arguments:
 //! `quick|paper` (scale) and a seed, e.g.
 //! `cargo run --release -p throttledb-bench --bin figure3_throughput_30 -- quick 7`.
 
 #![deny(missing_docs)]
+
+pub mod sweep;
 
 use throttledb_engine::ServerConfig;
 

@@ -1,0 +1,341 @@
+//! The parallel deterministic sweep driver.
+//!
+//! A sweep runs the cross product of (scenario × seed) at one scale, fanning
+//! the cells across OS threads. Two properties make it a harness rather
+//! than just a loop:
+//!
+//! * **Determinism** — a cell's result depends only on its (scenario, seed,
+//!   scale) coordinates: every worker characterizes nothing (profiles are
+//!   precomputed per scenario and shared), every run is seeded, and results
+//!   land in a slot keyed by cell index, so the merged output is
+//!   cell-for-cell identical whatever `--workers` is. Wall-clock timings —
+//!   the only nondeterministic quantity — are kept in a separate `timing`
+//!   section so the deterministic `cells` section can be diffed directly
+//!   (CI does exactly that: `--workers 4` vs `--workers 1`).
+//! * **Machine-readable output** — [`SweepOutcome::full_json`] emits the
+//!   `BENCH_sweep.json` schema documented in `docs/EXPERIMENTS.md`:
+//!   per-cell admission counters, simulation events/sec, and the peak
+//!   event-queue depth, plus the recorded trace digest as a compact
+//!   fingerprint of the run's entire admission history.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use throttledb_engine::WorkloadProfiles;
+use throttledb_scenario::{Scale, Scenario, ScenarioRunner};
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Built-in scenario names, in output order.
+    pub scenarios: Vec<String>,
+    /// Seeds, in output order.
+    pub seeds: Vec<u64>,
+    /// Scale every cell runs at.
+    pub scale: Scale,
+    /// Worker threads (clamped to at least 1). Affects wall-clock only.
+    pub workers: usize,
+}
+
+/// The deterministic result of one (scenario, seed) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queries submitted across all phases.
+    pub submitted: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries failed.
+    pub failed: u64,
+    /// Best-effort plans produced.
+    pub best_effort: u64,
+    /// Phases in the scenario.
+    pub phases: usize,
+    /// Simulation events dispatched by the run's event loop.
+    pub events_dispatched: u64,
+    /// Peak pending events in the timing-wheel queue.
+    pub peak_queue_depth: usize,
+    /// FNV-1a digest of the run's recorded admission trace — a fingerprint
+    /// of the entire event ordering, so any nondeterminism shows up here
+    /// first.
+    pub trace_digest: u64,
+}
+
+/// The wall-clock measurements of one cell (nondeterministic by nature;
+/// reported separately from [`SweepCell`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Cell wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Simulation events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Everything a sweep produced.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The sweep's scale.
+    pub scale: Scale,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Deterministic cell results, ordered by (scenario index, seed index).
+    pub cells: Vec<SweepCell>,
+    /// Per-cell wall-clock measurements, parallel to `cells`.
+    pub timings: Vec<SweepTiming>,
+    /// End-to-end sweep wall time in milliseconds.
+    pub total_wall_ms: f64,
+}
+
+/// Run the sweep. Panics on an unknown scenario name (the CLI validates
+/// names up front).
+pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
+    let started = Instant::now();
+    let workers = spec.workers.max(1);
+
+    // Characterize each scenario's workload once, up front, exactly as the
+    // scenario runner would: workers then share the profile tables, so no
+    // cell's result can depend on which thread ran it. Characterization
+    // (real optimizer compilations) dominates a quick sweep's wall-clock,
+    // so the independent per-scenario characterizations fan out across the
+    // worker budget too — results are deterministic per config, so this
+    // changes nothing but wall time.
+    let mut profiles: Vec<Option<Arc<WorkloadProfiles>>> = vec![None; spec.scenarios.len()];
+    {
+        let next = AtomicUsize::new(0);
+        let slots = Mutex::new(&mut profiles);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(spec.scenarios.len().max(1)) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(name) = spec.scenarios.get(idx) else {
+                        break;
+                    };
+                    let scenario = Scenario::builtin(name, spec.scale)
+                        .unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+                    let config = scenario.runtime_config();
+                    let characterized = Arc::new(WorkloadProfiles::characterize_full(&config));
+                    slots.lock().expect("no poisoned workers")[idx] = Some(characterized);
+                });
+            }
+        });
+    }
+    let profiles: Vec<Arc<WorkloadProfiles>> = profiles
+        .into_iter()
+        .map(|p| p.expect("every scenario characterized"))
+        .collect();
+
+    // Cell coordinates in deterministic output order.
+    let coords: Vec<(usize, u64)> = spec
+        .scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(si, _)| spec.seeds.iter().map(move |&seed| (si, seed)))
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<(SweepCell, SweepTiming)>>> =
+        Mutex::new(vec![None; coords.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(coords.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(scenario_idx, seed)) = coords.get(idx) else {
+                    break;
+                };
+                let name = &spec.scenarios[scenario_idx];
+                let cell_started = Instant::now();
+                let scenario = Scenario::builtin(name, spec.scale)
+                    .expect("validated above")
+                    .with_seed(seed);
+                let outcome = ScenarioRunner::new(scenario)
+                    .record_trace(true)
+                    .with_profiles(profiles[scenario_idx].clone())
+                    .run();
+                let wall_ms = cell_started.elapsed().as_secs_f64() * 1e3;
+                let metrics = &outcome.metrics;
+                let cell = SweepCell {
+                    scenario: name.clone(),
+                    seed,
+                    submitted: outcome.phases.iter().map(|p| p.submitted).sum(),
+                    completed: metrics.completed.total(),
+                    failed: metrics.failed.total(),
+                    best_effort: metrics.best_effort_plans,
+                    phases: outcome.phases.len(),
+                    events_dispatched: metrics.events_dispatched,
+                    peak_queue_depth: metrics.peak_queue_depth,
+                    trace_digest: outcome.trace.as_ref().expect("recording enabled").digest(),
+                };
+                let timing = SweepTiming {
+                    wall_ms,
+                    events_per_sec: metrics.events_dispatched as f64 / (wall_ms / 1e3).max(1e-9),
+                };
+                results.lock().expect("no poisoned workers")[idx] = Some((cell, timing));
+            });
+        }
+    });
+
+    let mut cells = Vec::with_capacity(coords.len());
+    let mut timings = Vec::with_capacity(coords.len());
+    for slot in results.into_inner().expect("workers joined") {
+        let (cell, timing) = slot.expect("every cell ran");
+        cells.push(cell);
+        timings.push(timing);
+    }
+    SweepOutcome {
+        scale: spec.scale,
+        workers,
+        cells,
+        timings,
+        total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn scale_str(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Minimal JSON string escaping (scenario names are identifiers, but stay
+/// correct for arbitrary input).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize one cell object; both JSON documents go through here so the
+/// CI-diffed `--cells-out` file can never drift from the `cells` section of
+/// `BENCH_sweep.json` (which only appends the wall-clock fields).
+fn write_cell(out: &mut String, c: &SweepCell, timing: Option<&SweepTiming>, last: bool) {
+    let _ = write!(
+        out,
+        "    {{\"scenario\": \"{}\", \"seed\": {}, \"submitted\": {}, \
+         \"completed\": {}, \"failed\": {}, \"best_effort\": {}, \"phases\": {}, \
+         \"events_dispatched\": {}, \"peak_queue_depth\": {}, \
+         \"trace_digest\": \"{:016x}\"",
+        json_escape(&c.scenario),
+        c.seed,
+        c.submitted,
+        c.completed,
+        c.failed,
+        c.best_effort,
+        c.phases,
+        c.events_dispatched,
+        c.peak_queue_depth,
+        c.trace_digest,
+    );
+    if let Some(t) = timing {
+        let _ = write!(
+            out,
+            ", \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}",
+            t.wall_ms, t.events_per_sec
+        );
+    }
+    let _ = writeln!(out, "}}{}", if last { "" } else { "," });
+}
+
+impl SweepOutcome {
+    /// The deterministic portion only: a `cells` array whose bytes are
+    /// identical for any worker count. CI diffs this between `--workers 4`
+    /// and `--workers 1`.
+    pub fn cells_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"scale\": \"");
+        out.push_str(scale_str(self.scale));
+        out.push_str("\",\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            write_cell(&mut out, c, None, i + 1 == self.cells.len());
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The full `BENCH_sweep.json` document: sweep metadata and wall-clock
+    /// timing alongside the deterministic cells.
+    pub fn full_json(&self) -> String {
+        let total_events: u64 = self.cells.iter().map(|c| c.events_dispatched).sum();
+        let events_per_sec = total_events as f64 / (self.total_wall_ms / 1e3).max(1e-9);
+        let mut out = String::new();
+        out.push_str("{\n  \"benchmark\": \"sweep\",\n");
+        let _ = write!(
+            out,
+            "  \"scale\": \"{}\",\n  \"workers\": {},\n  \"total_wall_ms\": {:.1},\n  \
+             \"total_events_dispatched\": {},\n  \"events_per_sec\": {:.0},\n",
+            scale_str(self.scale),
+            self.workers,
+            self.total_wall_ms,
+            total_events,
+            events_per_sec,
+        );
+        out.push_str("  \"cells\": [\n");
+        for (i, (c, t)) in self.cells.iter().zip(self.timings.iter()).enumerate() {
+            write_cell(&mut out, c, Some(t), i + 1 == self.cells.len());
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(workers: usize) -> SweepSpec {
+        SweepSpec {
+            scenarios: vec!["compile_storm".to_string()],
+            seeds: vec![2007, 2008],
+            scale: Scale::Quick,
+            workers,
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree_cell_for_cell() {
+        let sequential = run_sweep(&tiny_spec(1));
+        let parallel = run_sweep(&tiny_spec(4));
+        assert_eq!(sequential.cells, parallel.cells);
+        assert_eq!(sequential.cells_json(), parallel.cells_json());
+        assert_eq!(sequential.cells.len(), 2);
+        for cell in &sequential.cells {
+            assert!(
+                cell.completed > 0,
+                "cell {}/{} idle",
+                cell.scenario,
+                cell.seed
+            );
+            assert!(cell.events_dispatched > 0);
+            assert!(cell.peak_queue_depth > 0);
+        }
+        // Different seeds really are different runs.
+        assert_ne!(
+            sequential.cells[0].trace_digest,
+            sequential.cells[1].trace_digest
+        );
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -109,11 +109,20 @@ impl Gateway {
     /// Release the gateway held by `task`. Returns the tasks admitted from
     /// the wait queue as a result (possibly empty).
     pub fn release(&mut self, task: TaskId) -> Vec<TaskId> {
+        let mut admitted = Vec::new();
+        self.release_into(task, &mut admitted);
+        admitted
+    }
+
+    /// Allocation-free variant of [`Gateway::release`]: admitted tasks are
+    /// appended to `out`, letting the caller reuse one scratch buffer
+    /// across every release on the simulation hot path.
+    pub fn release_into(&mut self, task: TaskId, out: &mut Vec<TaskId>) {
         let Some(pos) = self.holders.iter().position(|t| *t == task) else {
-            return Vec::new();
+            return;
         };
         self.holders.swap_remove(pos);
-        self.admit_waiters()
+        self.admit_waiters_into(out);
     }
 
     /// Remove `task` from the wait queue (it gave up, e.g. on timeout).
@@ -130,11 +139,12 @@ impl Gateway {
     pub fn set_capacity(&mut self, capacity: u32) -> Vec<TaskId> {
         assert!(capacity >= 1);
         self.capacity = capacity;
-        self.admit_waiters()
+        let mut admitted = Vec::new();
+        self.admit_waiters_into(&mut admitted);
+        admitted
     }
 
-    fn admit_waiters(&mut self) -> Vec<TaskId> {
-        let mut admitted = Vec::new();
+    fn admit_waiters_into(&mut self, admitted: &mut Vec<TaskId>) {
         while (self.holders.len() as u32) < self.capacity {
             let Some(waiter) = self.waiters.pop_front() else {
                 break;
@@ -143,7 +153,6 @@ impl Gateway {
             self.holders.push(waiter.payload);
             admitted.push(waiter.payload);
         }
-        admitted
     }
 }
 

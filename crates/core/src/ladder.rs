@@ -253,8 +253,18 @@ impl GatewayLadder {
     /// caller must resume them (unblock the thread / schedule the event) and
     /// have them re-report their memory.
     pub fn finish_task(&mut self, task: TaskId, now: SimTime) -> Vec<TaskId> {
+        let mut admitted = Vec::new();
+        self.finish_task_into(task, now, &mut admitted);
+        admitted
+    }
+
+    /// Allocation-free variant of [`GatewayLadder::finish_task`]: admitted
+    /// tasks are appended to `out` (existing contents untouched), so the
+    /// engine can recycle one scratch buffer across every release instead
+    /// of allocating a vector per completed query.
+    pub fn finish_task_into(&mut self, task: TaskId, now: SimTime, out: &mut Vec<TaskId>) {
         let Some(state) = self.tasks.remove(&task) else {
-            return Vec::new();
+            return;
         };
         self.stats.compilations_finished += 1;
         if state.bytes <= self.config.exempt_bytes {
@@ -265,13 +275,13 @@ impl GatewayLadder {
             self.gateways[level].cancel_wait(task);
         }
         // Release held gateways in reverse acquisition order.
-        let mut admitted = Vec::new();
+        let first_admitted = out.len();
         for level in (0..state.held).rev() {
-            admitted.extend(self.gateways[level].release(task));
+            self.gateways[level].release_into(task, out);
         }
-        // Update the state of every admitted task.
-        for resumed in &admitted {
-            if let Some(s) = self.tasks.get_mut(resumed) {
+        // Update the state of every newly admitted task.
+        for &resumed in &out[first_admitted..] {
+            if let Some(s) = self.tasks.get_mut(&resumed) {
                 let level = s.waiting_at.take().unwrap_or(s.held);
                 if let Some(started) = s.wait_started.take() {
                     self.stats.record_wait(level, now.saturating_since(started));
@@ -280,7 +290,6 @@ impl GatewayLadder {
                 self.stats.acquisitions[level] += 1;
             }
         }
-        admitted
     }
 }
 

@@ -66,6 +66,11 @@ pub struct RunMetrics {
     pub warmup: SimTime,
     /// Slice width.
     pub slice: SimDuration,
+    /// Total simulation events the run's event loop dispatched (the sweep
+    /// harness divides this by wall time for events/sec).
+    pub events_dispatched: u64,
+    /// Peak number of simultaneously pending events in the event queue.
+    pub peak_queue_depth: usize,
 }
 
 impl RunMetrics {
@@ -84,6 +89,8 @@ impl RunMetrics {
             classes: Vec::new(),
             warmup,
             slice,
+            events_dispatched: 0,
+            peak_queue_depth: 0,
         }
     }
 

@@ -9,7 +9,10 @@ use throttledb_executor::ExecutionModel;
 use throttledb_optimizer::Optimizer;
 use throttledb_sim::SimRng;
 use throttledb_sqlparse::parse;
-use throttledb_workload::{oltp_templates, sales_templates, tpch_like_templates, QueryTemplate};
+use throttledb_workload::{
+    oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, TemplateCatalog,
+    TemplateId,
+};
 
 /// Measured characteristics of compiling and executing one template.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,10 +48,19 @@ impl CompileProfile {
     }
 }
 
-/// Profiles for every template in the workload, keyed by template name.
+/// Profiles for every template in the workload.
+///
+/// Templates are interned into a [`TemplateCatalog`] at characterization
+/// time; the engine's hot path looks profiles up by [`TemplateId`] (a dense
+/// vector index, no hashing, no string cloning), while the name-keyed map
+/// remains for reporting and the table binaries.
 #[derive(Debug, Clone)]
 pub struct WorkloadProfiles {
     profiles: HashMap<String, CompileProfile>,
+    /// The interned templates, id-addressable.
+    catalog: TemplateCatalog,
+    /// Profiles indexed by [`TemplateId::index`], parallel to the catalog.
+    by_id: Vec<CompileProfile>,
     /// DSS templates in workload order.
     pub dss: Vec<QueryTemplate>,
     /// TPC-H-like comparison templates (empty unless characterized via
@@ -74,6 +86,13 @@ impl WorkloadProfiles {
         let mut profiles = Self::characterize_sales(config);
         let tpch_catalog = tpch_schema(30.0);
         let tpch = Self::characterize(config, &tpch_catalog, tpch_like_templates(), Vec::new());
+        // Graft the TPC-H templates into the intern table; their ids extend
+        // the SALES/OLTP id space without disturbing it.
+        for (id, template) in tpch.catalog.iter() {
+            let new_id = profiles.catalog.intern(template.clone());
+            debug_assert_eq!(new_id.index(), profiles.by_id.len());
+            profiles.by_id.push(tpch.by_id[id.index()]);
+        }
         profiles.profiles.extend(tpch.profiles);
         profiles.tpch = tpch.dss;
         profiles
@@ -89,26 +108,31 @@ impl WorkloadProfiles {
         let optimizer = Optimizer::new(catalog);
         let exec_model = ExecutionModel::default();
         let mut profiles = HashMap::new();
+        let mut template_catalog = TemplateCatalog::new();
+        let mut by_id = Vec::new();
         for template in dss.iter().chain(oltp.iter()) {
             let stmt = parse(&template.sql).expect("templates parse");
             let outcome = optimizer.optimize(&stmt).expect("templates compile");
             let exec = exec_model.profile(&outcome.plan, catalog);
-            profiles.insert(
-                template.name.clone(),
-                CompileProfile {
-                    peak_compile_bytes: outcome.stats.peak_memory_bytes,
-                    transformations: outcome.stats.transformations,
-                    compile_cpu_seconds: config.compile_seconds_base
-                        + outcome.stats.transformations as f64
-                            * config.compile_seconds_per_transformation,
-                    exec_cpu_seconds: exec.cpu_seconds * config.exec_cpu_calibration,
-                    exec_footprint_bytes: exec.footprint_bytes,
-                    exec_grant_bytes: exec.requested_grant_bytes,
-                },
-            );
+            let profile = CompileProfile {
+                peak_compile_bytes: outcome.stats.peak_memory_bytes,
+                transformations: outcome.stats.transformations,
+                compile_cpu_seconds: config.compile_seconds_base
+                    + outcome.stats.transformations as f64
+                        * config.compile_seconds_per_transformation,
+                exec_cpu_seconds: exec.cpu_seconds * config.exec_cpu_calibration,
+                exec_footprint_bytes: exec.footprint_bytes,
+                exec_grant_bytes: exec.requested_grant_bytes,
+            };
+            let id = template_catalog.intern(template.clone());
+            debug_assert_eq!(id.index(), by_id.len());
+            by_id.push(profile);
+            profiles.insert(template.name.clone(), profile);
         }
         WorkloadProfiles {
             profiles,
+            catalog: template_catalog,
+            by_id,
             dss,
             tpch: Vec::new(),
             oltp,
@@ -118,6 +142,17 @@ impl WorkloadProfiles {
     /// Profile of a template by name.
     pub fn profile(&self, name: &str) -> &CompileProfile {
         &self.profiles[name]
+    }
+
+    /// Profile of an interned template — the hot-path lookup: a dense
+    /// vector index, no hashing.
+    pub fn profile_of(&self, id: TemplateId) -> &CompileProfile {
+        &self.by_id[id.index()]
+    }
+
+    /// The intern table of every characterized template.
+    pub fn catalog(&self) -> &TemplateCatalog {
+        &self.catalog
     }
 
     /// Number of characterized templates.
@@ -182,6 +217,25 @@ mod tests {
         for t in &profiles.dss {
             assert!(profiles.profile(&t.name).peak_compile_bytes > 50 << 20);
         }
+    }
+
+    #[test]
+    fn id_indexed_profiles_agree_with_name_lookup() {
+        let config = ServerConfig::quick(8, true);
+        let profiles = WorkloadProfiles::characterize_full(&config);
+        assert_eq!(profiles.catalog().len(), profiles.len());
+        for (id, template) in profiles.catalog().iter() {
+            assert_eq!(
+                profiles.profile_of(id),
+                profiles.profile(&template.name),
+                "{} diverges between id and name lookup",
+                template.name
+            );
+        }
+        // Every family list is interned and reachable by id.
+        assert_eq!(profiles.catalog().sales().len(), profiles.dss.len());
+        assert_eq!(profiles.catalog().tpch().len(), profiles.tpch.len());
+        assert_eq!(profiles.catalog().oltp().len(), profiles.oltp.len());
     }
 
     #[test]

@@ -15,11 +15,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use throttledb_bufferpool::HitRateModel;
 use throttledb_core::TaskId;
+use throttledb_executor::GrantOutcome;
 use throttledb_executor::GrantRequestId;
 use throttledb_membroker::{Clerk, MemoryBroker, SubcomponentKind};
 use throttledb_plancache::PlanCache;
 use throttledb_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use throttledb_workload::{ClientModel, Uniquifier, WorkloadMix};
+use throttledb_workload::{ClientModel, TemplateId, Uniquifier, WorkloadMix};
 
 /// Discrete events driving the simulation.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +39,22 @@ pub(crate) enum Event {
     BrokerTick,
 }
 
+/// Plan-cache key: a compact, copyable stand-in for the query text the
+/// paper's text-keyed cache would hash.
+///
+/// Lookups key on the FNV-1a digest of the submission's uniquified SQL;
+/// insertions key on the (template, submission) pair that produced the
+/// plan. The two variants can never collide, preserving the workload's
+/// designed-in property that the uniquifier defeats the cache — while the
+/// hot path stops cloning SQL strings entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum PlanKey {
+    /// Digest of a submission's uniquified text (lookup side).
+    Text(u64),
+    /// A compiled plan's identity (insert side).
+    Compiled(TemplateId, u64),
+}
+
 /// The simulated server: builds the paper's machine, runs the client
 /// population, and returns the run's metrics.
 pub struct Server {
@@ -49,7 +66,7 @@ pub struct Server {
     pub(crate) classes: Vec<ClassRuntime>,
     /// Client id -> class index (precomputed, deterministic).
     pub(crate) class_by_client: Vec<usize>,
-    pub(crate) plan_cache: PlanCache<String>,
+    pub(crate) plan_cache: PlanCache<TemplateId, PlanKey>,
     pub(crate) hit_model: HitRateModel,
     pub(crate) uniquifier: Uniquifier,
     pub(crate) client_model: ClientModel,
@@ -86,6 +103,12 @@ pub struct Server {
     /// Running compile-memory high-water mark since the last phase boundary
     /// (trace recording only).
     pub(crate) trace_peak: u64,
+    /// Reused buffer for ladder releases (see `fail_query`/`finish_compile`):
+    /// the release path appends admitted tasks here instead of allocating a
+    /// vector per completed query.
+    pub(crate) scratch_resumed: Vec<TaskId>,
+    /// Reused buffer for grant-pool admissions, same discipline.
+    pub(crate) scratch_admitted: Vec<(GrantRequestId, GrantOutcome)>,
 }
 
 impl Server {
@@ -139,6 +162,8 @@ impl Server {
             grant_budget_scale: 1.0,
             trace: None,
             trace_peak: 0,
+            scratch_resumed: Vec::new(),
+            scratch_admitted: Vec::new(),
             config,
         }
     }
@@ -267,6 +292,17 @@ impl Server {
         self.active_clients
     }
 
+    /// Total simulation events dispatched so far — the sweep harness
+    /// divides this by wall time for an events/sec throughput figure.
+    pub fn events_dispatched(&self) -> u64 {
+        self.queue.dispatched()
+    }
+
+    /// The most events that were ever pending at once in the event queue.
+    pub fn queue_peak_depth(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     // --- trace recording --------------------------------------------------
 
     /// Start recording the admission/grant event stream
@@ -354,6 +390,8 @@ impl Server {
 
     /// Fold per-class results into the run metrics.
     fn finalize_metrics(mut self) -> RunMetrics {
+        self.metrics.events_dispatched = self.queue.dispatched();
+        self.metrics.peak_queue_depth = self.queue.peak_len();
         let mut class_clients = vec![0u32; self.classes.len()];
         for class in &self.class_by_client {
             class_clients[*class] += 1;

@@ -8,13 +8,21 @@
 
 use super::{Query, QueryLifecycle};
 use crate::metrics::FailureKind;
-use crate::server::{Event, Server};
+use crate::server::{Event, PlanKey, Server};
 use crate::trace::TraceEvent;
 use throttledb_core::LadderDecision;
 
 impl Server {
     /// A client submits its next query: choose a template, uniquify its
     /// text, and start (or skip, on a plan-cache hit) compilation.
+    ///
+    /// This is the allocation-free hot path: the template is chosen as an
+    /// interned [`throttledb_workload::TemplateId`], its profile is a dense
+    /// vector lookup, and the uniquifier perturbs a cached parse and hands
+    /// back only the digest of the unique text — no SQL string is cloned or
+    /// built per submission (the RNG draws are identical to the allocating
+    /// path, so seeded runs are unchanged; see the workload crate's
+    /// equivalence tests).
     pub(crate) fn on_submit(&mut self, client: u32) {
         if !self.client_active[client as usize] {
             // The client was deactivated by a scenario phase after this
@@ -23,23 +31,18 @@ impl Server {
             return;
         }
         let class = self.class_of(client);
-        let template = self
-            .client_model
-            .choose_mixed(
-                &self.mix,
-                &self.profiles.dss,
-                &self.profiles.tpch,
-                &self.profiles.oltp,
-                &mut self.rng,
-            )
-            .clone();
-        let profile = self
-            .profiles
-            .profile(&template.name)
-            .jittered(&mut self.rng);
+        let template =
+            self.client_model
+                .choose_id(&self.mix, self.profiles.catalog(), &mut self.rng);
+        let profile = self.profiles.profile_of(template).jittered(&mut self.rng);
         let id = self.next_query;
         self.next_query += 1;
-        let text = self.uniquifier.uniquify(&template.sql, &mut self.rng, id);
+        let digest = self.uniquifier.uniquify_digest(
+            template,
+            self.profiles.catalog().sql(template),
+            &mut self.rng,
+            id,
+        );
         self.trace_push(TraceEvent::Submitted {
             at: self.now,
             query: id,
@@ -47,13 +50,15 @@ impl Server {
             class,
         });
 
-        // The uniquifier defeats the plan cache (as in the paper); a hit can
-        // only happen for the rare literal-free diagnostic queries.
-        if self.plan_cache.get(&text).is_some() {
+        // The uniquifier defeats the plan cache (as in the paper); text
+        // digests and compiled-plan keys live in disjoint `PlanKey`
+        // variants, so this lookup misses by construction — exactly the
+        // old text-keyed behaviour, without carrying the text.
+        if self.plan_cache.get(&PlanKey::Text(digest)).is_some() {
             let query = Query {
                 client,
                 class,
-                template: template.name.clone(),
+                template,
                 profile,
                 task: self.classes[class].ladder.begin_task(),
                 compile_step: self.config.compile_steps,
@@ -77,7 +82,7 @@ impl Server {
             Query {
                 client,
                 class,
-                template: template.name.clone(),
+                template,
                 profile,
                 task,
                 compile_step: 0,
@@ -185,13 +190,7 @@ impl Server {
     pub(crate) fn finish_compile(&mut self, id: u64) {
         let (class, task, compile_bytes, template, profile) = {
             let q = self.queries.get(&id).expect("query exists");
-            (
-                q.class,
-                q.task,
-                q.compile_bytes,
-                q.template.clone(),
-                q.profile,
-            )
+            (q.class, q.task, q.compile_bytes, q.template, q.profile)
         };
         // Compilation memory is freed when the plan is produced.
         self.compile_clerk.free(compile_bytes);
@@ -200,13 +199,13 @@ impl Server {
             q.compile_bytes = 0;
         }
         self.task_to_query.remove(&(class, task));
-        let resumed = self.classes[class].ladder.finish_task(task, self.now);
-        self.resume_tasks(class, resumed);
+        self.finish_ladder_task(class, task);
         self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
 
-        // Cache the plan (uniquified text means this rarely helps — by design).
+        // Cache the plan (uniquified submissions mean this rarely helps —
+        // by design; the key is the copy-free (template, submission) pair).
         self.plan_cache.insert(
-            format!("{template}-{id}"),
+            PlanKey::Compiled(template, id),
             template,
             96 << 10,
             profile.compile_cpu_seconds,

@@ -71,8 +71,7 @@ impl Server {
         };
         self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
         if let Some(grant_id) = q.grant_id {
-            let admitted = self.classes[q.class].grants.release_at(grant_id, self.now);
-            self.start_admitted(q.class, admitted);
+            self.release_grant(q.class, grant_id);
         }
         self.metrics.record_completion(self.now);
         self.trace_push(TraceEvent::Completed {

@@ -70,9 +70,9 @@ impl Server {
     pub(crate) fn start_admitted(
         &mut self,
         class: usize,
-        admitted: Vec<(GrantRequestId, GrantOutcome)>,
+        admitted: &[(GrantRequestId, GrantOutcome)],
     ) {
-        for (grant_id, outcome) in admitted {
+        for &(grant_id, outcome) in admitted {
             if let Some(&qid) = self.grant_to_query.get(&(class, grant_id)) {
                 let bytes = match outcome {
                     GrantOutcome::Granted { bytes } | GrantOutcome::Reduced { bytes } => bytes,

@@ -91,7 +91,9 @@ pub(crate) struct Query {
     pub client: u32,
     /// Index into the server's class table.
     pub class: usize,
-    pub template: String,
+    /// The interned template this submission instantiated (copy-free; the
+    /// profile table and plan cache key on it directly).
+    pub template: throttledb_workload::TemplateId,
     pub profile: CompileProfile,
     pub task: TaskId,
     pub compile_step: u32,
@@ -153,8 +155,8 @@ pub(crate) fn scaled_budget(budget: u64, fraction: f64) -> u64 {
 impl Server {
     /// Resume ladder waiters of `class` admitted by a release: unblock each
     /// query and schedule its next compile step immediately.
-    pub(crate) fn resume_tasks(&mut self, class: usize, resumed: Vec<TaskId>) {
-        for task in resumed {
+    pub(crate) fn resume_tasks(&mut self, class: usize, resumed: &[TaskId]) {
+        for &task in resumed {
             if let Some(&qid) = self.task_to_query.get(&(class, task)) {
                 if let Some(q) = self.queries.get_mut(&qid) {
                     q.lifecycle.advance(QueryLifecycle::Compiling);
@@ -164,6 +166,31 @@ impl Server {
                     .schedule(self.now, crate::server::Event::CompileStep { query: qid });
             }
         }
+    }
+
+    /// Release the ladder holdings of `(class, task)` and resume every
+    /// admitted waiter, recycling the server's scratch buffer so the
+    /// per-query release path does not allocate.
+    pub(crate) fn finish_ladder_task(&mut self, class: usize, task: TaskId) {
+        let mut resumed = std::mem::take(&mut self.scratch_resumed);
+        resumed.clear();
+        self.classes[class]
+            .ladder
+            .finish_task_into(task, self.now, &mut resumed);
+        self.resume_tasks(class, &resumed);
+        self.scratch_resumed = resumed;
+    }
+
+    /// Release the grant held by `(class, grant_id)` and start every
+    /// admitted waiter, recycling the server's scratch buffer.
+    pub(crate) fn release_grant(&mut self, class: usize, grant_id: GrantRequestId) {
+        let mut admitted = std::mem::take(&mut self.scratch_admitted);
+        admitted.clear();
+        self.classes[class]
+            .grants
+            .release_at_into(grant_id, self.now, &mut admitted);
+        self.start_admitted(class, &admitted);
+        self.scratch_admitted = admitted;
     }
 
     /// Fail `id` out of whatever stage it is in: release its ladder and
@@ -179,12 +206,10 @@ impl Server {
         if q.lifecycle.is_compiling() {
             self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
         }
-        let resumed = self.classes[q.class].ladder.finish_task(q.task, self.now);
-        self.resume_tasks(q.class, resumed);
+        self.finish_ladder_task(q.class, q.task);
         if let Some(grant_id) = q.grant_id {
             self.grant_to_query.remove(&(q.class, grant_id));
-            let admitted = self.classes[q.class].grants.release_at(grant_id, self.now);
-            self.start_admitted(q.class, admitted);
+            self.release_grant(q.class, grant_id);
         }
         self.metrics.record_failure(self.now, kind);
         self.trace_push(TraceEvent::Failed {

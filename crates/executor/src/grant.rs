@@ -67,6 +67,9 @@ pub struct GrantManager {
 struct Inner {
     pool: ResourcePool<GrantRequestId>,
     next_id: u64,
+    /// Reused buffer for pool admissions (see
+    /// [`GrantManager::release_at_into`]).
+    admitted_scratch: Vec<(GrantRequestId, AdmissionDecision)>,
 }
 
 impl GrantManager {
@@ -77,6 +80,7 @@ impl GrantManager {
             inner: Mutex::new(Inner {
                 pool: ResourcePool::new("exec-grants", budget_bytes, MIN_GRANT_FRACTION),
                 next_id: 0,
+                admitted_scratch: Vec::new(),
             }),
             clerk,
         }
@@ -157,9 +161,26 @@ impl GrantManager {
         id: GrantRequestId,
         now: SimTime,
     ) -> Vec<(GrantRequestId, GrantOutcome)> {
+        let mut out = Vec::new();
+        self.release_at_into(id, now, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`GrantManager::release_at`]: admitted
+    /// waiters are appended to `out`, and the pool-level admission scratch
+    /// buffer is recycled inside the manager, so the engine's release path
+    /// performs no allocation per completed query.
+    pub fn release_at_into(
+        &self,
+        id: GrantRequestId,
+        now: SimTime,
+        out: &mut Vec<(GrantRequestId, GrantOutcome)>,
+    ) {
         let mut inner = self.inner.lock();
         let released = inner.pool.held(id);
-        let admitted = inner.pool.release(id, now);
+        let mut admitted = std::mem::take(&mut inner.admitted_scratch);
+        admitted.clear();
+        inner.pool.release_into(id, now, &mut admitted);
         if let Some(c) = &self.clerk {
             if let Some(bytes) = released {
                 c.free(bytes);
@@ -170,10 +191,12 @@ impl GrantManager {
                 }
             }
         }
-        admitted
-            .into_iter()
-            .map(|(id, decision)| (id, GrantOutcome::from_admission(decision)))
-            .collect()
+        out.extend(
+            admitted
+                .iter()
+                .map(|&(id, decision)| (id, GrantOutcome::from_admission(decision))),
+        );
+        inner.admitted_scratch = admitted;
     }
 
     /// Abandon a queued request (the query timed out waiting for its grant —

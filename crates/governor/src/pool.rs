@@ -154,16 +154,26 @@ impl<T: Copy + Eq + Hash> ResourcePool<T> {
     /// [`SimTime::MAX`] from time-free contexts to skip recording. If `tag`
     /// was still queued this cancels it instead.
     pub fn release(&mut self, tag: T, now: SimTime) -> Vec<(T, AdmissionDecision)> {
+        let mut admitted = Vec::new();
+        self.release_into(tag, now, &mut admitted);
+        admitted
+    }
+
+    /// Allocation-free variant of [`ResourcePool::release`]: admitted
+    /// waiters are appended to `out` instead of returned in a fresh vector,
+    /// so a steady-state caller can recycle one scratch buffer across every
+    /// release (the engine's event loop does exactly that).
+    pub fn release_into(&mut self, tag: T, now: SimTime, out: &mut Vec<(T, AdmissionDecision)>) {
         match self.outstanding.remove(&tag) {
             Some(units) => {
                 self.in_use = self.in_use.saturating_sub(units);
             }
             None => {
                 self.cancel(tag);
-                return Vec::new();
+                return;
             }
         }
-        self.admit_waiters(now)
+        self.admit_waiters_into(now, out)
     }
 
     /// Abandon a queued request (timeout / caller gave up). Returns true if
@@ -183,8 +193,7 @@ impl<T: Copy + Eq + Hash> ResourcePool<T> {
         ((wanted as f64 * self.min_fraction) as u64).max(1)
     }
 
-    fn admit_waiters(&mut self, now: SimTime) -> Vec<(T, AdmissionDecision)> {
-        let mut admitted = Vec::new();
+    fn admit_waiters_into(&mut self, now: SimTime, admitted: &mut Vec<(T, AdmissionDecision)>) {
         while let Some((_, wanted)) = self.queue.front().copied() {
             let available = self.budget.saturating_sub(self.in_use);
             let decision = if wanted <= available {
@@ -210,7 +219,6 @@ impl<T: Copy + Eq + Hash> ResourcePool<T> {
             self.outstanding.insert(tag, units);
             admitted.push((tag, decision));
         }
-        admitted
     }
 }
 

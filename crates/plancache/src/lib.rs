@@ -17,7 +17,9 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
 use throttledb_membroker::Clerk;
 
 /// A cached plan entry's metadata (the engine stores its plan separately).
@@ -49,22 +51,27 @@ pub struct PlanCacheStats {
 }
 
 /// A size-bounded plan cache with cost-based eviction.
+///
+/// Generic over the key type `K` (default `String`, the classic
+/// normalized-query-text key). The engine keys its cache with a compact
+/// 16-byte digest type instead, so the admission hot path never clones
+/// query text — see `throttledb-engine`'s `PlanKey`.
 #[derive(Debug)]
-pub struct PlanCache<P> {
+pub struct PlanCache<P, K = String> {
     capacity_bytes: Mutex<u64>,
-    inner: Mutex<Inner<P>>,
+    inner: Mutex<Inner<P, K>>,
     clerk: Option<Clerk>,
 }
 
 #[derive(Debug)]
-struct Inner<P> {
-    entries: HashMap<String, CacheEntry<P>>,
+struct Inner<P, K> {
+    entries: HashMap<K, CacheEntry<P>>,
     used_bytes: u64,
     tick: u64,
     stats: PlanCacheStats,
 }
 
-impl<P: Clone> PlanCache<P> {
+impl<P: Clone, K: Eq + Hash + Clone> PlanCache<P, K> {
     /// A cache bounded by `capacity_bytes`, optionally reporting memory to a
     /// broker clerk.
     pub fn new(capacity_bytes: u64, clerk: Option<Clerk>) -> Self {
@@ -105,8 +112,12 @@ impl<P: Clone> PlanCache<P> {
         self.inner.lock().stats
     }
 
-    /// Look up a plan by its (normalized) query text.
-    pub fn get(&self, key: &str) -> Option<P> {
+    /// Look up a plan by its key (e.g. normalized query text or a digest).
+    pub fn get<Q>(&self, key: &Q) -> Option<P>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -127,7 +138,7 @@ impl<P: Clone> PlanCache<P> {
 
     /// Insert a plan. Evicts lower-value entries as needed; if the plan is
     /// larger than the whole cache it is simply not cached.
-    pub fn insert(&self, key: impl Into<String>, plan: P, size_bytes: u64, recompile_cost: f64) {
+    pub fn insert(&self, key: impl Into<K>, plan: P, size_bytes: u64, recompile_cost: f64) {
         let capacity = *self.capacity_bytes.lock();
         if size_bytes > capacity {
             return;
@@ -173,7 +184,7 @@ impl<P: Clone> PlanCache<P> {
 
     /// Evict entries (lowest `value = recompile_cost·(hits+1) / size`, then
     /// least recently touched) until `used_bytes <= limit`.
-    fn evict_until(&self, inner: &mut Inner<P>, limit: u64) {
+    fn evict_until(&self, inner: &mut Inner<P, K>, limit: u64) {
         while inner.used_bytes > limit {
             let victim = inner
                 .entries

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 use throttledb_engine::{RunMetrics, Server, TraceEvent, WorkloadProfiles};
-use throttledb_sim::{SimDuration, SimTime};
+use throttledb_sim::SimTime;
 
 /// Admission-control counters of one phase, plus the phase's compile-memory
 /// peak. Derivable both from live metrics snapshots and from a recorded
@@ -224,12 +224,7 @@ impl ScenarioRunner {
         } = self;
         scenario.validate();
 
-        let mut config = scenario.base.clone();
-        config.clients = scenario.max_clients();
-        config.duration = scenario.total_duration();
-        if config.warmup >= config.duration {
-            config.warmup = SimDuration::ZERO;
-        }
+        let config = scenario.runtime_config();
         let base_think = config.client_model.mean_think_time;
         let profiles =
             profiles.unwrap_or_else(|| Arc::new(WorkloadProfiles::characterize_full(&config)));

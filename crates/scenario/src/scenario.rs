@@ -99,6 +99,22 @@ impl Scenario {
         self.phases.iter().map(|p| p.clients).max().unwrap_or(0)
     }
 
+    /// The [`ServerConfig`] a driver should characterize and run this
+    /// scenario against: the base config with `clients` raised to the
+    /// phase maximum, `duration` set to the phase total, and a warm-up
+    /// that would swallow the whole run clamped to zero. Both
+    /// [`crate::ScenarioRunner`] and the sweep harness derive their
+    /// configs through here, so their cells can never silently diverge.
+    pub fn runtime_config(&self) -> ServerConfig {
+        let mut config = self.base.clone();
+        config.clients = self.max_clients();
+        config.duration = self.total_duration();
+        if config.warmup >= config.duration {
+            config.warmup = SimDuration::ZERO;
+        }
+        config
+    }
+
     /// Panics on an empty or inconsistent phase schedule.
     pub fn validate(&self) {
         assert!(!self.name.is_empty(), "scenario needs a name");

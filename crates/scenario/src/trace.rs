@@ -244,14 +244,10 @@ impl Trace {
     }
 
     /// A 64-bit FNV-1a digest of the encoded form — a compact fingerprint
-    /// for quick "did anything change" comparisons.
+    /// for quick "did anything change" comparisons (same hash the engine's
+    /// plan-cache keys use).
     pub fn digest(&self) -> u64 {
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for byte in self.encode().bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
+        throttledb_workload::fnv1a_64(self.encode().as_bytes())
     }
 
     /// Replay the trace: reconstruct per-phase [`PhaseReport`]s from the

@@ -4,7 +4,10 @@
 //!   byte-identical recorded trace;
 //! * replay of a recorded trace reproduces the live run's per-phase
 //!   reports (and survives an encode/decode round trip);
-//! * a different seed produces a different trace.
+//! * a different seed produces a different trace;
+//! * the golden traces under `tests/golden/` — recorded on the original
+//!   `BinaryHeap` event queue, before the timing-wheel and
+//!   template-interning refactor — are still reproduced byte for byte.
 
 use std::sync::Arc;
 use throttledb_engine::{ServerConfig, WorkloadProfiles};
@@ -110,6 +113,46 @@ fn different_seeds_diverge() {
         b.trace.unwrap().encode(),
         "different seeds must produce different traces"
     );
+}
+
+/// The timing-wheel regression gate: these traces were recorded with the
+/// pre-refactor `BinaryHeap` event queue (and per-submission string
+/// cloning), seed 2007, quick scale. The wheel-backed, interned engine must
+/// reproduce them byte for byte — event order, timestamps, ids and all —
+/// or the refactor changed observable scheduling semantics.
+#[test]
+fn golden_heap_era_traces_replay_byte_identically() {
+    let goldens: [(&str, &str); 2] = [
+        (
+            "compile_storm",
+            include_str!("golden/compile_storm_quick_2007.trace"),
+        ),
+        (
+            "paper_figure3",
+            include_str!("golden/paper_figure3_quick_2007.trace"),
+        ),
+    ];
+    for (name, golden) in goldens {
+        // Mirror the scenario_runner CLI exactly: built-in scenario, quick
+        // scale, seed 2007, internally characterized profiles.
+        let scenario = Scenario::builtin(name, throttledb_scenario::Scale::Quick)
+            .expect("builtin exists")
+            .with_seed(2007);
+        let outcome = ScenarioRunner::new(scenario).record_trace(true).run();
+        let live = outcome.trace.as_ref().expect("recording enabled");
+        assert_eq!(
+            live.encode(),
+            golden,
+            "{name}: live trace no longer matches the heap-era golden file"
+        );
+        // And the stored golden replays to the live run's phase reports.
+        let stored = Trace::decode(golden).expect("golden decodes");
+        assert_eq!(
+            stored.replay(),
+            outcome.phases,
+            "{name}: golden replay diverges from live phase reports"
+        );
+    }
 }
 
 #[test]

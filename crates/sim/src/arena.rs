@@ -1,0 +1,190 @@
+//! A slab allocator with an intrusive free list.
+//!
+//! The event queue stores every scheduled payload in an [`Arena`] and moves
+//! only small `(time, seq, slot)` index records through its buckets and
+//! heaps. Slots are recycled through a free list, so a steady-state
+//! simulation — schedule one event, pop one event, repeat — performs **no
+//! allocation at all** once the arena has grown to the high-water mark of
+//! concurrently pending events.
+
+/// A slot index into an [`Arena`].
+pub(crate) type SlotIndex = u32;
+
+/// Sentinel for "no next free slot".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum Slot<T> {
+    /// Holds a live value.
+    Occupied(T),
+    /// Recycled; `next` chains the free list.
+    Vacant { next: u32 },
+}
+
+/// A growable slab of `T` with O(1) insert/remove and slot reuse.
+///
+/// Indices are only guaranteed valid until the slot is removed; the event
+/// queue pairs every index with a generation-like sequence number to detect
+/// stale handles (see `EventId`).
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free_head: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slots ever allocated (live + recycled).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Store `value`, reusing a recycled slot when one exists.
+    pub fn insert(&mut self, value: T) -> SlotIndex {
+        self.len += 1;
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            match self.slots[idx as usize] {
+                Slot::Vacant { next } => self.free_head = next,
+                Slot::Occupied(_) => unreachable!("free list points at an occupied slot"),
+            }
+            self.slots[idx as usize] = Slot::Occupied(value);
+            idx
+        } else {
+            assert!(
+                self.slots.len() < u32::MAX as usize,
+                "arena exhausted the u32 index space"
+            );
+            self.slots.push(Slot::Occupied(value));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Take the value out of `idx`, returning the slot to the free list.
+    /// Panics if the slot is vacant (a queue-internal logic error).
+    pub fn remove(&mut self, idx: SlotIndex) -> T {
+        let slot = std::mem::replace(
+            &mut self.slots[idx as usize],
+            Slot::Vacant {
+                next: self.free_head,
+            },
+        );
+        match slot {
+            Slot::Occupied(value) => {
+                self.free_head = idx;
+                self.len -= 1;
+                value
+            }
+            Slot::Vacant { .. } => panic!("removed a vacant arena slot {idx}"),
+        }
+    }
+
+    /// Borrow the value at `idx`, or `None` if the slot is vacant.
+    pub fn get(&self, idx: SlotIndex) -> Option<&T> {
+        match self.slots.get(idx as usize) {
+            Some(Slot::Occupied(value)) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the value at `idx`, or `None` if the slot is vacant.
+    pub fn get_mut(&mut self, idx: SlotIndex) -> Option<&mut T> {
+        match self.slots.get_mut(idx as usize) {
+            Some(Slot::Occupied(value)) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Drop every value and recycled slot.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut a = Arena::new();
+        let x = a.insert("x");
+        let y = a.insert("y");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(x), Some(&"x"));
+        assert_eq!(a.remove(x), "x");
+        assert_eq!(a.get(x), None);
+        assert_eq!(a.get(y), Some(&"y"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut a = Arena::new();
+        let x = a.insert(1);
+        let _y = a.insert(2);
+        a.remove(x);
+        let z = a.insert(3);
+        assert_eq!(z, x, "freed slot must be reused");
+        assert_eq!(a.capacity(), 2, "no growth while the free list has slots");
+    }
+
+    #[test]
+    fn steady_state_never_grows() {
+        let mut a = Arena::new();
+        let mut pending: Vec<SlotIndex> = (0..8).map(|i| a.insert(i)).collect();
+        let high_water = a.capacity();
+        for i in 0..1000 {
+            let idx = pending.remove(0);
+            a.remove(idx);
+            pending.push(a.insert(i));
+            assert_eq!(a.capacity(), high_water);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant arena slot")]
+    fn double_remove_panics() {
+        let mut a = Arena::new();
+        let x = a.insert(7);
+        a.remove(x);
+        a.remove(x);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a = Arena::new();
+        a.insert(1);
+        a.insert(2);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), 0);
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`clock`] — virtual time ([`SimTime`], [`SimDuration`]) with microsecond
 //!   resolution.
 //! * [`events`] — a monotonic event queue / scheduler with stable FIFO
-//!   ordering for simultaneous events.
+//!   ordering for simultaneous events, implemented as a timing wheel
+//!   (near-future buckets + a far-future overflow heap) over a slab
+//!   [`arena`] so the hot scheduling path is allocation-free.
+//! * [`arena`] — the slab/free-list allocator backing the event queue.
 //! * [`rng`] — a deterministic random-number generator with the
 //!   distributions the workload model needs (uniform, exponential, zipf,
 //!   log-normal-ish compile-time jitter).
@@ -26,14 +29,16 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod clock;
 pub mod events;
 pub mod rng;
 pub mod series;
 pub mod stats;
 
+pub use arena::Arena;
 pub use clock::{SimDuration, SimTime};
-pub use events::{EventQueue, ScheduledEvent};
+pub use events::{EventId, EventQueue, HeapEventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use series::{GaugeTimeline, TimeSeries};
 pub use stats::{Histogram, Summary};

@@ -90,16 +90,19 @@ impl TimeSeries {
     }
 
     /// Mean events per bucket over buckets starting at or after `from`.
+    /// Accumulates in one streaming pass (no intermediate vector).
     pub fn mean_per_bucket_from(&self, from: SimTime) -> f64 {
-        let counted: Vec<u64> = self
-            .iter()
-            .filter(|(t, _)| *t >= from)
-            .map(|(_, c)| c)
-            .collect();
-        if counted.is_empty() {
+        let (mut sum, mut buckets) = (0u64, 0u64);
+        for (t, c) in self.iter() {
+            if t >= from {
+                sum += c;
+                buckets += 1;
+            }
+        }
+        if buckets == 0 {
             0.0
         } else {
-            counted.iter().sum::<u64>() as f64 / counted.len() as f64
+            sum as f64 / buckets as f64
         }
     }
 }

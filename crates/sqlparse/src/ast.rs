@@ -231,6 +231,35 @@ impl Expr {
         n
     }
 
+    /// Visit every [`Literal`] in the expression mutably, depth-first in
+    /// the same order as [`Expr::walk`].
+    pub fn for_each_literal_mut(&mut self, f: &mut impl FnMut(&mut Literal)) {
+        match self {
+            Expr::Literal(lit) => f(lit),
+            Expr::Column { .. } | Expr::Wildcard => {}
+            Expr::Binary { left, right, .. } => {
+                left.for_each_literal_mut(f);
+                right.for_each_literal_mut(f);
+            }
+            Expr::Unary { expr, .. } => expr.for_each_literal_mut(f),
+            Expr::Aggregate { arg, .. } => arg.for_each_literal_mut(f),
+            Expr::InList { expr, list, .. } => {
+                expr.for_each_literal_mut(f);
+                for e in list {
+                    e.for_each_literal_mut(f);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.for_each_literal_mut(f);
+                low.for_each_literal_mut(f);
+                high.for_each_literal_mut(f);
+            }
+            Expr::IsNull { expr, .. } => expr.for_each_literal_mut(f),
+        }
+    }
+
     /// Visit every node depth-first.
     pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
         f(self);
@@ -362,6 +391,36 @@ impl SelectStatement {
     /// True when the query computes any aggregate or has a GROUP BY.
     pub fn is_aggregation(&self) -> bool {
         !self.group_by.is_empty() || self.items.iter().any(|i| i.expr.contains_aggregate())
+    }
+
+    /// Visit every [`Literal`] in the statement mutably, in deterministic
+    /// clause order: select items, join conditions, WHERE, GROUP BY,
+    /// HAVING, ORDER BY (and depth-first within each expression).
+    ///
+    /// The workload uniquifier perturbs numeric literals through this
+    /// visitor on a *cached* parse of each template — re-rendering a unique
+    /// query per submission without re-parsing or allocating — so the visit
+    /// order is part of the deterministic-replay contract: it fixes the RNG
+    /// draw order of every simulated submission.
+    pub fn for_each_literal_mut(&mut self, f: &mut impl FnMut(&mut Literal)) {
+        for item in &mut self.items {
+            item.expr.for_each_literal_mut(f);
+        }
+        for join in &mut self.joins {
+            join.on.for_each_literal_mut(f);
+        }
+        if let Some(w) = &mut self.where_clause {
+            w.for_each_literal_mut(f);
+        }
+        for g in &mut self.group_by {
+            g.for_each_literal_mut(f);
+        }
+        if let Some(h) = &mut self.having {
+            h.for_each_literal_mut(f);
+        }
+        for o in &mut self.order_by {
+            o.expr.for_each_literal_mut(f);
+        }
     }
 
     /// Rough size of the statement in AST nodes; the compile-memory model

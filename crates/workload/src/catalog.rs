@@ -1,0 +1,191 @@
+//! Interned query templates.
+//!
+//! The engine submits hundreds of thousands of queries per simulated run,
+//! and every submission used to clone its chosen [`QueryTemplate`] — two
+//! `String` allocations (name + SQL) per query — just to carry the template
+//! identity through compile/grant/execute. A [`TemplateCatalog`] interns
+//! each template once and hands out copyable [`TemplateId`]s instead; the
+//! hot path passes 4-byte ids through the pipeline stages, the plan cache
+//! and the profile table, and only dereferences them against the catalog
+//! when the template text or name is actually needed.
+
+use crate::templates::{QueryTemplate, WorkloadKind};
+use serde::{Deserialize, Serialize};
+
+/// A compact handle to an interned [`QueryTemplate`].
+///
+/// Ids are indices into the owning [`TemplateCatalog`], assigned in
+/// interning order; they are stable for the catalog's lifetime and
+/// meaningless across catalogs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TemplateId(u32);
+
+impl TemplateId {
+    /// The id as a dense index (for parallel lookup tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only intern table of query templates, with per-family id
+/// lists for workload-mix sampling.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TemplateCatalog {
+    templates: Vec<QueryTemplate>,
+    sales: Vec<TemplateId>,
+    tpch: Vec<TemplateId>,
+    oltp: Vec<TemplateId>,
+}
+
+impl TemplateCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        TemplateCatalog::default()
+    }
+
+    /// A catalog over the given template lists (interned in order).
+    pub fn from_templates(templates: impl IntoIterator<Item = QueryTemplate>) -> Self {
+        let mut catalog = TemplateCatalog::new();
+        for t in templates {
+            catalog.intern(t);
+        }
+        catalog
+    }
+
+    /// Intern one template, returning its id. The template joins its
+    /// family list according to its [`WorkloadKind`].
+    pub fn intern(&mut self, template: QueryTemplate) -> TemplateId {
+        assert!(
+            self.templates.len() < u32::MAX as usize,
+            "template catalog exhausted the u32 id space"
+        );
+        debug_assert!(
+            self.by_name(&template.name).is_none(),
+            "template {:?} interned twice",
+            template.name
+        );
+        let id = TemplateId(self.templates.len() as u32);
+        match template.kind {
+            WorkloadKind::Sales => self.sales.push(id),
+            WorkloadKind::TpchLike => self.tpch.push(id),
+            WorkloadKind::Oltp => self.oltp.push(id),
+        }
+        self.templates.push(template);
+        id
+    }
+
+    /// The interned template for `id`.
+    pub fn get(&self, id: TemplateId) -> &QueryTemplate {
+        &self.templates[id.index()]
+    }
+
+    /// The template's name (convenience for reporting).
+    pub fn name(&self, id: TemplateId) -> &str {
+        &self.get(id).name
+    }
+
+    /// The template's SQL text.
+    pub fn sql(&self, id: TemplateId) -> &str {
+        &self.get(id).sql
+    }
+
+    /// Find a template id by name (linear scan; reporting paths only).
+    pub fn by_name(&self, name: &str) -> Option<TemplateId> {
+        self.templates
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TemplateId(i as u32))
+    }
+
+    /// SALES-family ids, in interning order.
+    pub fn sales(&self) -> &[TemplateId] {
+        &self.sales
+    }
+
+    /// TPC-H-like-family ids, in interning order.
+    pub fn tpch(&self) -> &[TemplateId] {
+        &self.tpch
+    }
+
+    /// OLTP-family ids, in interning order.
+    pub fn oltp(&self) -> &[TemplateId] {
+        &self.oltp
+    }
+
+    /// Number of interned templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// Iterate `(id, template)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TemplateId, &QueryTemplate)> {
+        self.templates
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TemplateId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{oltp_templates, sales_templates, tpch_like_templates};
+
+    fn full_catalog() -> TemplateCatalog {
+        TemplateCatalog::from_templates(
+            sales_templates()
+                .into_iter()
+                .chain(tpch_like_templates())
+                .chain(oltp_templates()),
+        )
+    }
+
+    #[test]
+    fn interning_assigns_dense_ids_in_order() {
+        let c = full_catalog();
+        assert_eq!(c.len(), 20);
+        for (i, (id, _)) in c.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn family_lists_partition_the_catalog() {
+        let c = full_catalog();
+        assert_eq!(c.sales().len(), 10);
+        assert_eq!(c.tpch().len(), 6);
+        assert_eq!(c.oltp().len(), 4);
+        assert_eq!(c.sales().len() + c.tpch().len() + c.oltp().len(), c.len());
+        for &id in c.sales() {
+            assert_eq!(c.get(id).kind, WorkloadKind::Sales);
+        }
+        for &id in c.oltp() {
+            assert_eq!(c.get(id).kind, WorkloadKind::Oltp);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        let c = full_catalog();
+        for (id, t) in c.iter() {
+            assert_eq!(c.by_name(&t.name), Some(id));
+            assert_eq!(c.name(id), t.name);
+            assert_eq!(c.sql(id), t.sql);
+        }
+        assert_eq!(c.by_name("no_such_template"), None);
+    }
+
+    #[test]
+    fn ids_are_tiny_and_copyable() {
+        assert_eq!(std::mem::size_of::<TemplateId>(), 4);
+        let c = full_catalog();
+        let id = c.sales()[0];
+        let copy = id;
+        assert_eq!(id, copy);
+    }
+}

@@ -7,6 +7,7 @@
 //! queries are resubmitted after a back-off, because "those aborted queries
 //! likely need to be resubmitted to the system".
 
+use crate::catalog::{TemplateCatalog, TemplateId};
 use crate::mix::WorkloadMix;
 use crate::templates::{QueryTemplate, WorkloadKind};
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,28 @@ impl ClientModel {
             WorkloadKind::Oltp => rng.choose(oltp),
             WorkloadKind::TpchLike => &tpch[rng.zipf(tpch.len(), self.template_skew)],
             WorkloadKind::Sales => &sales[rng.zipf(sales.len(), self.template_skew)],
+        }
+    }
+
+    /// Copy-free variant of [`ClientModel::choose_mixed`]: choose the next
+    /// template as an interned [`TemplateId`] from a [`TemplateCatalog`].
+    ///
+    /// Consumes exactly the same RNG draws in the same order as
+    /// `choose_mixed` over the catalog's family lists (verified by test),
+    /// so the engine's switch to interned ids left every seeded run's
+    /// template sequence unchanged.
+    pub fn choose_id(
+        &self,
+        mix: &WorkloadMix,
+        catalog: &TemplateCatalog,
+        rng: &mut SimRng,
+    ) -> TemplateId {
+        let (sales, tpch, oltp) = (catalog.sales(), catalog.tpch(), catalog.oltp());
+        assert!(!sales.is_empty(), "need at least one SALES template");
+        match mix.sample(rng, !tpch.is_empty(), !oltp.is_empty()) {
+            WorkloadKind::Oltp => *rng.choose(oltp),
+            WorkloadKind::TpchLike => tpch[rng.zipf(tpch.len(), self.template_skew)],
+            WorkloadKind::Sales => sales[rng.zipf(sales.len(), self.template_skew)],
         }
     }
 }
@@ -178,6 +201,31 @@ mod tests {
             let b = m.choose_mixed(&mix, &sales, &[], &oltp, &mut rng_b);
             assert_eq!(a.name, b.name);
         }
+    }
+
+    #[test]
+    fn choose_id_matches_choose_mixed_draw_for_draw() {
+        use crate::catalog::TemplateCatalog;
+        use crate::templates::tpch_like_templates;
+        // The interned chooser must consume the identical RNG stream and
+        // pick the identical template as the slice-based chooser, or the
+        // template-id refactor would shift every seeded experiment.
+        let m = ClientModel::default();
+        let sales = sales_templates();
+        let tpch = tpch_like_templates();
+        let oltp = oltp_templates();
+        let catalog = TemplateCatalog::from_templates(
+            sales.iter().chain(tpch.iter()).chain(oltp.iter()).cloned(),
+        );
+        let mix = crate::mix::WorkloadMix::new(0.6, 0.25, 0.15);
+        let mut rng_a = SimRng::seed_from_u64(41);
+        let mut rng_b = SimRng::seed_from_u64(41);
+        for _ in 0..2_000 {
+            let by_ref = m.choose_mixed(&mix, &sales, &tpch, &oltp, &mut rng_a);
+            let by_id = m.choose_id(&mix, &catalog, &mut rng_b);
+            assert_eq!(by_ref.name, catalog.name(by_id));
+        }
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
     }
 
     #[test]

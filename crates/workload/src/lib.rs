@@ -19,18 +19,23 @@
 //!   used by the discrete-event engine.
 //! * [`mix`] — workload-mix sampling across the three template families,
 //!   the knob the scenario subsystem turns per phase.
+//! * [`catalog`] — the template intern table: every template gets a compact
+//!   [`TemplateId`] so the engine's hot path moves 4-byte ids instead of
+//!   cloned SQL strings.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod catalog;
 pub mod client;
 pub mod mix;
 pub mod templates;
 pub mod uniquify;
 
+pub use catalog::{TemplateCatalog, TemplateId};
 pub use client::ClientModel;
 pub use mix::WorkloadMix;
 pub use templates::{
     oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, WorkloadKind,
 };
-pub use uniquify::Uniquifier;
+pub use uniquify::{fnv1a_64, Uniquifier};

@@ -7,18 +7,71 @@
 //! numeric literal by a small deterministic amount drawn from the client's
 //! RNG, and re-render. The result is semantically near-identical but textually
 //! unique, so a text-keyed plan cache always misses.
+//!
+//! Two entry points share the exact same RNG draws and rendered bytes:
+//!
+//! * [`Uniquifier::uniquify`] — parse, perturb, render to a fresh `String`
+//!   (the original API; tests and one-off callers);
+//! * [`Uniquifier::uniquify_digest`] — the engine's hot path: perturbs a
+//!   *cached* parse of the template in place (resetting literals from a
+//!   snapshot first), renders into a reused buffer, and returns only the
+//!   64-bit FNV-1a digest of the text. After the first submission of each
+//!   template this allocates nothing, while producing bit-for-bit the same
+//!   RNG stream — and therefore the same simulation — as the allocating
+//!   path.
 
+use crate::catalog::TemplateId;
+use std::fmt::Write as _;
 use throttledb_sim::SimRng;
-use throttledb_sqlparse::{parse, Expr, Literal, SelectStatement};
+use throttledb_sqlparse::{parse, Literal, SelectStatement};
+
+/// 64-bit FNV-1a over `bytes` — the digest the engine keys its plan-cache
+/// lookups on (cheap, stable, and good enough for a cache that is designed
+/// to miss).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A template parsed once, with a snapshot of its numeric literals so each
+/// submission can re-perturb from the original values.
+#[derive(Debug, Clone)]
+struct Prepared {
+    stmt: SelectStatement,
+    /// Original numeric-literal values in visitor order.
+    originals: Vec<f64>,
+}
+
+impl Prepared {
+    fn new(sql: &str) -> Prepared {
+        let mut stmt = parse(sql).expect("workload templates must parse");
+        let mut originals = Vec::new();
+        stmt.for_each_literal_mut(&mut |lit| {
+            if let Literal::Number(n) = lit {
+                originals.push(*n);
+            }
+        });
+        Prepared { stmt, originals }
+    }
+}
 
 /// Rewrites query templates into unique instances.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct Uniquifier;
+#[derive(Debug, Default, Clone)]
+pub struct Uniquifier {
+    /// Cached parses, indexed by [`TemplateId`].
+    prepared: Vec<Option<Prepared>>,
+    /// Reused render buffer for the digest path.
+    buf: String,
+}
 
 impl Uniquifier {
     /// Create a uniquifier.
     pub fn new() -> Self {
-        Uniquifier
+        Uniquifier::default()
     }
 
     /// Produce a unique instance of `template_sql`, using `rng` for the
@@ -47,77 +100,76 @@ impl Uniquifier {
     /// ```
     pub fn uniquify(&self, template_sql: &str, rng: &mut SimRng, submission_id: u64) -> String {
         let mut stmt = parse(template_sql).expect("workload templates must parse");
-        perturb_statement(&mut stmt, rng);
+        stmt.for_each_literal_mut(&mut |lit| perturb_literal(lit, rng));
         // A trailing comment-free LIMIT-preserving tag is risky to express in
         // the SQL subset, so uniqueness is guaranteed by literal perturbation
         // plus, as a last resort, an extra predicate that is always true.
         let mut text = stmt.to_string();
         if text == template_sql {
-            text.push_str(&format!(" LIMIT {}", 1_000_000 + submission_id % 1_000));
+            let _ = write!(text, " LIMIT {}", 1_000_000 + submission_id % 1_000);
         }
         text
     }
-}
 
-/// Walk the statement and nudge every numeric literal.
-fn perturb_statement(stmt: &mut SelectStatement, rng: &mut SimRng) {
-    for item in &mut stmt.items {
-        perturb_expr(&mut item.expr, rng);
-    }
-    for join in &mut stmt.joins {
-        perturb_expr(&mut join.on, rng);
-    }
-    if let Some(w) = &mut stmt.where_clause {
-        perturb_expr(w, rng);
-    }
-    for g in &mut stmt.group_by {
-        perturb_expr(g, rng);
-    }
-    if let Some(h) = &mut stmt.having {
-        perturb_expr(h, rng);
-    }
-    for o in &mut stmt.order_by {
-        perturb_expr(&mut o.expr, rng);
-    }
-}
-
-fn perturb_expr(expr: &mut Expr, rng: &mut SimRng) {
-    match expr {
-        Expr::Literal(Literal::Number(n)) => {
-            // Nudge by up to ±3% (at least ±1) so selectivities stay close to
-            // the template's but the text is unique.
-            let magnitude = (n.abs() * 0.03).max(1.0);
-            let delta = rng.uniform_f64(0.0, magnitude * 2.0) - magnitude;
-            *n = (*n + delta).round();
+    /// Allocation-free variant for the engine's submission path: perturb
+    /// the cached parse of template `id` (whose text is `template_sql`),
+    /// and return the FNV-1a digest of the uniquified SQL instead of the
+    /// text itself.
+    ///
+    /// Consumes exactly the RNG draws of [`Uniquifier::uniquify`] and
+    /// digests exactly the bytes it would have produced (verified by test),
+    /// so swapping the engine onto this path changes no simulation outcome.
+    pub fn uniquify_digest(
+        &mut self,
+        id: TemplateId,
+        template_sql: &str,
+        rng: &mut SimRng,
+        submission_id: u64,
+    ) -> u64 {
+        let slot = id.index();
+        if slot >= self.prepared.len() {
+            self.prepared.resize_with(slot + 1, || None);
         }
-        Expr::Literal(_) | Expr::Column { .. } | Expr::Wildcard => {}
-        Expr::Binary { left, right, .. } => {
-            perturb_expr(left, rng);
-            perturb_expr(right, rng);
-        }
-        Expr::Unary { expr, .. } => perturb_expr(expr, rng),
-        Expr::Aggregate { arg, .. } => perturb_expr(arg, rng),
-        Expr::InList { expr, list, .. } => {
-            perturb_expr(expr, rng);
-            for e in list {
-                perturb_expr(e, rng);
+        let prepared = self.prepared[slot].get_or_insert_with(|| Prepared::new(template_sql));
+        // Reset each literal to the template's original value and perturb it
+        // in one pass — the same visit order, and therefore the same RNG
+        // draws, as perturbing a fresh parse.
+        let originals = &prepared.originals;
+        let mut i = 0;
+        prepared.stmt.for_each_literal_mut(&mut |lit| {
+            if let Literal::Number(n) = lit {
+                *n = originals[i];
+                i += 1;
             }
+            perturb_literal(lit, rng);
+        });
+        let mut buf = std::mem::take(&mut self.buf);
+        buf.clear();
+        let _ = write!(buf, "{}", prepared.stmt);
+        if buf == template_sql {
+            let _ = write!(buf, " LIMIT {}", 1_000_000 + submission_id % 1_000);
         }
-        Expr::Between {
-            expr, low, high, ..
-        } => {
-            perturb_expr(expr, rng);
-            perturb_expr(low, rng);
-            perturb_expr(high, rng);
-        }
-        Expr::IsNull { expr, .. } => perturb_expr(expr, rng),
+        let digest = fnv1a_64(buf.as_bytes());
+        self.buf = buf;
+        digest
+    }
+}
+
+/// Nudge a numeric literal by up to ±3% (at least ±1) so selectivities stay
+/// close to the template's but the text is unique.
+fn perturb_literal(lit: &mut Literal, rng: &mut SimRng) {
+    if let Literal::Number(n) = lit {
+        let magnitude = (n.abs() * 0.03).max(1.0);
+        let delta = rng.uniform_f64(0.0, magnitude * 2.0) - magnitude;
+        *n = (*n + delta).round();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::templates::{sales_templates, tpch_like_templates};
+    use crate::catalog::TemplateCatalog;
+    use crate::templates::{oltp_templates, sales_templates, tpch_like_templates};
     use std::collections::HashSet;
 
     #[test]
@@ -177,5 +229,61 @@ mod tests {
         assert_ne!(one, sql);
         assert_ne!(one, two);
         parse(&one).unwrap();
+    }
+
+    #[test]
+    fn digest_path_matches_the_allocating_path_exactly() {
+        // The hot path must consume the same RNG draws and digest the same
+        // bytes as the allocating path, template by template, submission by
+        // submission — this equality is what lets the engine switch paths
+        // without perturbing any seeded experiment.
+        let catalog = TemplateCatalog::from_templates(
+            sales_templates()
+                .into_iter()
+                .chain(tpch_like_templates())
+                .chain(oltp_templates()),
+        );
+        let reference = Uniquifier::new();
+        let mut hot = Uniquifier::new();
+        let mut rng_a = SimRng::seed_from_u64(23);
+        let mut rng_b = SimRng::seed_from_u64(23);
+        for round in 0..5u64 {
+            for (id, t) in catalog.iter() {
+                let sub = round * 100 + id.index() as u64;
+                let text = reference.uniquify(&t.sql, &mut rng_a, sub);
+                let digest = hot.uniquify_digest(id, &t.sql, &mut rng_b, sub);
+                assert_eq!(
+                    digest,
+                    fnv1a_64(text.as_bytes()),
+                    "digest mismatch for {} round {round}",
+                    t.name
+                );
+            }
+        }
+        // And the RNG streams stayed in lockstep throughout.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn digest_path_tags_literal_free_templates() {
+        let mut catalog = TemplateCatalog::new();
+        let id = catalog.intern(crate::templates::QueryTemplate {
+            name: "bare".into(),
+            kind: crate::templates::WorkloadKind::Oltp,
+            sql: "SELECT a FROM t".into(),
+        });
+        let mut u = Uniquifier::new();
+        let mut rng = SimRng::seed_from_u64(29);
+        let d1 = u.uniquify_digest(id, catalog.sql(id), &mut rng, 1);
+        let d2 = u.uniquify_digest(id, catalog.sql(id), &mut rng, 2);
+        assert_ne!(d1, d2, "the LIMIT tag must keep literal-free SQL unique");
+        assert_ne!(d1, fnv1a_64(b"SELECT a FROM t"));
+    }
+
+    #[test]
+    fn fnv_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"abc"), fnv1a_64(b"abc"));
+        assert_ne!(fnv1a_64(b"abc"), fnv1a_64(b"abd"));
     }
 }
