@@ -3,6 +3,7 @@
 //! ```text
 //! sweep [--scenarios a,b,...] [--seeds 1,2,...] [--scale quick|paper]
 //!       [--workers N] [--out PATH] [--cells-out PATH]
+//!       [--policies ladder,pid,cost] [--policies-out PATH]
 //! sweep --list
 //! ```
 //!
@@ -12,15 +13,23 @@
 //! writes the full `BENCH_sweep.json` (cells + wall-clock timing + sweep
 //! metadata); see `docs/EXPERIMENTS.md` for the schema.
 //!
+//! `--policies` switches on the admission-policy laboratory: instead of the
+//! plain (scenario × seed) sweep, the full (policy × scenario × seed) grid
+//! runs and `--policies-out` receives the `BENCH_policies.json` scoreboard
+//! (per-cell metrics plus per-(policy, scenario) mean ± 95% CI aggregates
+//! over seeds; fully deterministic, diffable across worker counts).
+//!
 //! Exit codes: 0 success, 1 I/O error, 2 usage error.
 
 use std::process::ExitCode;
-use throttledb_bench::sweep::{run_sweep, SweepSpec};
+use throttledb_bench::sweep::{run_policy_sweep, run_sweep, PolicySweepSpec, SweepSpec};
+use throttledb_engine::PolicyKind;
 use throttledb_scenario::{Scale, Scenario};
 
 fn usage() -> ExitCode {
     eprintln!("usage: sweep [--scenarios a,b,...] [--seeds 1,2,...] [--scale quick|paper]");
     eprintln!("             [--workers N] [--out PATH] [--cells-out PATH]");
+    eprintln!("             [--policies ladder,pid,cost] [--policies-out PATH]");
     eprintln!("       sweep --list");
     eprintln!("defaults: --scenarios compile_storm --seeds 2007 --scale quick");
     eprintln!("          --workers <available parallelism>");
@@ -37,6 +46,8 @@ fn main() -> ExitCode {
         .unwrap_or(1);
     let mut out = None;
     let mut cells_out = None;
+    let mut policies: Option<Vec<PolicyKind>> = None;
+    let mut policies_out = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -75,6 +86,22 @@ fn main() -> ExitCode {
                 Some(path) => cells_out = Some(path.clone()),
                 None => return usage(),
             },
+            "--policies" => match iter.next().map(|list| {
+                list.split(',')
+                    .map(|p| PolicyKind::parse(p.trim()).ok_or(p))
+                    .collect::<Result<Vec<_>, _>>()
+            }) {
+                Some(Ok(parsed)) if !parsed.is_empty() => policies = Some(parsed),
+                Some(Err(bad)) => {
+                    eprintln!("unknown policy {bad:?} (known: ladder, pid, cost)");
+                    return usage();
+                }
+                _ => return usage(),
+            },
+            "--policies-out" => match iter.next() {
+                Some(path) => policies_out = Some(path.clone()),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -84,6 +111,55 @@ fn main() -> ExitCode {
             eprintln!("unknown scenario {name:?} (try --list)");
             return usage();
         }
+    }
+
+    if let Some(policies) = policies {
+        let spec = PolicySweepSpec {
+            policies,
+            scenarios,
+            seeds,
+            scale,
+            workers,
+        };
+        eprintln!(
+            "policy grid: {} policy(ies) x {} scenario(s) x {} seed(s) on {} worker(s)...",
+            spec.policies.len(),
+            spec.scenarios.len(),
+            spec.seeds.len(),
+            spec.workers
+        );
+        let outcome = run_policy_sweep(&spec);
+        println!(
+            "{:<8} {:<22} {:>6} {:>7} {:>7} {:>6} {:>12} {:>12}",
+            "policy", "scenario", "seed", "subm", "done", "fail", "p99-wait-us", "tput/slice"
+        );
+        for cell in &outcome.cells {
+            println!(
+                "{:<8} {:<22} {:>6} {:>7} {:>7} {:>6} {:>12} {:>12.2}",
+                cell.policy,
+                cell.scenario,
+                cell.seed,
+                cell.submitted,
+                cell.completed,
+                cell.failed,
+                cell.p99_wait_us,
+                cell.throughput_per_slice,
+            );
+        }
+        println!(
+            "total: {} cells in {:.0} ms on {} worker(s)",
+            outcome.cells.len(),
+            outcome.total_wall_ms,
+            outcome.workers
+        );
+        if let Some(path) = policies_out {
+            if let Err(e) = std::fs::write(&path, outcome.policies_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("policy scoreboard written to {path}");
+        }
+        return ExitCode::SUCCESS;
     }
 
     let spec = SweepSpec {

@@ -1,0 +1,545 @@
+//! The BENCH regression gate.
+//!
+//! The gate diffs a current `BENCH_sweep.json`-cells or
+//! `BENCH_policies.json` document against a committed baseline and reports
+//! every metric that regressed beyond a relative tolerance. CI runs it
+//! after the sweep step and fails the build on any regression; the
+//! baseline-update workflow (see `README.md`) is the only way to accept an
+//! intentional change.
+//!
+//! Both documents are hand-rolled JSON (the workspace `serde` is a no-op
+//! stub), so the gate carries its own minimal recursive-descent parser —
+//! enough for the two schemas it diffs, strict about everything it
+//! accepts.
+//!
+//! Directionality is per metric: throughput-like metrics regress when they
+//! *drop* below `baseline * (1 - tolerance)`; latency/failure-like metrics
+//! regress when they *rise* above `baseline * (1 + tolerance)`. Neutral
+//! fields (seeds, event counts, digests) are ignored. A cell present in
+//! the baseline but missing from the current document is a coverage
+//! regression and fails the gate outright.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value (only what the two BENCH schemas need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as f64 (the gate only compares magnitudes).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, preserving member order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A malformed document, with a byte offset for the error message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset the parser stopped at.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.error(format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => self.error("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.error(format!("expected {text}"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return self.error("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.error("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = match self.bytes.get(self.pos) {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    self.pos += 4;
+                                    c
+                                }
+                                None => return self.error("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.error("bad escape"),
+                    };
+                    out.push(escaped);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.error("invalid UTF-8"),
+                    }
+                }
+                None => return self.error("unterminated string"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or(ParseError {
+                at: start,
+                message: "bad number".to_string(),
+            })
+    }
+}
+
+/// Parse one JSON document, requiring it to be fully consumed.
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.error("trailing garbage");
+    }
+    Ok(v)
+}
+
+/// Whether a metric regresses by dropping or by rising.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// The gated metrics and their direction. Fields not listed here are
+/// identity (policy/scenario/seed) or informative (event counts, digests,
+/// wall-clock) and are never gated.
+const METRICS: &[(&str, Direction)] = &[
+    ("completed", Direction::HigherIsBetter),
+    ("throughput_per_slice", Direction::HigherIsBetter),
+    ("failed", Direction::LowerIsBetter),
+    ("p99_wait_us", Direction::LowerIsBetter),
+    ("failure_rate", Direction::LowerIsBetter),
+    ("degrade_rate", Direction::LowerIsBetter),
+];
+
+/// One extracted (cell-or-aggregate, metric) observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// "cell policy=pid scenario=compile_storm seed=2007" or
+    /// "aggregate policy=pid scenario=compile_storm".
+    pub key: String,
+    /// Metric field name.
+    pub metric: &'static str,
+    /// The observed value (an aggregate contributes its `mean`).
+    pub value: f64,
+}
+
+/// One metric that moved beyond tolerance (or a missing cell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The cell/aggregate and metric that regressed.
+    pub what: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`NaN` when the cell is missing entirely).
+    pub current: f64,
+}
+
+fn entry_key(obj: &Value, kind: &str) -> String {
+    let mut key = kind.to_string();
+    for id in ["policy", "scenario"] {
+        if let Some(v) = obj.get(id).and_then(Value::as_str) {
+            let _ = write!(key, " {id}={v}");
+        }
+    }
+    if let Some(seed) = obj.get("seed").and_then(Value::as_f64) {
+        let _ = write!(key, " seed={seed}");
+    }
+    key
+}
+
+/// Extract every gated metric from a parsed BENCH document: the `cells`
+/// array (flat numeric fields) and the `aggregates` array (nested
+/// `{"mean": …, "ci95": …}` objects, gated on the mean).
+pub fn extract(doc: &Value) -> Vec<MetricEntry> {
+    let mut entries = Vec::new();
+    for (section, kind) in [("cells", "cell"), ("aggregates", "aggregate")] {
+        let Some(Value::Arr(items)) = doc.get(section) else {
+            continue;
+        };
+        for obj in items {
+            let key = entry_key(obj, kind);
+            for &(metric, _) in METRICS {
+                let value = match obj.get(metric) {
+                    Some(v @ Value::Obj(_)) => v.get("mean").and_then(Value::as_f64),
+                    Some(v) => v.as_f64(),
+                    None => None,
+                };
+                if let Some(value) = value {
+                    entries.push(MetricEntry {
+                        key: key.clone(),
+                        metric,
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    entries
+}
+
+fn direction_of(metric: &str) -> Direction {
+    METRICS
+        .iter()
+        .find(|(m, _)| *m == metric)
+        .map(|&(_, d)| d)
+        .expect("extract only yields gated metrics")
+}
+
+/// Diff `current` against `baseline` with a relative `tolerance` (0.10 =
+/// ±10%). Returns every regression; an empty vector means the gate passes.
+/// Cells present only in `current` (new scenarios/policies) are fine; cells
+/// present only in `baseline` are failures.
+pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Vec<Regression> {
+    let base_entries = extract(baseline);
+    let current_entries = extract(current);
+    let mut regressions = Vec::new();
+    for base in &base_entries {
+        let Some(cur) = current_entries
+            .iter()
+            .find(|e| e.key == base.key && e.metric == base.metric)
+        else {
+            regressions.push(Regression {
+                what: format!("{} {}: missing from current results", base.key, base.metric),
+                baseline: base.value,
+                current: f64::NAN,
+            });
+            continue;
+        };
+        // An absolute epsilon keeps near-zero baselines (rates of 0.0)
+        // from tripping on harmless noise-scale increases.
+        let slack = tolerance * base.value.abs() + 1e-9;
+        let regressed = match direction_of(base.metric) {
+            Direction::HigherIsBetter => cur.value < base.value - slack,
+            Direction::LowerIsBetter => cur.value > base.value + slack,
+        };
+        if regressed {
+            regressions.push(Regression {
+                what: format!(
+                    "{} {}: {} -> {} (tolerance ±{:.0}%)",
+                    base.key,
+                    base.metric,
+                    base.value,
+                    cur.value,
+                    tolerance * 100.0
+                ),
+                baseline: base.value,
+                current: cur.value,
+            });
+        }
+    }
+    regressions
+}
+
+/// Like [`compare`], from raw document text.
+pub fn compare_text(
+    baseline: &str,
+    current: &str,
+    tolerance: f64,
+) -> Result<Vec<Regression>, ParseError> {
+    Ok(compare(&parse(baseline)?, &parse(current)?, tolerance))
+}
+
+/// The gate's self-test: a synthetic baseline against (a) itself — must
+/// pass — and (b) a copy with one metric regressed well beyond tolerance —
+/// must fail. Returns an error string on any violated expectation, so the
+/// CI step proves the gate can actually reject before it is trusted to
+/// accept.
+pub fn self_test() -> Result<(), String> {
+    let baseline = r#"{
+  "benchmark": "policies",
+  "cells": [
+    {"policy": "ladder", "scenario": "compile_storm", "seed": 2007,
+     "completed": 1000, "failed": 10, "p99_wait_us": 50000,
+     "throughput_per_slice": 120.5}
+  ],
+  "aggregates": [
+    {"policy": "ladder", "scenario": "compile_storm", "seeds": 5,
+     "throughput_per_slice": {"mean": 118.0, "ci95": 4.0},
+     "failure_rate": {"mean": 0.01, "ci95": 0.002}}
+  ]
+}"#;
+    let regressed = baseline.replace("\"completed\": 1000", "\"completed\": 800");
+    match compare_text(baseline, baseline, 0.10) {
+        Ok(r) if r.is_empty() => {}
+        Ok(r) => return Err(format!("identical documents flagged: {r:?}")),
+        Err(e) => return Err(format!("self-test baseline failed to parse: {e:?}")),
+    }
+    match compare_text(baseline, &regressed, 0.10) {
+        Ok(r) if r.len() == 1 && r[0].what.contains("completed") => {}
+        Ok(r) => return Err(format!("20% completed drop not caught exactly once: {r:?}")),
+        Err(e) => return Err(format!("self-test regressed doc failed to parse: {e:?}")),
+    }
+    // A drop inside the tolerance band must pass.
+    let tolerated = baseline.replace("\"completed\": 1000", "\"completed\": 950");
+    match compare_text(baseline, &tolerated, 0.10) {
+        Ok(r) if r.is_empty() => Ok(()),
+        Ok(r) => Err(format!("5% drop inside ±10% flagged: {r:?}")),
+        Err(e) => Err(format!("self-test tolerated doc failed to parse: {e:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_the_bench_shapes() {
+        let doc = parse(
+            r#"{"a": [1, -2.5, 1e3], "s": "x\"y\\z\nw", "u": "\u0041", "b": true, "n": null, "o": {"mean": 1.5}}"#,
+        )
+        .expect("valid document");
+        assert_eq!(doc.get("s"), Some(&Value::Str("x\"y\\z\nw".to_string())));
+        assert_eq!(doc.get("u"), Some(&Value::Str("A".to_string())));
+        assert_eq!(
+            doc.get("a"),
+            Some(&Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Num(-2.5),
+                Value::Num(1000.0)
+            ]))
+        );
+        assert_eq!(doc.get("o").unwrap().get("mean"), Some(&Value::Num(1.5)));
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} junk").is_err());
+    }
+
+    fn doc(completed: u64, p99: u64, mean: f64) -> String {
+        format!(
+            r#"{{"cells": [{{"policy": "pid", "scenario": "s", "seed": 1,
+                 "completed": {completed}, "p99_wait_us": {p99},
+                 "trace_digest": "ignored"}}],
+                "aggregates": [{{"policy": "pid", "scenario": "s",
+                 "failure_rate": {{"mean": {mean}, "ci95": 0.1}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn extraction_keys_cells_and_aggregates_distinctly() {
+        let parsed = parse(&doc(100, 5000, 0.5)).unwrap();
+        let entries = extract(&parsed);
+        let keys: Vec<&str> = entries.iter().map(|e| e.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "cell policy=pid scenario=s seed=1",
+                "cell policy=pid scenario=s seed=1",
+                "aggregate policy=pid scenario=s",
+            ]
+        );
+        let metrics: Vec<&str> = entries.iter().map(|e| e.metric).collect();
+        assert_eq!(metrics, vec!["completed", "p99_wait_us", "failure_rate"]);
+    }
+
+    #[test]
+    fn gate_is_directional() {
+        let base = doc(100, 5000, 0.5);
+        // completed up, p99 down, failure rate down: all improvements.
+        let better = doc(200, 1000, 0.1);
+        assert_eq!(compare_text(&base, &better, 0.10).unwrap(), vec![]);
+        // The same magnitudes moved the other way all regress.
+        let worse = doc(50, 20000, 0.9);
+        let regressions = compare_text(&base, &worse, 0.10).unwrap();
+        assert_eq!(regressions.len(), 3, "{regressions:?}");
+    }
+
+    #[test]
+    fn gate_respects_the_tolerance_band() {
+        let base = doc(100, 5000, 0.5);
+        let inside = doc(91, 5400, 0.54);
+        assert_eq!(compare_text(&base, &inside, 0.10).unwrap(), vec![]);
+        let outside = doc(89, 5000, 0.5);
+        assert_eq!(compare_text(&base, &outside, 0.10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn missing_cells_fail_the_gate() {
+        let base = doc(100, 5000, 0.5);
+        let empty = r#"{"cells": [], "aggregates": []}"#;
+        let regressions = compare_text(&base, empty, 0.10).unwrap();
+        assert_eq!(regressions.len(), 3);
+        assert!(regressions[0].what.contains("missing"));
+        assert!(regressions[0].current.is_nan());
+    }
+
+    #[test]
+    fn zero_baselines_tolerate_noise_but_not_jumps() {
+        let base = doc(100, 5000, 0.0);
+        let still_zero = doc(100, 5000, 0.0);
+        assert_eq!(compare_text(&base, &still_zero, 0.10).unwrap(), vec![]);
+        let jumped = doc(100, 5000, 0.2);
+        assert_eq!(compare_text(&base, &jumped, 0.10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn self_test_passes() {
+        self_test().expect("the gate must prove it can reject");
+    }
+}

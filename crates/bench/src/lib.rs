@@ -13,6 +13,7 @@
 
 #![deny(missing_docs)]
 
+pub mod gate;
 pub mod sweep;
 
 use throttledb_engine::ServerConfig;

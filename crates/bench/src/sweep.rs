@@ -22,8 +22,9 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use throttledb_engine::WorkloadProfiles;
+use throttledb_engine::{PolicyKind, WorkloadProfiles};
 use throttledb_scenario::{Scale, Scenario, ScenarioRunner};
+use throttledb_sim::{Histogram, Running};
 
 /// What to sweep.
 #[derive(Debug, Clone)]
@@ -103,30 +104,7 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
     // so the independent per-scenario characterizations fan out across the
     // worker budget too — results are deterministic per config, so this
     // changes nothing but wall time.
-    let mut profiles: Vec<Option<Arc<WorkloadProfiles>>> = vec![None; spec.scenarios.len()];
-    {
-        let next = AtomicUsize::new(0);
-        let slots = Mutex::new(&mut profiles);
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(spec.scenarios.len().max(1)) {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(name) = spec.scenarios.get(idx) else {
-                        break;
-                    };
-                    let scenario = Scenario::builtin(name, spec.scale)
-                        .unwrap_or_else(|| panic!("unknown scenario {name:?}"));
-                    let config = scenario.runtime_config();
-                    let characterized = Arc::new(WorkloadProfiles::characterize_full(&config));
-                    slots.lock().expect("no poisoned workers")[idx] = Some(characterized);
-                });
-            }
-        });
-    }
-    let profiles: Vec<Arc<WorkloadProfiles>> = profiles
-        .into_iter()
-        .map(|p| p.expect("every scenario characterized"))
-        .collect();
+    let profiles = characterize_scenarios(&spec.scenarios, spec.scale, workers);
 
     // Cell coordinates in deterministic output order.
     let coords: Vec<(usize, u64)> = spec
@@ -295,6 +273,339 @@ impl SweepOutcome {
     }
 }
 
+// --- the admission-policy laboratory ------------------------------------
+
+/// What the policy laboratory sweeps: the full (policy × scenario × seed)
+/// grid at one scale.
+#[derive(Debug, Clone)]
+pub struct PolicySweepSpec {
+    /// Admission policies, in output order.
+    pub policies: Vec<PolicyKind>,
+    /// Built-in scenario names, in output order.
+    pub scenarios: Vec<String>,
+    /// Seeds, in output order.
+    pub seeds: Vec<u64>,
+    /// Scale every cell runs at.
+    pub scale: Scale,
+    /// Worker threads (clamped to at least 1). Affects wall-clock only.
+    pub workers: usize,
+}
+
+/// The deterministic result of one (policy, scenario, seed) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCell {
+    /// Admission policy name.
+    pub policy: &'static str,
+    /// Scenario name.
+    pub scenario: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queries submitted across all phases.
+    pub submitted: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries failed.
+    pub failed: u64,
+    /// Best-effort plans produced.
+    pub best_effort: u64,
+    /// Grant requests admitted with a reduced allocation, over all classes.
+    pub degraded_grants: u64,
+    /// Grant requests admitted at all (full + degraded), over all classes.
+    pub admitted_grants: u64,
+    /// p99 admission wait in microseconds, merged over every policy level.
+    pub p99_wait_us: u64,
+    /// The paper's sustained-throughput metric (completed per slice after
+    /// warm-up).
+    pub throughput_per_slice: f64,
+}
+
+impl PolicyCell {
+    /// failed / submitted (0 when nothing was submitted).
+    pub fn failure_rate(&self) -> f64 {
+        self.failed as f64 / (self.submitted.max(1)) as f64
+    }
+
+    /// degraded / admitted grants (0 when nothing was granted).
+    pub fn degrade_rate(&self) -> f64 {
+        self.degraded_grants as f64 / (self.admitted_grants.max(1)) as f64
+    }
+}
+
+/// A mean with its 95% confidence half-width, aggregated over seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean across seeds.
+    pub mean: f64,
+    /// 95% confidence half-width (Student-t for small samples).
+    pub ci95: f64,
+}
+
+fn mean_ci(r: &Running) -> MeanCi {
+    MeanCi {
+        mean: r.mean(),
+        ci95: r.ci95_half_width(),
+    }
+}
+
+/// Per-(policy, scenario) metrics aggregated over the seed axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyAggregate {
+    /// Admission policy name.
+    pub policy: &'static str,
+    /// Scenario name.
+    pub scenario: String,
+    /// Number of seeds aggregated.
+    pub seeds: usize,
+    /// Sustained throughput per slice.
+    pub throughput_per_slice: MeanCi,
+    /// p99 admission wait (µs).
+    pub p99_wait_us: MeanCi,
+    /// failed / submitted.
+    pub failure_rate: MeanCi,
+    /// degraded / admitted grants.
+    pub degrade_rate: MeanCi,
+}
+
+/// Everything the policy laboratory produced.
+#[derive(Debug, Clone)]
+pub struct PolicySweepOutcome {
+    /// The sweep's scale.
+    pub scale: Scale,
+    /// Worker threads used (wall-clock only; absent from the JSON).
+    pub workers: usize,
+    /// Deterministic cell results, ordered by (policy, scenario, seed)
+    /// index.
+    pub cells: Vec<PolicyCell>,
+    /// Per-(policy, scenario) aggregates in the same policy-major order.
+    pub aggregates: Vec<PolicyAggregate>,
+    /// End-to-end wall time in milliseconds (absent from the JSON).
+    pub total_wall_ms: f64,
+}
+
+/// Run the (policy × scenario × seed) grid. Panics on an unknown scenario
+/// name (the CLI validates names up front).
+///
+/// Like [`run_sweep`], a cell's result depends only on its coordinates:
+/// profiles are characterized once per scenario (the workload does not
+/// depend on the policy) and shared, every run is seeded, and results land
+/// in index-keyed slots — so [`PolicySweepOutcome::policies_json`] is
+/// byte-identical whatever `workers` is.
+pub fn run_policy_sweep(spec: &PolicySweepSpec) -> PolicySweepOutcome {
+    let started = Instant::now();
+    let workers = spec.workers.max(1);
+    let profiles = characterize_scenarios(&spec.scenarios, spec.scale, workers);
+
+    // Cell coordinates in deterministic output order (policy-major).
+    let coords: Vec<(usize, usize, u64)> = spec
+        .policies
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            spec.scenarios
+                .iter()
+                .enumerate()
+                .flat_map(move |(si, _)| spec.seeds.iter().map(move |&seed| (pi, si, seed)))
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PolicyCell>>> = Mutex::new(vec![None; coords.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(coords.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(policy_idx, scenario_idx, seed)) = coords.get(idx) else {
+                    break;
+                };
+                let policy = spec.policies[policy_idx];
+                let name = &spec.scenarios[scenario_idx];
+                let scenario = Scenario::builtin(name, spec.scale)
+                    .expect("validated above")
+                    .with_seed(seed)
+                    .with_policy(policy);
+                let outcome = ScenarioRunner::new(scenario)
+                    .with_profiles(profiles[scenario_idx].clone())
+                    .run();
+                let metrics = &outcome.metrics;
+                let mut wait = Histogram::new("policy-wait-us");
+                for h in &metrics.throttle.wait_histograms {
+                    wait.merge(h);
+                }
+                let (degraded, admitted) = metrics.classes.iter().fold((0, 0), |(d, a), c| {
+                    (
+                        d + c.grants.degraded,
+                        a + c.grants.admitted + c.grants.degraded,
+                    )
+                });
+                let cell = PolicyCell {
+                    policy: policy.name(),
+                    scenario: name.clone(),
+                    seed,
+                    submitted: outcome.phases.iter().map(|p| p.submitted).sum(),
+                    completed: metrics.completed.total(),
+                    failed: metrics.failed.total(),
+                    best_effort: metrics.best_effort_plans,
+                    degraded_grants: degraded,
+                    admitted_grants: admitted,
+                    p99_wait_us: wait.percentile(99.0),
+                    throughput_per_slice: metrics.sustained_throughput_per_slice(),
+                };
+                results.lock().expect("no poisoned workers")[idx] = Some(cell);
+            });
+        }
+    });
+
+    let cells: Vec<PolicyCell> = results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every cell ran"))
+        .collect();
+
+    // Aggregate each (policy, scenario) over its seed axis. Cells are
+    // slot-ordered, so the fold order (and thus the aggregate bytes) is the
+    // same for any worker count.
+    let mut aggregates = Vec::with_capacity(spec.policies.len() * spec.scenarios.len());
+    for policy in &spec.policies {
+        for name in &spec.scenarios {
+            let mut throughput = Running::new();
+            let mut p99 = Running::new();
+            let mut failure = Running::new();
+            let mut degrade = Running::new();
+            for cell in cells
+                .iter()
+                .filter(|c| c.policy == policy.name() && &c.scenario == name)
+            {
+                throughput.push(cell.throughput_per_slice);
+                p99.push(cell.p99_wait_us as f64);
+                failure.push(cell.failure_rate());
+                degrade.push(cell.degrade_rate());
+            }
+            aggregates.push(PolicyAggregate {
+                policy: policy.name(),
+                scenario: name.clone(),
+                seeds: throughput.count() as usize,
+                throughput_per_slice: mean_ci(&throughput),
+                p99_wait_us: mean_ci(&p99),
+                failure_rate: mean_ci(&failure),
+                degrade_rate: mean_ci(&degrade),
+            });
+        }
+    }
+
+    PolicySweepOutcome {
+        scale: spec.scale,
+        workers,
+        cells,
+        aggregates,
+        total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Characterize each scenario's workload once, fanned across `workers`
+/// (shared by [`run_sweep`]-style drivers; deterministic per config).
+fn characterize_scenarios(
+    scenarios: &[String],
+    scale: Scale,
+    workers: usize,
+) -> Vec<Arc<WorkloadProfiles>> {
+    let mut profiles: Vec<Option<Arc<WorkloadProfiles>>> = vec![None; scenarios.len()];
+    {
+        let next = AtomicUsize::new(0);
+        let slots = Mutex::new(&mut profiles);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(scenarios.len().max(1)) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(name) = scenarios.get(idx) else {
+                        break;
+                    };
+                    let scenario = Scenario::builtin(name, scale)
+                        .unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+                    let config = scenario.runtime_config();
+                    let characterized = Arc::new(WorkloadProfiles::characterize_full(&config));
+                    slots.lock().expect("no poisoned workers")[idx] = Some(characterized);
+                });
+            }
+        });
+    }
+    profiles
+        .into_iter()
+        .map(|p| p.expect("every scenario characterized"))
+        .collect()
+}
+
+fn write_mean_ci(out: &mut String, name: &str, m: MeanCi) {
+    let _ = write!(
+        out,
+        "\"{}\": {{\"mean\": {:.6}, \"ci95\": {:.6}}}",
+        name, m.mean, m.ci95
+    );
+}
+
+impl PolicySweepOutcome {
+    /// The `BENCH_policies.json` scoreboard: the deterministic grid plus
+    /// per-(policy, scenario) aggregates with 95% confidence intervals. No
+    /// wall-clock data — CI diffs the whole document between worker counts.
+    pub fn policies_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"benchmark\": \"policies\",\n  \"scale\": \"");
+        out.push_str(scale_str(self.scale));
+        out.push_str("\",\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"policy\": \"{}\", \"scenario\": \"{}\", \"seed\": {}, \
+                 \"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+                 \"best_effort\": {}, \"degraded_grants\": {}, \
+                 \"admitted_grants\": {}, \"p99_wait_us\": {}, \
+                 \"throughput_per_slice\": {:.6}}}",
+                c.policy,
+                json_escape(&c.scenario),
+                c.seed,
+                c.submitted,
+                c.completed,
+                c.failed,
+                c.best_effort,
+                c.degraded_grants,
+                c.admitted_grants,
+                c.p99_wait_us,
+                c.throughput_per_slice,
+            );
+            let _ = writeln!(out, "{}", if i + 1 == self.cells.len() { "" } else { "," });
+        }
+        out.push_str("  ],\n  \"aggregates\": [\n");
+        for (i, a) in self.aggregates.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"policy\": \"{}\", \"scenario\": \"{}\", \"seeds\": {}, ",
+                a.policy,
+                json_escape(&a.scenario),
+                a.seeds
+            );
+            write_mean_ci(&mut out, "throughput_per_slice", a.throughput_per_slice);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "p99_wait_us", a.p99_wait_us);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "failure_rate", a.failure_rate);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "degrade_rate", a.degrade_rate);
+            let _ = writeln!(
+                out,
+                "}}{}",
+                if i + 1 == self.aggregates.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,5 +648,42 @@ mod tests {
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    fn tiny_policy_spec(workers: usize) -> PolicySweepSpec {
+        PolicySweepSpec {
+            policies: PolicyKind::all().to_vec(),
+            scenarios: vec!["compile_storm".to_string()],
+            seeds: vec![2007, 2008],
+            scale: Scale::Quick,
+            workers,
+        }
+    }
+
+    #[test]
+    fn policy_grid_is_worker_count_invariant_byte_for_byte() {
+        let sequential = run_policy_sweep(&tiny_policy_spec(1));
+        let parallel = run_policy_sweep(&tiny_policy_spec(4));
+        assert_eq!(sequential.cells, parallel.cells);
+        assert_eq!(sequential.policies_json(), parallel.policies_json());
+        // 3 policies x 1 scenario x 2 seeds.
+        assert_eq!(sequential.cells.len(), 6);
+        assert_eq!(sequential.aggregates.len(), 3);
+        for cell in &sequential.cells {
+            assert!(
+                cell.completed > 0,
+                "cell {}/{}/{} idle",
+                cell.policy,
+                cell.scenario,
+                cell.seed
+            );
+            assert!(cell.failure_rate() <= 1.0);
+            assert!(cell.degrade_rate() <= 1.0);
+        }
+        for agg in &sequential.aggregates {
+            assert_eq!(agg.seeds, 2, "{}/{} lost a seed", agg.policy, agg.scenario);
+            assert!(agg.throughput_per_slice.mean > 0.0);
+            assert!(agg.throughput_per_slice.ci95 >= 0.0);
+        }
     }
 }

@@ -59,6 +59,20 @@ impl LadderDecision {
     }
 }
 
+impl From<LadderDecision> for throttledb_governor::PolicyDecision {
+    fn from(d: LadderDecision) -> Self {
+        match d {
+            LadderDecision::Proceed => throttledb_governor::PolicyDecision::Proceed,
+            LadderDecision::Wait { level, timeout } => {
+                throttledb_governor::PolicyDecision::Wait { level, timeout }
+            }
+            LadderDecision::FinishBestEffort => {
+                throttledb_governor::PolicyDecision::FinishBestEffort
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 struct TaskState {
     bytes: u64,
@@ -81,6 +95,10 @@ pub struct GatewayLadder {
     compilation_target: Option<u64>,
     stats: ThrottleStats,
     next_task: u64,
+    /// Scratch buffer bridging `finish_task_into`'s [`TaskId`] output to
+    /// the governor [`Policy`](throttledb_governor::Policy) trait's bare
+    /// `u64` ids without allocating per release.
+    policy_scratch: Vec<TaskId>,
 }
 
 impl GatewayLadder {
@@ -100,6 +118,7 @@ impl GatewayLadder {
             compilation_target: None,
             stats,
             next_task: 0,
+            policy_scratch: Vec::new(),
         }
     }
 
@@ -290,6 +309,65 @@ impl GatewayLadder {
                 self.stats.acquisitions[level] += 1;
             }
         }
+    }
+}
+
+/// The paper's ladder as a pluggable [`Policy`](throttledb_governor::Policy):
+/// the baseline every rival policy is measured against. Each trait call maps
+/// 1:1 onto the corresponding inherent method (with bare `u64` ids wrapped
+/// into [`TaskId`]), so a ladder driven through the trait behaves — and
+/// traces — byte-identically to one driven directly.
+impl throttledb_governor::Policy for GatewayLadder {
+    fn name(&self) -> &'static str {
+        "ladder"
+    }
+
+    fn begin(&mut self) -> u64 {
+        self.begin_task().0
+    }
+
+    fn report(
+        &mut self,
+        task: u64,
+        bytes: u64,
+        _signals: &throttledb_governor::PolicySignals,
+        now: SimTime,
+    ) -> throttledb_governor::PolicyDecision {
+        self.report_memory(TaskId(task), bytes, now).into()
+    }
+
+    fn timeout(&mut self, task: u64, now: SimTime) {
+        self.timeout_task(TaskId(task), now);
+    }
+
+    fn finish_into(&mut self, task: u64, now: SimTime, resumed: &mut Vec<u64>) {
+        let mut scratch = std::mem::take(&mut self.policy_scratch);
+        scratch.clear();
+        self.finish_task_into(TaskId(task), now, &mut scratch);
+        resumed.extend(scratch.iter().map(|t| t.0));
+        self.policy_scratch = scratch;
+    }
+
+    fn tick(
+        &mut self,
+        _now: SimTime,
+        compile_target: Option<u64>,
+        _pressure: f64,
+        _resumed: &mut Vec<u64>,
+    ) {
+        self.set_compilation_target(compile_target);
+    }
+
+    fn stats(&self) -> &ThrottleStats {
+        &self.stats
+    }
+
+    fn active(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn waiting(&self) -> usize {
+        self.gateways.iter().map(|g| g.queued()).sum()
     }
 }
 
@@ -570,6 +648,45 @@ mod tests {
         assert_eq!(summary.count, 1);
         assert!(summary.min >= 8_000_000, "waited ~9 s: {summary:?}");
         assert_eq!(l.stats().wait_summary(0).count, 0);
+    }
+
+    #[test]
+    fn policy_trait_drives_the_ladder_identically() {
+        use throttledb_governor::{Policy, PolicyDecision, PolicySignals};
+        let mut direct = small_ladder();
+        let mut boxed: Box<dyn Policy> = Box::new(small_ladder());
+        assert_eq!(boxed.name(), "ladder");
+        let signals = PolicySignals::default();
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let d = direct.begin_task();
+            let p = boxed.begin();
+            assert_eq!(d.0, p);
+            ids.push(d);
+        }
+        for (i, &t) in ids.iter().enumerate() {
+            let want: PolicyDecision = direct.report_memory(t, 5 * MB, now(i as u64)).into();
+            let got = boxed.report(t.0, 5 * MB, &signals, now(i as u64));
+            assert_eq!(got, want);
+        }
+        assert_eq!(boxed.active(), direct.active_tasks());
+        assert_eq!(boxed.waiting(), 1);
+        let mut via_trait = Vec::new();
+        boxed.finish_into(ids[0].0, now(10), &mut via_trait);
+        let via_direct = direct.finish_task(ids[0], now(10));
+        assert_eq!(
+            via_trait,
+            via_direct.iter().map(|t| t.0).collect::<Vec<u64>>()
+        );
+        assert_eq!(boxed.stats(), direct.stats());
+        // tick installs the compilation target without resuming anyone.
+        boxed.tick(now(11), Some(40 * MB), 1.0, &mut via_trait);
+        direct.set_compilation_target(Some(40 * MB));
+        let t = ids[1];
+        assert_eq!(
+            boxed.report(t.0, 25 * MB, &signals, now(12)),
+            direct.report_memory(t, 25 * MB, now(12)).into()
+        );
     }
 
     #[test]

@@ -1,197 +1,10 @@
 //! Throttle statistics, the raw material of the paper's figures.
+//!
+//! [`ThrottleStats`] moved to the governor layer
+//! (`throttledb_governor::stats`) when admission policies became
+//! pluggable, so that every policy — not just the gateway ladder —
+//! reports through the same counters. This module re-exports it for the
+//! many call sites (and downstream crates) that address it through
+//! `throttledb_core`.
 
-use serde::{Deserialize, Serialize};
-use throttledb_sim::{Histogram, SimDuration, Summary};
-
-/// Counters kept by the gateway ladder.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ThrottleStats {
-    /// Compilations registered with the ladder.
-    pub compilations_started: u64,
-    /// Compilations that finished (successfully or not) and released their
-    /// gateways.
-    pub compilations_finished: u64,
-    /// Compilations that never crossed the exemption floor (small
-    /// diagnostic / OLTP queries).
-    pub exempt_compilations: u64,
-    /// Gateway acquisitions per level.
-    pub acquisitions: Vec<u64>,
-    /// Times a compilation had to wait at each level.
-    pub waits: Vec<u64>,
-    /// Total time spent waiting at each level.
-    pub total_wait: Vec<SimDuration>,
-    /// Distribution of individual wait durations at each level, in
-    /// microseconds (each completed or abandoned wait is one sample).
-    pub wait_histograms: Vec<Histogram>,
-    /// Compilations aborted because a gateway wait exceeded its timeout.
-    pub timeouts: u64,
-    /// Compilations told to finish with the best plan found so far.
-    pub best_effort_completions: u64,
-}
-
-impl ThrottleStats {
-    /// Zeroed statistics for a ladder with `levels` gateways.
-    pub fn new(levels: usize) -> Self {
-        ThrottleStats {
-            compilations_started: 0,
-            compilations_finished: 0,
-            exempt_compilations: 0,
-            acquisitions: vec![0; levels],
-            waits: vec![0; levels],
-            total_wait: vec![SimDuration::ZERO; levels],
-            wait_histograms: (0..levels)
-                .map(|i| Histogram::new(format!("gateway{i}-wait-us")))
-                .collect(),
-            timeouts: 0,
-            best_effort_completions: 0,
-        }
-    }
-
-    /// Record one finished (or abandoned) wait of `duration` at `level`.
-    pub fn record_wait(&mut self, level: usize, duration: SimDuration) {
-        self.total_wait[level] += duration;
-        self.wait_histograms[level].record(duration.as_micros());
-    }
-
-    /// Summary of the wait-time distribution at `level` (microseconds).
-    pub fn wait_summary(&self, level: usize) -> Summary {
-        self.wait_histograms[level].summary()
-    }
-
-    /// Number of gateway levels these statistics cover.
-    pub fn levels(&self) -> usize {
-        self.acquisitions.len()
-    }
-
-    /// Total waits across all levels.
-    pub fn total_waits(&self) -> u64 {
-        self.waits.iter().sum()
-    }
-
-    /// Total time spent blocked across all levels.
-    pub fn total_wait_time(&self) -> SimDuration {
-        self.total_wait
-            .iter()
-            .fold(SimDuration::ZERO, |acc, d| acc + *d)
-    }
-
-    /// Mean wait duration at `level`, zero if nothing ever waited there.
-    pub fn mean_wait(&self, level: usize) -> SimDuration {
-        let n = self.waits.get(level).copied().unwrap_or(0);
-        if n == 0 {
-            SimDuration::ZERO
-        } else {
-            self.total_wait[level] / n
-        }
-    }
-
-    /// Merge another set of statistics into this one (same level count).
-    pub fn merge(&mut self, other: &ThrottleStats) {
-        assert_eq!(self.levels(), other.levels(), "level counts must match");
-        self.compilations_started += other.compilations_started;
-        self.compilations_finished += other.compilations_finished;
-        self.exempt_compilations += other.exempt_compilations;
-        self.timeouts += other.timeouts;
-        self.best_effort_completions += other.best_effort_completions;
-        for i in 0..self.levels() {
-            self.acquisitions[i] += other.acquisitions[i];
-            self.waits[i] += other.waits[i];
-            self.total_wait[i] += other.total_wait[i];
-            self.wait_histograms[i].merge(&other.wait_histograms[i]);
-        }
-    }
-
-    /// One-line human-readable summary.
-    pub fn summary_line(&self) -> String {
-        format!(
-            "compiles={} exempt={} acquisitions={:?} waits={:?} timeouts={} best-effort={}",
-            self.compilations_started,
-            self.exempt_compilations,
-            self.acquisitions,
-            self.waits,
-            self.timeouts,
-            self.best_effort_completions
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn new_stats_are_zeroed() {
-        let s = ThrottleStats::new(3);
-        assert_eq!(s.levels(), 3);
-        assert_eq!(s.total_waits(), 0);
-        assert_eq!(s.total_wait_time(), SimDuration::ZERO);
-        assert_eq!(s.mean_wait(0), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn record_wait_feeds_totals_and_histograms() {
-        let mut s = ThrottleStats::new(2);
-        s.record_wait(1, SimDuration::from_secs(4));
-        s.record_wait(1, SimDuration::from_secs(12));
-        assert_eq!(s.total_wait[1], SimDuration::from_secs(16));
-        let summary = s.wait_summary(1);
-        assert_eq!(summary.count, 2);
-        assert_eq!(summary.min, 4_000_000);
-        assert_eq!(summary.max, 12_000_000);
-        assert_eq!(s.wait_summary(0).count, 0);
-    }
-
-    #[test]
-    fn merge_combines_wait_histograms() {
-        let mut a = ThrottleStats::new(1);
-        let mut b = ThrottleStats::new(1);
-        a.record_wait(0, SimDuration::from_secs(1));
-        b.record_wait(0, SimDuration::from_secs(3));
-        a.merge(&b);
-        assert_eq!(a.wait_summary(0).count, 2);
-        assert_eq!(a.wait_summary(0).max, 3_000_000);
-    }
-
-    #[test]
-    fn mean_wait_divides_by_count() {
-        let mut s = ThrottleStats::new(2);
-        s.waits[1] = 4;
-        s.total_wait[1] = SimDuration::from_secs(20);
-        assert_eq!(s.mean_wait(1), SimDuration::from_secs(5));
-        assert_eq!(s.mean_wait(0), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn merge_adds_everything() {
-        let mut a = ThrottleStats::new(2);
-        let mut b = ThrottleStats::new(2);
-        a.compilations_started = 3;
-        a.acquisitions[0] = 5;
-        b.compilations_started = 2;
-        b.acquisitions[0] = 7;
-        b.timeouts = 1;
-        b.total_wait[1] = SimDuration::from_secs(2);
-        a.merge(&b);
-        assert_eq!(a.compilations_started, 5);
-        assert_eq!(a.acquisitions[0], 12);
-        assert_eq!(a.timeouts, 1);
-        assert_eq!(a.total_wait[1], SimDuration::from_secs(2));
-    }
-
-    #[test]
-    #[should_panic(expected = "level counts")]
-    fn merge_rejects_mismatched_levels() {
-        let mut a = ThrottleStats::new(2);
-        let b = ThrottleStats::new(3);
-        a.merge(&b);
-    }
-
-    #[test]
-    fn summary_line_mentions_key_counters() {
-        let mut s = ThrottleStats::new(3);
-        s.timeouts = 7;
-        let line = s.summary_line();
-        assert!(line.contains("timeouts=7"));
-        assert!(line.contains("compiles=0"));
-    }
-}
+pub use throttledb_governor::ThrottleStats;

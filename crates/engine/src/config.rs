@@ -69,6 +69,63 @@ impl WorkloadClassConfig {
     }
 }
 
+/// Which compilation-admission policy a run uses.
+///
+/// Every built-in scenario can run under any policy (see
+/// `Scenario::with_policy` in `throttledb-scenario`); the bench crate's
+/// policy sweeps grid all three against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The paper's static gateway ladder (the baseline).
+    Ladder,
+    /// A PID feedback controller servoing a concurrency limit on the
+    /// broker's predicted compilation-memory pressure.
+    Pid,
+    /// A cost-based planner reserving each template's profiled peak
+    /// compilation bytes against the broker's compilation target.
+    CostBased,
+}
+
+impl PolicyKind {
+    /// All policies, in scoreboard order.
+    pub fn all() -> [PolicyKind; 3] {
+        [PolicyKind::Ladder, PolicyKind::Pid, PolicyKind::CostBased]
+    }
+
+    /// The short name used on CLIs and in `BENCH_policies.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Ladder => "ladder",
+            PolicyKind::Pid => "pid",
+            PolicyKind::CostBased => "cost",
+        }
+    }
+
+    /// Parse a CLI name ("ladder", "pid", "cost").
+    pub fn parse(s: &str) -> Option<PolicyKind> {
+        match s {
+            "ladder" => Some(PolicyKind::Ladder),
+            "pid" => Some(PolicyKind::Pid),
+            "cost" | "cost-based" => Some(PolicyKind::CostBased),
+            _ => None,
+        }
+    }
+
+    /// Number of admission levels this policy's `ThrottleStats` cover under
+    /// `throttle`: the ladder reports per gateway, the single-queue
+    /// policies at one level. A disabled throttle always runs the (inert)
+    /// ladder, whatever the configured kind.
+    pub fn levels(self, throttle: &ThrottleConfig) -> usize {
+        if !throttle.enabled {
+            return throttle.monitor_count();
+        }
+        match self {
+            PolicyKind::Ladder => throttle.monitor_count(),
+            PolicyKind::Pid | PolicyKind::CostBased => 1,
+        }
+    }
+}
+
 /// Configuration of one simulated server run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
@@ -130,6 +187,10 @@ pub struct ServerConfig {
     /// (scaled gateway ladder + grant-budget slice). The default single
     /// "default" class reproduces the paper's undifferentiated population.
     pub classes: Vec<WorkloadClassConfig>,
+    /// Which compilation-admission policy runs (default: the paper's
+    /// gateway ladder). Ignored when the throttle is disabled — a baseline
+    /// run admits everything under any policy.
+    pub policy: PolicyKind,
 }
 
 impl ServerConfig {
@@ -183,6 +244,7 @@ impl ServerConfig {
             broker_tick: SimDuration::from_secs(5),
             oltp_fraction: 0.05,
             classes: vec![WorkloadClassConfig::default_class()],
+            policy: PolicyKind::Ladder,
         }
     }
 
@@ -421,6 +483,34 @@ mod tests {
         assert!((4..=6).contains(&counts[0]), "default {counts:?}");
         assert!((2..=4).contains(&counts[1]), "adhoc {counts:?}");
         assert!((1..=3).contains(&counts[2]), "report {counts:?}");
+    }
+
+    #[test]
+    fn policy_kind_parses_and_names_round_trip() {
+        for kind in PolicyKind::all() {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("cost-based"), Some(PolicyKind::CostBased));
+        assert_eq!(PolicyKind::parse("fifo"), None);
+    }
+
+    #[test]
+    fn policy_levels_follow_the_throttle() {
+        let c = ServerConfig::quick(5, true);
+        assert_eq!(PolicyKind::Ladder.levels(&c.throttle), 3);
+        assert_eq!(PolicyKind::Pid.levels(&c.throttle), 1);
+        assert_eq!(PolicyKind::CostBased.levels(&c.throttle), 1);
+        // A disabled throttle runs the inert ladder whatever the kind.
+        let baseline = ServerConfig::quick(5, false);
+        for kind in PolicyKind::all() {
+            assert_eq!(kind.levels(&baseline.throttle), 3);
+        }
+    }
+
+    #[test]
+    fn default_policy_is_the_paper_ladder() {
+        assert_eq!(ServerConfig::paper(10, true).policy, PolicyKind::Ladder);
+        assert_eq!(ServerConfig::quick(10, true).policy, PolicyKind::Ladder);
     }
 
     #[test]

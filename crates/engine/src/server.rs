@@ -14,7 +14,6 @@ use crate::trace::TraceEvent;
 use std::collections::HashMap;
 use std::sync::Arc;
 use throttledb_bufferpool::HitRateModel;
-use throttledb_core::TaskId;
 use throttledb_executor::GrantOutcome;
 use throttledb_executor::GrantRequestId;
 use throttledb_membroker::{Clerk, MemoryBroker, SubcomponentKind};
@@ -73,7 +72,9 @@ pub struct Server {
     pub(crate) rng: SimRng,
     pub(crate) queue: EventQueue<Event>,
     pub(crate) queries: HashMap<u64, Query>,
-    pub(crate) task_to_query: HashMap<(usize, TaskId), u64>,
+    /// (class, policy task handle) -> query id, for resuming admitted
+    /// waiters.
+    pub(crate) task_to_query: HashMap<(usize, u64), u64>,
     pub(crate) grant_to_query: HashMap<(usize, GrantRequestId), u64>,
     pub(crate) next_query: u64,
     pub(crate) running_cpu_tasks: u32,
@@ -103,10 +104,10 @@ pub struct Server {
     /// Running compile-memory high-water mark since the last phase boundary
     /// (trace recording only).
     pub(crate) trace_peak: u64,
-    /// Reused buffer for ladder releases (see `fail_query`/`finish_compile`):
-    /// the release path appends admitted tasks here instead of allocating a
-    /// vector per completed query.
-    pub(crate) scratch_resumed: Vec<TaskId>,
+    /// Reused buffer for admission-policy releases (see `fail_query` /
+    /// `finish_compile`): the release path appends admitted tasks here
+    /// instead of allocating a vector per completed query.
+    pub(crate) scratch_resumed: Vec<u64>,
     /// Reused buffer for grant-pool admissions, same discipline.
     pub(crate) scratch_admitted: Vec<(GrantRequestId, GrantOutcome)>,
 }
@@ -120,17 +121,28 @@ impl Server {
         let exec_clerk = broker.register(SubcomponentKind::Execution);
         let cache_clerk = broker.register(SubcomponentKind::PlanCache);
         let exec_budget = broker.target_for_kind(SubcomponentKind::Execution);
+        let compile_budget = broker.target_for_kind(SubcomponentKind::Compilation);
+        let total_share: f64 = config.classes.iter().map(|c| c.client_share).sum();
         let classes = config
             .classes
             .iter()
-            .map(|spec| ClassRuntime::new(spec.clone(), &config.throttle, exec_budget, &exec_clerk))
+            .map(|spec| {
+                ClassRuntime::new(
+                    spec.clone(),
+                    &config.throttle,
+                    exec_budget,
+                    &exec_clerk,
+                    config.policy,
+                    crate::stages::scaled_budget(compile_budget, spec.client_share / total_share),
+                )
+            })
             .collect();
         let class_by_client = config.class_assignment();
         let plan_cache = PlanCache::new(256 << 20, Some(cache_clerk));
         let metrics = RunMetrics::new(
             config.slice,
             SimTime::ZERO + config.warmup,
-            config.throttle.monitor_count(),
+            config.policy.levels(&config.throttle),
         );
         let mut client_model = config.client_model;
         client_model.oltp_fraction = config.oltp_fraction;
@@ -397,7 +409,7 @@ impl Server {
             class_clients[*class] += 1;
         }
         for (idx, class) in self.classes.iter().enumerate() {
-            self.metrics.throttle.merge(class.ladder.stats());
+            self.metrics.throttle.merge(class.policy.stats());
             self.metrics.classes.push(ClassMetrics {
                 name: class.spec.name.clone(),
                 clients: class_clients[idx],
@@ -405,7 +417,7 @@ impl Server {
                 completed_after_warmup: class.completed_after_warmup,
                 failed: class.failed,
                 best_effort_plans: class.best_effort_plans,
-                throttle: class.ladder.stats().clone(),
+                throttle: class.policy.stats().clone(),
                 grants: class.grants.pool_stats(),
             });
         }
@@ -554,5 +566,66 @@ mod tests {
             adhoc.throttle.acquisitions.iter().sum::<u64>() > 0,
             "adhoc class never engaged its ladder"
         );
+    }
+
+    #[test]
+    fn every_policy_runs_the_quick_config_deterministically() {
+        let profiles = profiles();
+        for kind in crate::config::PolicyKind::all() {
+            let run = || {
+                let mut cfg = ServerConfig::quick(12, true);
+                cfg.policy = kind;
+                Server::new(cfg, profiles.clone()).run()
+            };
+            let a = run();
+            assert!(
+                a.completed.total() > 10,
+                "policy {} should complete queries, got {}",
+                kind.name(),
+                a.completed.total()
+            );
+            assert_eq!(
+                a.throttle.levels(),
+                kind.levels(&ServerConfig::quick(12, true).throttle),
+                "policy {} reports the wrong stats shape",
+                kind.name()
+            );
+            assert!(
+                a.throttle.compilations_started > 0,
+                "policy {} never saw a compilation",
+                kind.name()
+            );
+            let b = run();
+            assert_eq!(
+                a.completed.total(),
+                b.completed.total(),
+                "policy {} not seed-stable",
+                kind.name()
+            );
+            assert_eq!(a.throttle, b.throttle, "policy {} stats drift", kind.name());
+        }
+    }
+
+    #[test]
+    fn feedback_policies_admit_under_pressure_without_wedging() {
+        // The PID and cost-based policies must keep making progress on a
+        // multi-class, heavily-loaded run — queues drain, nothing deadlocks.
+        let profiles = profiles();
+        for kind in [
+            crate::config::PolicyKind::Pid,
+            crate::config::PolicyKind::CostBased,
+        ] {
+            let mut cfg = ServerConfig::quick(16, true).with_standard_classes();
+            cfg.policy = kind;
+            let metrics = Server::new(cfg, profiles.clone()).run();
+            for class in &metrics.classes {
+                assert!(
+                    class.completed > 0,
+                    "policy {} starved class {}",
+                    kind.name(),
+                    class.name
+                );
+            }
+        }
     }
 }

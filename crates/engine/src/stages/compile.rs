@@ -1,16 +1,16 @@
 //! Stage 1: submission and compilation.
 //!
 //! A submitted query compiles in discrete memory-growth steps; after each
-//! step the accumulated bytes are reported to the query's class gateway
-//! ladder, which answers proceed / wait-at-gateway / finish-best-effort.
-//! Gateway waits are realised as virtual-time timeout events; admission is
-//! signalled by the ladder when a holder releases.
+//! step the accumulated bytes are reported to the query's class admission
+//! policy, which answers proceed / wait / finish-best-effort. Waits are
+//! realised as virtual-time timeout events; admission is signalled by the
+//! policy when a holder releases.
 
 use super::{Query, QueryLifecycle};
 use crate::metrics::FailureKind;
 use crate::server::{Event, PlanKey, Server};
 use crate::trace::TraceEvent;
-use throttledb_core::LadderDecision;
+use throttledb_governor::{PolicyDecision, PolicySignals};
 
 impl Server {
     /// A client submits its next query: choose a template, uniquify its
@@ -60,7 +60,7 @@ impl Server {
                 class,
                 template,
                 profile,
-                task: self.classes[class].ladder.begin_task(),
+                task: self.classes[class].policy.begin(),
                 compile_step: self.config.compile_steps,
                 compile_bytes: 0,
                 lifecycle: QueryLifecycle::Compiling,
@@ -75,7 +75,7 @@ impl Server {
             return;
         }
 
-        let task = self.classes[class].ladder.begin_task();
+        let task = self.classes[class].policy.begin();
         self.task_to_query.insert((class, task), id);
         self.queries.insert(
             id,
@@ -126,11 +126,17 @@ impl Server {
         self.compile_clerk.allocate(delta);
         self.record_compile_gauge();
 
+        // Cost-based policies reserve against the template's compile
+        // profile rather than the bytes committed so far.
+        let signals = PolicySignals {
+            estimated_peak_bytes: profile.peak_compile_bytes,
+            estimated_cpu_seconds: profile.compile_cpu_seconds,
+        };
         match self.classes[class]
-            .ladder
-            .report_memory(task, bytes, self.now)
+            .policy
+            .report(task, bytes, &signals, self.now)
         {
-            LadderDecision::Proceed => {
+            PolicyDecision::Proceed => {
                 if step >= self.config.compile_steps {
                     self.finish_compile(id);
                 } else {
@@ -139,7 +145,7 @@ impl Server {
                         .schedule(self.now + d, Event::CompileStep { query: id });
                 }
             }
-            LadderDecision::Wait { level, timeout } => {
+            PolicyDecision::Wait { level, timeout } => {
                 if let Some(q) = self.queries.get_mut(&id) {
                     q.lifecycle
                         .advance(QueryLifecycle::WaitingAtGateway { level });
@@ -155,7 +161,7 @@ impl Server {
                     Event::CompileTimeout { query: id, level },
                 );
             }
-            LadderDecision::FinishBestEffort => {
+            PolicyDecision::FinishBestEffort => {
                 self.metrics.best_effort_plans += 1;
                 self.classes[class].best_effort_plans += 1;
                 self.trace_push(TraceEvent::BestEffort {
@@ -179,7 +185,7 @@ impl Server {
             return;
         }
         if let Some(q) = self.queries.get(&id) {
-            self.classes[q.class].ladder.timeout_task(q.task, self.now);
+            self.classes[q.class].policy.timeout(q.task, self.now);
         }
         self.fail_query(id, FailureKind::CompileTimeout);
     }
@@ -199,7 +205,7 @@ impl Server {
             q.compile_bytes = 0;
         }
         self.task_to_query.remove(&(class, task));
-        self.finish_ladder_task(class, task);
+        self.finish_policy_task(class, task);
         self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
 
         // Cache the plan (uniquified submissions mean this rarely helps —

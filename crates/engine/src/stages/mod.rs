@@ -20,13 +20,14 @@ pub mod compile;
 pub mod execute;
 pub mod grant;
 
-use crate::config::WorkloadClassConfig;
+use crate::config::{PolicyKind, WorkloadClassConfig};
 use crate::metrics::FailureKind;
 use crate::profile::CompileProfile;
 use crate::server::Server;
 use crate::trace::TraceEvent;
-use throttledb_core::{GatewayLadder, TaskId, ThrottleConfig};
+use throttledb_core::{GatewayLadder, ThrottleConfig};
 use throttledb_executor::{GrantManager, GrantRequestId};
+use throttledb_governor::{CostPolicy, PidPolicy, Policy};
 use throttledb_membroker::{Clerk, SubcomponentKind};
 
 /// Where a query currently is in the compile → grant → execute pipeline.
@@ -95,7 +96,8 @@ pub(crate) struct Query {
     /// profile table and plan cache key on it directly).
     pub template: throttledb_workload::TemplateId,
     pub profile: CompileProfile,
-    pub task: TaskId,
+    /// The task handle issued by the class's admission policy.
+    pub task: u64,
     pub compile_step: u32,
     pub compile_bytes: u64,
     pub lifecycle: QueryLifecycle,
@@ -106,8 +108,9 @@ pub(crate) struct Query {
 /// Runtime state of one workload class: its admission pools plus counters.
 pub(crate) struct ClassRuntime {
     pub spec: WorkloadClassConfig,
-    /// This class's gateway ladder (thresholds scaled per the spec).
-    pub ladder: GatewayLadder,
+    /// This class's admission policy (gateway ladder, PID controller, or
+    /// cost-based reservation — per [`PolicyKind`]).
+    pub policy: Box<dyn Policy>,
     /// This class's execution memory-grant pool.
     pub grants: GrantManager,
     pub completed: u64,
@@ -117,23 +120,56 @@ pub(crate) struct ClassRuntime {
 }
 
 impl ClassRuntime {
-    /// Build the runtime for `spec`: a ladder over the scaled thresholds
-    /// and a grant pool over this class's slice of the execution budget,
-    /// reporting to the shared execution clerk.
+    /// Build the runtime for `spec`: an admission policy of `kind` over the
+    /// scaled throttle parameters and a grant pool over this class's slice
+    /// of the execution budget, reporting to the shared execution clerk.
+    ///
+    /// A disabled throttle always runs the (inert) ladder regardless of
+    /// `kind`, so `throttle.enabled = false` means "no admission control"
+    /// under every policy — and stats keep the monitor-count shape the
+    /// metrics layer expects (see [`PolicyKind::levels`]).
+    ///
+    /// `compile_budget` is this class's slice of the broker's compilation
+    /// target (already share-scaled by the caller); only the cost-based
+    /// policy consumes it.
     pub fn new(
         spec: WorkloadClassConfig,
         base_throttle: &ThrottleConfig,
         exec_budget: u64,
         exec_clerk: &Clerk,
+        kind: PolicyKind,
+        compile_budget: u64,
     ) -> Self {
-        let ladder = GatewayLadder::new(spec.scaled_throttle(base_throttle));
+        let throttle = spec.scaled_throttle(base_throttle);
+        let wait_timeout = throttle
+            .monitors
+            .first()
+            .map(|m| m.timeout)
+            .unwrap_or_default();
+        let policy: Box<dyn Policy> = if !throttle.enabled {
+            Box::new(GatewayLadder::new(throttle))
+        } else {
+            match kind {
+                PolicyKind::Ladder => Box::new(GatewayLadder::new(throttle)),
+                PolicyKind::Pid => Box::new(PidPolicy::new(
+                    throttle.cpus,
+                    throttle.exempt_bytes,
+                    wait_timeout,
+                )),
+                PolicyKind::CostBased => Box::new(CostPolicy::new(
+                    compile_budget,
+                    throttle.exempt_bytes,
+                    wait_timeout,
+                )),
+            }
+        };
         let grants = GrantManager::new(
             scaled_budget(exec_budget, spec.grant_fraction),
             Some(exec_clerk.clone()),
         );
         ClassRuntime {
             spec,
-            ladder,
+            policy,
             grants,
             completed: 0,
             completed_after_warmup: 0,
@@ -153,9 +189,9 @@ pub(crate) fn scaled_budget(budget: u64, fraction: f64) -> u64 {
 }
 
 impl Server {
-    /// Resume ladder waiters of `class` admitted by a release: unblock each
-    /// query and schedule its next compile step immediately.
-    pub(crate) fn resume_tasks(&mut self, class: usize, resumed: &[TaskId]) {
+    /// Resume admission waiters of `class` admitted by a release: unblock
+    /// each query and schedule its next compile step immediately.
+    pub(crate) fn resume_tasks(&mut self, class: usize, resumed: &[u64]) {
         for &task in resumed {
             if let Some(&qid) = self.task_to_query.get(&(class, task)) {
                 if let Some(q) = self.queries.get_mut(&qid) {
@@ -168,15 +204,15 @@ impl Server {
         }
     }
 
-    /// Release the ladder holdings of `(class, task)` and resume every
-    /// admitted waiter, recycling the server's scratch buffer so the
+    /// Release the admission-policy holdings of `(class, task)` and resume
+    /// every admitted waiter, recycling the server's scratch buffer so the
     /// per-query release path does not allocate.
-    pub(crate) fn finish_ladder_task(&mut self, class: usize, task: TaskId) {
+    pub(crate) fn finish_policy_task(&mut self, class: usize, task: u64) {
         let mut resumed = std::mem::take(&mut self.scratch_resumed);
         resumed.clear();
         self.classes[class]
-            .ladder
-            .finish_task_into(task, self.now, &mut resumed);
+            .policy
+            .finish_into(task, self.now, &mut resumed);
         self.resume_tasks(class, &resumed);
         self.scratch_resumed = resumed;
     }
@@ -206,7 +242,7 @@ impl Server {
         if q.lifecycle.is_compiling() {
             self.running_cpu_tasks = self.running_cpu_tasks.saturating_sub(1);
         }
-        self.finish_ladder_task(q.class, q.task);
+        self.finish_policy_task(q.class, q.task);
         if let Some(grant_id) = q.grant_id {
             self.grant_to_query.remove(&(q.class, grant_id));
             self.release_grant(q.class, grant_id);
@@ -222,9 +258,10 @@ impl Server {
         self.schedule_submit(q.client, delay);
     }
 
-    /// Broker housekeeping: recalculate, refresh every class ladder's
-    /// dynamic-threshold target, redistribute the execution budget over the
-    /// class grant pools, and squeeze the plan cache under pressure.
+    /// Broker housekeeping: recalculate, tick every class admission policy
+    /// (dynamic-threshold target, memory-pressure trend), redistribute the
+    /// execution budget over the class grant pools, and squeeze the plan
+    /// cache under pressure.
     pub(crate) fn on_broker_tick(&mut self) {
         let decisions = self.broker.recalculate(self.now);
         let constrained = decisions
@@ -236,21 +273,36 @@ impl Server {
             None
         };
         let exec_target = self.broker.target_for_kind(SubcomponentKind::Execution);
+        // The broker's memory-pressure trend signal: predicted compilation
+        // demand over the recalculation horizon, relative to the kind's
+        // target. >1 means the sampled trend overshoots the entitlement —
+        // feedback policies tighten before the memory is actually committed.
+        let compile_goal = self.broker.target_for_kind(SubcomponentKind::Compilation);
+        let pressure = self.broker.predicted_by_kind(SubcomponentKind::Compilation) as f64
+            / compile_goal.max(1) as f64;
         // Each class throttles independently on its own compilation counts,
         // so the broker's compilation target must be split across classes
-        // (by normalized client share) — handing every ladder the full
+        // (by normalized client share) — handing every policy the full
         // target would let N classes admit N× the intended memory.
         let total_share: f64 = self.classes.iter().map(|c| c.spec.client_share).sum();
-        for class in &mut self.classes {
+        let mut resumed = std::mem::take(&mut self.scratch_resumed);
+        for idx in 0..self.classes.len() {
+            let class = &mut self.classes[idx];
             let share = class.spec.client_share / total_share;
-            class
-                .ladder
-                .set_compilation_target(compile_target.map(|t| scaled_budget(t, share)));
+            resumed.clear();
+            class.policy.tick(
+                self.now,
+                compile_target.map(|t| scaled_budget(t, share)),
+                pressure,
+                &mut resumed,
+            );
             class.grants.set_budget(scaled_budget(
                 scaled_budget(exec_target, class.spec.grant_fraction),
                 self.grant_budget_scale,
             ));
+            self.resume_tasks(idx, &resumed);
         }
+        self.scratch_resumed = resumed;
         // The plan cache responds to pressure by shrinking toward its target.
         if let Some(target) = decisions
             .iter()

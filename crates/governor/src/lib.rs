@@ -19,6 +19,12 @@
 //! * [`ResourcePool`] — a budgeted pool (budget + queue + [`PoolStats`])
 //!   used by the execution grant manager and by the engine's per-class
 //!   workload pools.
+//! * [`Policy`] — the pluggable compilation-admission policy interface,
+//!   with a PID feedback controller ([`PidPolicy`]) and a cost-based
+//!   planner ([`CostPolicy`]); the paper's gateway ladder implements the
+//!   trait in `throttledb-core`.
+//! * [`ThrottleStats`] — the admission counters every policy reports
+//!   through (formerly private to the core crate's ladder).
 //!
 //! Layering: this crate depends only on `throttledb-sim` (virtual time and
 //! histograms); `throttledb-core`, `throttledb-executor`,
@@ -28,9 +34,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod decision;
+pub mod policy;
 pub mod pool;
 pub mod queue;
+pub mod stats;
 
 pub use decision::AdmissionDecision;
+pub use policy::{CostPolicy, PidPolicy, Policy, PolicyDecision, PolicySignals};
 pub use pool::{PoolStats, ResourcePool};
 pub use queue::{WaitQueue, Waiter, WaiterKey};
+pub use stats::ThrottleStats;

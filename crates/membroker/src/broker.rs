@@ -110,6 +110,26 @@ impl MemoryBroker {
             .sum()
     }
 
+    /// Trend-predicted near-future usage for one subcomponent kind, summed
+    /// over its clerks: each clerk's usage extrapolated
+    /// [`BrokerConfig::prediction_horizon`](crate::config::BrokerConfig)
+    /// ahead along the trend sampled by the last
+    /// [`MemoryBroker::recalculate`] (live usage when no trend exists yet).
+    ///
+    /// The engine's PID admission policy divides this by
+    /// [`MemoryBroker::target_for_kind`] to obtain the predicted-pressure
+    /// signal it servos on.
+    pub fn predicted_by_kind(&self, kind: SubcomponentKind) -> u64 {
+        let horizon = self.config.prediction_horizon;
+        let inner = self.inner.lock();
+        inner
+            .accounts
+            .iter()
+            .filter(|a| a.clerk().kind() == kind)
+            .map(|a| a.predict(horizon))
+            .sum()
+    }
+
     /// Bytes still available before hitting the brokered limit (saturating).
     pub fn available_bytes(&self) -> u64 {
         self.config
@@ -478,6 +498,30 @@ mod tests {
         b.recalculate(SimTime::from_secs(1));
         let t = b.target_for_kind(SubcomponentKind::Compilation);
         assert_eq!(Some(t), compile.target_bytes());
+    }
+
+    #[test]
+    fn predicted_by_kind_extrapolates_the_sampled_trend() {
+        let b = broker(4 * GB);
+        let compile = b.register(SubcomponentKind::Compilation);
+        let _pool = b.register(SubcomponentKind::BufferPool);
+        // With no samples yet, prediction falls back to live usage.
+        compile.allocate(100 * MB);
+        assert_eq!(b.predicted_by_kind(SubcomponentKind::Compilation), 100 * MB);
+        // Grow 50 MB/s across recalculations: the prediction must run ahead
+        // of live usage along the trend.
+        for s in 1..=4u64 {
+            b.recalculate(SimTime::from_secs(s));
+            compile.allocate(50 * MB);
+        }
+        let live = b.used_by_kind(SubcomponentKind::Compilation);
+        let predicted = b.predicted_by_kind(SubcomponentKind::Compilation);
+        assert!(
+            predicted > live,
+            "prediction {predicted} should exceed live {live} on a growth trend"
+        );
+        // Other kinds are excluded from the sum.
+        assert_eq!(b.predicted_by_kind(SubcomponentKind::Execution), 0);
     }
 
     #[test]

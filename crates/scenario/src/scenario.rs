@@ -14,7 +14,7 @@
 
 use crate::phase::Phase;
 use serde::{Deserialize, Serialize};
-use throttledb_engine::{ServerConfig, WorkloadClassConfig};
+use throttledb_engine::{PolicyKind, ServerConfig, WorkloadClassConfig};
 use throttledb_sim::SimDuration;
 use throttledb_workload::WorkloadMix;
 
@@ -84,6 +84,13 @@ impl Scenario {
     /// Replace the RNG seed (every other setting untouched).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.base.seed = seed;
+        self
+    }
+
+    /// Replace the admission policy (every other setting untouched), so any
+    /// built-in scenario can run under any [`PolicyKind`].
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.base.policy = policy;
         self
     }
 
@@ -409,5 +416,16 @@ mod tests {
         let b = Scenario::compile_storm(Scale::Quick).with_seed(99);
         assert_eq!(b.base.seed, 99);
         assert_eq!(a.phases, b.phases);
+    }
+
+    #[test]
+    fn with_policy_reaches_the_runtime_config() {
+        let a = Scenario::compile_storm(Scale::Quick);
+        assert_eq!(a.base.policy, PolicyKind::Ladder, "ladder is the default");
+        for kind in PolicyKind::all() {
+            let s = Scenario::compile_storm(Scale::Quick).with_policy(kind);
+            assert_eq!(s.runtime_config().policy, kind);
+            assert_eq!(a.phases, s.phases, "policy must not perturb the phases");
+        }
     }
 }

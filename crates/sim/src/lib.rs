@@ -41,4 +41,4 @@ pub use clock::{SimDuration, SimTime};
 pub use events::{EventId, EventQueue, HeapEventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use series::{GaugeTimeline, TimeSeries};
-pub use stats::{Histogram, Summary};
+pub use stats::{Histogram, Running, Summary};

@@ -9,21 +9,50 @@ use crate::clock::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 /// Counts events into fixed-width time buckets ("slices" in the paper).
+///
+/// The bucket vector is bounded: events at or beyond bucket
+/// `max_buckets` fold into a single saturating overflow bucket instead of
+/// growing the vector (an event near [`SimTime::MAX`] — e.g. a timeout
+/// scheduled with a saturating deadline — would otherwise demand an
+/// astronomical allocation and abort the process).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TimeSeries {
     bucket_width: SimDuration,
     buckets: Vec<u64>,
     name: String,
+    /// Largest number of in-range buckets the vector may grow to.
+    max_buckets: usize,
+    /// Events recorded at or beyond `max_buckets · bucket_width`
+    /// (saturating).
+    overflow: u64,
 }
 
+/// Default cap on the bucket vector: at one-hour slices this covers about
+/// 120 years of virtual time; at one-second slices, about 12 days.
+const DEFAULT_MAX_BUCKETS: usize = 1 << 20;
+
 impl TimeSeries {
-    /// Create a series with buckets of `bucket_width`.
+    /// Create a series with buckets of `bucket_width` and the default
+    /// bucket cap.
     pub fn new(name: impl Into<String>, bucket_width: SimDuration) -> Self {
+        Self::with_max_buckets(name, bucket_width, DEFAULT_MAX_BUCKETS)
+    }
+
+    /// Create a series capped at `max_buckets` in-range buckets; later
+    /// events fold into the saturating [`TimeSeries::overflow`] bucket.
+    pub fn with_max_buckets(
+        name: impl Into<String>,
+        bucket_width: SimDuration,
+        max_buckets: usize,
+    ) -> Self {
         assert!(!bucket_width.is_zero(), "bucket width must be positive");
+        assert!(max_buckets > 0, "need at least one bucket");
         TimeSeries {
             bucket_width,
             buckets: Vec::new(),
             name: name.into(),
+            max_buckets,
+            overflow: 0,
         }
     }
 
@@ -42,23 +71,41 @@ impl TimeSeries {
         self.record_n(t, 1);
     }
 
-    /// Record `n` events at time `t`.
+    /// Record `n` events at time `t`. Events past the bucket cap land in
+    /// the saturating overflow bucket.
     pub fn record_n(&mut self, t: SimTime, n: u64) {
         let idx = (t.as_micros() / self.bucket_width.as_micros()) as usize;
+        if idx >= self.max_buckets {
+            self.overflow = self.overflow.saturating_add(n);
+            return;
+        }
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
         self.buckets[idx] += n;
     }
 
-    /// Number of buckets with data (including interior zero buckets).
+    /// Number of in-range buckets with data (including interior zero
+    /// buckets; the overflow bucket is not counted).
     pub fn len(&self) -> usize {
         self.buckets.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing has been recorded (overflow included).
     pub fn is_empty(&self) -> bool {
-        self.buckets.is_empty()
+        self.buckets.is_empty() && self.overflow == 0
+    }
+
+    /// The configured cap on in-range buckets.
+    pub fn max_buckets(&self) -> usize {
+        self.max_buckets
+    }
+
+    /// Events recorded at or beyond the bucket cap (saturating). These are
+    /// excluded from [`TimeSeries::iter`] and the per-bucket means but are
+    /// part of [`TimeSeries::total`].
+    pub fn overflow(&self) -> u64 {
+        self.overflow
     }
 
     /// The count in bucket `idx` (0 if past the end).
@@ -66,7 +113,9 @@ impl TimeSeries {
         self.buckets.get(idx).copied().unwrap_or(0)
     }
 
-    /// Iterate `(bucket_start_time, count)` pairs.
+    /// Iterate `(bucket_start_time, count)` pairs over the in-range
+    /// buckets (the overflow bucket has no single start time and is
+    /// excluded; read it via [`TimeSeries::overflow`]).
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
         let w = self.bucket_width;
         self.buckets
@@ -75,21 +124,33 @@ impl TimeSeries {
             .map(move |(i, c)| (SimTime::from_micros(i as u64 * w.as_micros()), *c))
     }
 
-    /// Total events across all buckets.
+    /// Total events across all buckets, overflow included (saturating).
     pub fn total(&self) -> u64 {
-        self.buckets.iter().sum()
+        self.buckets
+            .iter()
+            .sum::<u64>()
+            .saturating_add(self.overflow)
     }
 
     /// Total events recorded at or after `from` (used to drop the warm-up
-    /// period, as the paper does).
+    /// period, as the paper does). Overflow events all lie at or beyond the
+    /// bucket cap, so they count whenever `from` is at or below it.
     pub fn total_from(&self, from: SimTime) -> u64 {
-        self.iter()
+        let in_range: u64 = self
+            .iter()
             .filter(|(t, _)| *t >= from)
             .map(|(_, c)| c)
-            .sum()
+            .sum();
+        let cap_start = (self.max_buckets as u64).saturating_mul(self.bucket_width.as_micros());
+        if from.as_micros() <= cap_start {
+            in_range + self.overflow
+        } else {
+            in_range
+        }
     }
 
-    /// Mean events per bucket over buckets starting at or after `from`.
+    /// Mean events per bucket over in-range buckets starting at or after
+    /// `from` (the overflow bucket is excluded: it has no defined width).
     /// Accumulates in one streaming pass (no intermediate vector).
     pub fn mean_per_bucket_from(&self, from: SimTime) -> f64 {
         let (mut sum, mut buckets) = (0u64, 0u64);
@@ -257,7 +318,44 @@ mod tests {
         assert!(s.is_empty());
         assert_eq!(s.total(), 0);
         assert_eq!(s.bucket(3), 0);
+        assert_eq!(s.overflow(), 0);
         assert_eq!(s.mean_per_bucket_from(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn far_future_event_folds_into_overflow() {
+        // Regression: recording at SimTime::MAX used to resize the bucket
+        // vector to ~5·10¹² entries and abort the process.
+        let mut s = TimeSeries::new("completed", slice());
+        s.record(SimTime::from_secs(10));
+        s.record(SimTime::MAX);
+        assert_eq!(s.overflow(), 1);
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.len(), 1, "only the in-range bucket materializes");
+        assert_eq!(s.total_from(SimTime::ZERO), 2);
+        // The overflow bucket has no width, so per-bucket means skip it.
+        assert_eq!(s.mean_per_bucket_from(SimTime::ZERO), 1.0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn overflow_saturates_and_respects_custom_cap() {
+        let mut s = TimeSeries::with_max_buckets("x", SimDuration::from_secs(10), 2);
+        assert_eq!(s.max_buckets(), 2);
+        s.record(SimTime::from_secs(5)); // bucket 0
+        s.record(SimTime::from_secs(15)); // bucket 1
+        s.record(SimTime::from_secs(25)); // bucket 2 -> overflow
+        s.record_n(SimTime::from_secs(99), u64::MAX); // saturates
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.overflow(), u64::MAX);
+        assert_eq!(s.bucket(0), 1);
+        assert_eq!(s.bucket(1), 1);
+        // total saturates rather than wrapping past u64::MAX.
+        assert_eq!(s.total(), u64::MAX);
+        // `from` at the cap start (2 buckets · 10 s = 20 s) drops the two
+        // in-range buckets but keeps the overflow, which lies at or beyond
+        // the cap.
+        assert_eq!(s.total_from(SimTime::from_secs(20)), u64::MAX);
     }
 
     #[test]

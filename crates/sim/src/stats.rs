@@ -79,11 +79,19 @@ impl Histogram {
 
     /// Approximate percentile (p in \[0,100\]) using the bucket upper bounds.
     /// Accuracy is within a factor of two, which is sufficient for the
-    /// order-of-magnitude comparisons the paper makes.
+    /// order-of-magnitude comparisons the paper makes. The extremes are
+    /// exact: p = 0 returns the tracked minimum and p = 100 the tracked
+    /// maximum (the buckets only bound them from above).
     pub fn percentile(&self, p: f64) -> u64 {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
         if self.count == 0 {
             return 0;
+        }
+        if p == 0.0 {
+            return self.min();
+        }
+        if p == 100.0 {
+            return self.max();
         }
         let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut acc = 0;
@@ -144,11 +152,18 @@ pub struct Summary {
 }
 
 /// Welford-style running mean/variance for floating point series (used for
-/// run-to-run comparisons in the experiment harness).
+/// run-to-run comparisons in the experiment harness and for cross-seed
+/// aggregation in the policy sweeps).
+///
+/// The accumulator is **mergeable**: [`Running::merge`] combines two
+/// independently accumulated streams via the pairwise m2 combination, and
+/// the mean is kept as an exact running sum so that merging partitions of a
+/// stream reproduces the single-stream mean bit-for-bit whenever the sums
+/// are exactly representable (e.g. integer-valued samples).
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct Running {
     n: u64,
-    mean: f64,
+    sum: f64,
     m2: f64,
 }
 
@@ -160,10 +175,28 @@ impl Running {
 
     /// Add a sample.
     pub fn push(&mut self, x: f64) {
+        let mean_old = self.mean();
         self.n += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.n as f64;
-        self.m2 += delta * (x - self.mean);
+        self.sum += x;
+        let mean_new = self.sum / self.n as f64;
+        self.m2 += (x - mean_old) * (x - mean_new);
+    }
+
+    /// Merge another accumulator into this one (Chan et al.'s pairwise
+    /// update: `m2 = m2a + m2b + delta² · na·nb / n`).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean() - self.mean();
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.sum += other.sum;
+        self.n = n;
     }
 
     /// Number of samples.
@@ -176,7 +209,7 @@ impl Running {
         if self.n == 0 {
             0.0
         } else {
-            self.mean
+            self.sum / self.n as f64
         }
     }
 
@@ -192,6 +225,23 @@ impl Running {
     /// Sample standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
+    }
+
+    /// Half-width of the two-sided 95% confidence interval for the mean
+    /// (Student's t for n − 1 ≤ 30 degrees of freedom, the normal 1.96
+    /// beyond). Zero with fewer than two samples.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        const T95: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = (self.n - 1) as usize;
+        let t = if df <= T95.len() { T95[df - 1] } else { 1.96 };
+        t * (self.variance() / self.n as f64).sqrt()
     }
 }
 
@@ -277,5 +327,93 @@ mod tests {
         let r = Running::new();
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn percentile_extremes_are_exact() {
+        let mut h = Histogram::new("x");
+        for v in [3u64, 100, 999_999] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 3, "p0 must be the tracked minimum");
+        assert_eq!(h.percentile(100.0), 999_999, "p100 the tracked maximum");
+    }
+
+    #[test]
+    fn extreme_values_land_in_valid_buckets() {
+        let mut h = Histogram::new("x");
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        // Interior percentiles stay bucket-approximate but in range.
+        assert!(h.percentile(50.0) >= 1);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (0, u64::MAX));
+    }
+
+    #[test]
+    fn percentile_zero_of_single_zero_value() {
+        let mut h = Histogram::new("x");
+        h.record(0);
+        // The old bucket walk returned bucket 1's upper bound (1) here.
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn running_merge_matches_single_stream() {
+        // Integer-valued samples make the running sums exact, so the merged
+        // mean must equal the single-stream mean bit-for-bit.
+        let samples: Vec<f64> = (0..40).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut single = Running::new();
+        for &x in &samples {
+            single.push(x);
+        }
+        for split in [1usize, 7, 20, 39] {
+            let (left, right) = samples.split_at(split);
+            let mut a = Running::new();
+            let mut b = Running::new();
+            left.iter().for_each(|&x| a.push(x));
+            right.iter().for_each(|&x| b.push(x));
+            a.merge(&b);
+            assert_eq!(a.count(), single.count());
+            assert_eq!(a.mean().to_bits(), single.mean().to_bits(), "split {split}");
+            let rel = (a.variance() - single.variance()).abs() / single.variance();
+            assert!(rel < 1e-9, "split {split}: relative variance error {rel}");
+        }
+    }
+
+    #[test]
+    fn running_merge_with_empty_is_identity() {
+        let mut a = Running::new();
+        a.push(5.0);
+        a.push(7.0);
+        let before = a;
+        a.merge(&Running::new());
+        assert_eq!(a.mean().to_bits(), before.mean().to_bits());
+        let mut empty = Running::new();
+        empty.merge(&before);
+        assert_eq!(empty.count(), 2);
+        assert_eq!(empty.mean().to_bits(), before.mean().to_bits());
+    }
+
+    #[test]
+    fn ci95_half_width_shrinks_with_samples() {
+        let mut small = Running::new();
+        let mut large = Running::new();
+        for i in 0..5 {
+            small.push((i % 2) as f64);
+        }
+        for i in 0..50 {
+            large.push((i % 2) as f64);
+        }
+        assert!(small.ci95_half_width() > 0.0);
+        assert!(large.ci95_half_width() < small.ci95_half_width());
     }
 }

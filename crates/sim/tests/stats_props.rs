@@ -1,0 +1,127 @@
+//! Property tests for `throttledb_sim::stats` against brute-force oracles.
+//!
+//! The histogram is checked against a sorted-`Vec` oracle: exact statistics
+//! (count/sum/min/max, the p = 0 and p = 100 extremes) must match the oracle
+//! exactly, and interior percentiles must bracket the oracle's exact
+//! quantile within one power-of-two bucket. The mergeable Welford
+//! accumulator is checked differentially: merging partitions of a stream
+//! must reproduce the single-stream accumulation bit-for-bit on the mean
+//! (for exactly representable sums) and within 1e-9 relative on variance.
+
+use proptest::prelude::*;
+use throttledb_sim::{Histogram, Summary};
+
+/// The exact quantile the histogram approximates: the `target`-th smallest
+/// sample where `target = ceil(p/100 · n).max(1)` (the same rank rule the
+/// bucket walk uses).
+fn oracle_percentile(sorted: &[u64], p: f64) -> u64 {
+    let target = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[target.min(sorted.len()) - 1]
+}
+
+fn build(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new("prop");
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn exact_stats_match_oracle(values in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = build(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn percentile_extremes_match_oracle(values in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.percentile(0.0), sorted[0]);
+        prop_assert_eq!(h.percentile(100.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn interior_percentile_brackets_oracle(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        p in 1.0f64..99.0,
+    ) {
+        let h = build(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = oracle_percentile(&sorted, p);
+        let approx = h.percentile(p);
+        // The bucket walk returns the power-of-two upper bound of the bucket
+        // holding the target rank, so it can never undershoot the exact
+        // quantile and overshoots by at most one bucket (a factor of two;
+        // values ≤ 1 share the bucket with upper bound 2).
+        prop_assert!(approx >= exact, "p{p}: approx {approx} < exact {exact}");
+        let ceiling = (exact as u128 * 2).max(2);
+        prop_assert!(
+            approx as u128 <= ceiling,
+            "p{p}: approx {approx} above one-bucket ceiling {ceiling} (exact {exact})"
+        );
+    }
+
+    #[test]
+    fn merge_equals_single_stream_recording(
+        values in proptest::collection::vec(0u64..1_000_000_000, 2..200),
+        split_seed in 0u64..1_000_000,
+    ) {
+        let split = 1 + (split_seed as usize) % (values.len() - 1);
+        let (left, right) = values.split_at(split);
+        let mut merged = build(left);
+        merged.merge(&build(right));
+        let whole = build(&values);
+        // `Histogram` derives `PartialEq`, so this compares buckets, count,
+        // sum, min and max all at once.
+        prop_assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn summary_is_consistent_with_accessors(values in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let h = build(&values);
+        let s: Summary = h.summary();
+        prop_assert_eq!(s.count, h.count());
+        prop_assert_eq!(s.min, h.min());
+        prop_assert_eq!(s.max, h.max());
+        prop_assert_eq!(s.p50, h.percentile(50.0));
+        prop_assert_eq!(s.p99, h.percentile(99.0));
+        prop_assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "percentiles must be monotone");
+    }
+
+    #[test]
+    fn running_merge_is_differential_with_single_stream(
+        ints in proptest::collection::vec(0u32..100_000, 2..120),
+        split_seed in 0u64..1_000_000,
+    ) {
+        // Integer-valued f64 samples keep the running sums exactly
+        // representable, so the merged mean must match bit-for-bit.
+        let samples: Vec<f64> = ints.iter().map(|&v| v as f64).collect();
+        let mut single = throttledb_sim::stats::Running::new();
+        for &x in &samples {
+            single.push(x);
+        }
+        let split = 1 + (split_seed as usize) % (samples.len() - 1);
+        let (left, right) = samples.split_at(split);
+        let mut a = throttledb_sim::stats::Running::new();
+        let mut b = throttledb_sim::stats::Running::new();
+        left.iter().for_each(|&x| a.push(x));
+        right.iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), single.count());
+        prop_assert_eq!(a.mean().to_bits(), single.mean().to_bits());
+        let (va, vs) = (a.variance(), single.variance());
+        if vs == 0.0 {
+            prop_assert!(va.abs() < 1e-9, "variance {va} should be ~0");
+        } else {
+            let rel = (va - vs).abs() / vs;
+            prop_assert!(rel < 1e-9, "relative variance error {rel}");
+        }
+    }
+}
