@@ -74,7 +74,29 @@ fn main() -> ExitCode {
     }
 
     // Replay only compares the stored trace against the live per-phase
-    // reports, so it needs no recording of its own.
+    // reports, so it needs no recording of its own — but decode the stored
+    // file up front, so a truncated or corrupted trace is a clean
+    // diagnostic and an immediate nonzero exit, not minutes of simulation
+    // followed by one.
+    let stored = match &replay_in {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read trace from {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Trace::decode(&text) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    eprintln!("error: {path} is not a valid trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let record = trace_out.is_some();
     eprintln!(
         "running scenario {name} ({} phases, {} clients max, {}s simulated)...",
@@ -103,21 +125,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Some(path) = replay_in {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot read trace from {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let stored = match Trace::decode(&text) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: {path} is not a valid trace: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+    if let (Some(path), Some(stored)) = (replay_in, stored) {
         if stored.replay() == outcome.phases {
             println!(
                 "replay: {path} reproduces the live run ({} phases match)",

@@ -19,10 +19,18 @@
 //! (per-cell metrics plus per-(policy, scenario) mean ± 95% CI aggregates
 //! over seeds; fully deterministic, diffable across worker counts).
 //!
+//! `--faults` switches on the resilience laboratory: the chaos scenarios
+//! (default: every fault-injection built-in) run across the policy grid,
+//! and `--resilience-out` receives the `BENCH_resilience.json` scoreboard
+//! (goodput under fault, time to recovery, shed/abandon counters, with the
+//! same mean ± 95% CI aggregation and worker-count invariance).
+//!
 //! Exit codes: 0 success, 1 I/O error, 2 usage error.
 
 use std::process::ExitCode;
-use throttledb_bench::sweep::{run_policy_sweep, run_sweep, PolicySweepSpec, SweepSpec};
+use throttledb_bench::sweep::{
+    run_policy_sweep, run_resilience_sweep, run_sweep, PolicySweepSpec, SweepSpec,
+};
 use throttledb_engine::PolicyKind;
 use throttledb_scenario::{Scale, Scenario};
 
@@ -30,9 +38,11 @@ fn usage() -> ExitCode {
     eprintln!("usage: sweep [--scenarios a,b,...] [--seeds 1,2,...] [--scale quick|paper]");
     eprintln!("             [--workers N] [--out PATH] [--cells-out PATH]");
     eprintln!("             [--policies ladder,pid,cost] [--policies-out PATH]");
+    eprintln!("             [--faults] [--resilience-out PATH]");
     eprintln!("       sweep --list");
     eprintln!("defaults: --scenarios compile_storm --seeds 2007 --scale quick");
     eprintln!("          --workers <available parallelism>");
+    eprintln!("          --faults alone sweeps every chaos scenario across all policies");
     ExitCode::from(2)
 }
 
@@ -48,6 +58,9 @@ fn main() -> ExitCode {
     let mut cells_out = None;
     let mut policies: Option<Vec<PolicyKind>> = None;
     let mut policies_out = None;
+    let mut faults = false;
+    let mut resilience_out = None;
+    let mut scenarios_set = false;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -59,7 +72,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--scenarios" => match iter.next() {
-                Some(list) => scenarios = list.split(',').map(str::to_string).collect(),
+                Some(list) => {
+                    scenarios = list.split(',').map(str::to_string).collect();
+                    scenarios_set = true;
+                }
                 None => return usage(),
             },
             "--seeds" => match iter.next().map(|list| {
@@ -102,8 +118,20 @@ fn main() -> ExitCode {
                 Some(path) => policies_out = Some(path.clone()),
                 None => return usage(),
             },
+            "--faults" => faults = true,
+            "--resilience-out" => match iter.next() {
+                Some(path) => resilience_out = Some(path.clone()),
+                None => return usage(),
+            },
             _ => return usage(),
         }
+    }
+
+    if faults && !scenarios_set {
+        scenarios = Scenario::chaos_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
     }
 
     for name in &scenarios {
@@ -111,6 +139,64 @@ fn main() -> ExitCode {
             eprintln!("unknown scenario {name:?} (try --list)");
             return usage();
         }
+    }
+
+    if faults {
+        let spec = PolicySweepSpec {
+            policies: policies.unwrap_or_else(|| PolicyKind::all().to_vec()),
+            scenarios,
+            seeds,
+            scale,
+            workers,
+        };
+        eprintln!(
+            "resilience grid: {} policy(ies) x {} chaos scenario(s) x {} seed(s) on {} worker(s)...",
+            spec.policies.len(),
+            spec.scenarios.len(),
+            spec.seeds.len(),
+            spec.workers
+        );
+        let outcome = run_resilience_sweep(&spec);
+        println!(
+            "{:<8} {:<26} {:>6} {:>6} {:>5} {:>5} {:>6} {:>10} {:>11}",
+            "policy",
+            "scenario",
+            "seed",
+            "done",
+            "fail",
+            "shed",
+            "aband",
+            "goodput/s",
+            "recovery-s"
+        );
+        for cell in &outcome.cells {
+            println!(
+                "{:<8} {:<26} {:>6} {:>6} {:>5} {:>5} {:>6} {:>10.4} {:>11.0}",
+                cell.policy,
+                cell.scenario,
+                cell.seed,
+                cell.completed,
+                cell.failed,
+                cell.shed,
+                cell.retries_abandoned,
+                cell.goodput_under_fault,
+                cell.time_to_recovery_s,
+            );
+        }
+        println!(
+            "total: {} cells in {:.0} ms on {} worker(s)",
+            outcome.cells.len(),
+            outcome.total_wall_ms,
+            outcome.workers
+        );
+        if let Some(path) = resilience_out {
+            if let Err(e) = std::fs::write(&path, outcome.resilience_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("resilience scoreboard written to {path}");
+        }
+        return ExitCode::SUCCESS;
     }
 
     if let Some(policies) = policies {

@@ -14,10 +14,12 @@
 //!
 //! Directionality is per metric: throughput-like metrics regress when they
 //! *drop* below `baseline * (1 - tolerance)`; latency/failure-like metrics
-//! regress when they *rise* above `baseline * (1 + tolerance)`. Neutral
-//! fields (seeds, event counts, digests) are ignored. A cell present in
-//! the baseline but missing from the current document is a coverage
-//! regression and fails the gate outright.
+//! regress when they *rise* above `baseline * (1 + tolerance)`. Each metric
+//! also carries an absolute slack floor so zero-valued baselines stay
+//! meaningful (a relative band around 0 has zero width). Neutral fields
+//! (seeds, event counts, digests) are ignored. A cell present in the
+//! baseline but missing from the current document is a coverage regression
+//! and fails the gate outright.
 
 use std::fmt::Write as _;
 
@@ -266,16 +268,29 @@ enum Direction {
     LowerIsBetter,
 }
 
-/// The gated metrics and their direction. Fields not listed here are
-/// identity (policy/scenario/seed) or informative (event counts, digests,
-/// wall-clock) and are never gated.
-const METRICS: &[(&str, Direction)] = &[
-    ("completed", Direction::HigherIsBetter),
-    ("throughput_per_slice", Direction::HigherIsBetter),
-    ("failed", Direction::LowerIsBetter),
-    ("p99_wait_us", Direction::LowerIsBetter),
-    ("failure_rate", Direction::LowerIsBetter),
-    ("degrade_rate", Direction::LowerIsBetter),
+/// The gated metrics: direction plus an absolute slack floor. Fields not
+/// listed here are identity (policy/scenario/seed) or informative (event
+/// counts, digests, wall-clock) and are never gated.
+///
+/// The floor is what makes zero-valued baselines meaningful: a purely
+/// relative band around 0 has zero width, so a lower-is-better metric at
+/// 0.0 would flag any noise-scale increase (and a higher-is-better one
+/// could never flag at all). The effective slack is
+/// `max(tolerance * |baseline|, floor)` — floors are sized to each
+/// metric's noise scale, well below any real regression.
+const METRICS: &[(&str, Direction, f64)] = &[
+    ("completed", Direction::HigherIsBetter, 1.0),
+    ("throughput_per_slice", Direction::HigherIsBetter, 0.5),
+    ("failed", Direction::LowerIsBetter, 1.0),
+    ("p99_wait_us", Direction::LowerIsBetter, 1000.0),
+    ("failure_rate", Direction::LowerIsBetter, 0.01),
+    ("degrade_rate", Direction::LowerIsBetter, 0.01),
+    // Resilience metrics (BENCH_resilience.json).
+    ("goodput_under_fault", Direction::HigherIsBetter, 0.002),
+    ("time_to_recovery_s", Direction::LowerIsBetter, 60.0),
+    ("shed", Direction::LowerIsBetter, 2.0),
+    ("retries_abandoned", Direction::LowerIsBetter, 2.0),
+    ("breaker_transitions", Direction::LowerIsBetter, 2.0),
 ];
 
 /// One extracted (cell-or-aggregate, metric) observation.
@@ -325,7 +340,7 @@ pub fn extract(doc: &Value) -> Vec<MetricEntry> {
         };
         for obj in items {
             let key = entry_key(obj, kind);
-            for &(metric, _) in METRICS {
+            for &(metric, _, _) in METRICS {
                 let value = match obj.get(metric) {
                     Some(v @ Value::Obj(_)) => v.get("mean").and_then(Value::as_f64),
                     Some(v) => v.as_f64(),
@@ -344,11 +359,11 @@ pub fn extract(doc: &Value) -> Vec<MetricEntry> {
     entries
 }
 
-fn direction_of(metric: &str) -> Direction {
+fn direction_and_floor_of(metric: &str) -> (Direction, f64) {
     METRICS
         .iter()
-        .find(|(m, _)| *m == metric)
-        .map(|&(_, d)| d)
+        .find(|(m, _, _)| *m == metric)
+        .map(|&(_, d, floor)| (d, floor))
         .expect("extract only yields gated metrics")
 }
 
@@ -372,10 +387,13 @@ pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Vec<Regress
             });
             continue;
         };
-        // An absolute epsilon keeps near-zero baselines (rates of 0.0)
-        // from tripping on harmless noise-scale increases.
-        let slack = tolerance * base.value.abs() + 1e-9;
-        let regressed = match direction_of(base.metric) {
+        // The per-metric floor keeps zero and near-zero baselines honest:
+        // the relative band collapses there, so without it a
+        // lower-is-better metric at 0.0 trips on any noise-scale uptick
+        // while a higher-is-better one can never trip at all.
+        let (direction, floor) = direction_and_floor_of(base.metric);
+        let slack = (tolerance * base.value.abs()).max(floor);
+        let regressed = match direction {
             Direction::HigherIsBetter => cur.value < base.value - slack,
             Direction::LowerIsBetter => cur.value > base.value + slack,
         };
@@ -417,12 +435,19 @@ pub fn self_test() -> Result<(), String> {
   "cells": [
     {"policy": "ladder", "scenario": "compile_storm", "seed": 2007,
      "completed": 1000, "failed": 10, "p99_wait_us": 50000,
-     "throughput_per_slice": 120.5}
+     "throughput_per_slice": 120.5},
+    {"policy": "ladder", "scenario": "retry_storm", "seed": 2007,
+     "completed": 400, "failed": 30, "shed": 0,
+     "retries_abandoned": 5, "breaker_transitions": 4,
+     "goodput_under_fault": 0.02, "time_to_recovery_s": 600.0}
   ],
   "aggregates": [
     {"policy": "ladder", "scenario": "compile_storm", "seeds": 5,
      "throughput_per_slice": {"mean": 118.0, "ci95": 4.0},
-     "failure_rate": {"mean": 0.01, "ci95": 0.002}}
+     "failure_rate": {"mean": 0.01, "ci95": 0.002}},
+    {"policy": "ladder", "scenario": "retry_storm", "seeds": 5,
+     "goodput_under_fault": {"mean": 0.018, "ci95": 0.003},
+     "time_to_recovery_s": {"mean": 640.0, "ci95": 90.0}}
   ]
 }"#;
     let regressed = baseline.replace("\"completed\": 1000", "\"completed\": 800");
@@ -439,9 +464,31 @@ pub fn self_test() -> Result<(), String> {
     // A drop inside the tolerance band must pass.
     let tolerated = baseline.replace("\"completed\": 1000", "\"completed\": 950");
     match compare_text(baseline, &tolerated, 0.10) {
-        Ok(r) if r.is_empty() => Ok(()),
-        Ok(r) => Err(format!("5% drop inside ±10% flagged: {r:?}")),
-        Err(e) => Err(format!("self-test tolerated doc failed to parse: {e:?}")),
+        Ok(r) if r.is_empty() => {}
+        Ok(r) => return Err(format!("5% drop inside ±10% flagged: {r:?}")),
+        Err(e) => return Err(format!("self-test tolerated doc failed to parse: {e:?}")),
+    }
+    // The resilience metrics are gated too: a doubled recovery time in the
+    // aggregate must be rejected...
+    let slow_recovery = baseline.replace("\"mean\": 640.0", "\"mean\": 1400.0");
+    match compare_text(baseline, &slow_recovery, 0.10) {
+        Ok(r) if r.len() == 1 && r[0].what.contains("time_to_recovery_s") => {}
+        Ok(r) => return Err(format!("recovery-time jump not caught exactly once: {r:?}")),
+        Err(e) => return Err(format!("self-test recovery doc failed to parse: {e:?}")),
+    }
+    // ...while a zero-valued shed baseline tolerates noise-scale upticks
+    // (the absolute floor) but not a real shed storm.
+    let shed_noise = baseline.replace("\"shed\": 0", "\"shed\": 1");
+    match compare_text(baseline, &shed_noise, 0.10) {
+        Ok(r) if r.is_empty() => {}
+        Ok(r) => return Err(format!("noise-scale shed uptick flagged: {r:?}")),
+        Err(e) => return Err(format!("self-test shed doc failed to parse: {e:?}")),
+    }
+    let shed_storm = baseline.replace("\"shed\": 0", "\"shed\": 40");
+    match compare_text(baseline, &shed_storm, 0.10) {
+        Ok(r) if r.len() == 1 && r[0].what.contains("shed") => Ok(()),
+        Ok(r) => Err(format!("shed storm over a zero baseline not caught: {r:?}")),
+        Err(e) => Err(format!("self-test shed-storm doc failed to parse: {e:?}")),
     }
 }
 
@@ -534,8 +581,34 @@ mod tests {
         let base = doc(100, 5000, 0.0);
         let still_zero = doc(100, 5000, 0.0);
         assert_eq!(compare_text(&base, &still_zero, 0.10).unwrap(), vec![]);
+        // Inside the absolute floor (failure_rate floor 0.01): noise, pass.
+        let noise = doc(100, 5000, 0.005);
+        assert_eq!(compare_text(&base, &noise, 0.10).unwrap(), vec![]);
+        // Beyond the floor: a real jump over a zero baseline must trip even
+        // though the relative band has zero width there.
         let jumped = doc(100, 5000, 0.2);
         assert_eq!(compare_text(&base, &jumped, 0.10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_counts_are_gated_in_both_directions() {
+        // Lower-is-better over a zero baseline: the floor (shed: 2.0)
+        // absorbs noise but catches a storm.
+        let zero_shed = r#"{"cells": [{"scenario": "s", "seed": 1, "shed": 0}]}"#;
+        let small = r#"{"cells": [{"scenario": "s", "seed": 1, "shed": 2}]}"#;
+        assert_eq!(compare_text(zero_shed, small, 0.10).unwrap(), vec![]);
+        let storm = r#"{"cells": [{"scenario": "s", "seed": 1, "shed": 50}]}"#;
+        let trips = compare_text(zero_shed, storm, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("shed"));
+        // Higher-is-better over a zero baseline: nonnegative metrics cannot
+        // drop below zero, so equality passes and any improvement passes —
+        // the gate must not manufacture a phantom regression from the
+        // zero-width relative band.
+        let zero_tput = r#"{"cells": [{"scenario": "s", "seed": 1, "completed": 0}]}"#;
+        assert_eq!(compare_text(zero_tput, zero_tput, 0.10).unwrap(), vec![]);
+        let improved = r#"{"cells": [{"scenario": "s", "seed": 1, "completed": 7}]}"#;
+        assert_eq!(compare_text(zero_tput, improved, 0.10).unwrap(), vec![]);
     }
 
     #[test]

@@ -503,6 +503,260 @@ pub fn run_policy_sweep(spec: &PolicySweepSpec) -> PolicySweepOutcome {
     }
 }
 
+// --- the resilience laboratory -------------------------------------------
+
+/// The deterministic result of one (policy, chaos-scenario, seed) cell of
+/// the resilience grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceCell {
+    /// Admission policy name.
+    pub policy: &'static str,
+    /// Chaos scenario name.
+    pub scenario: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries failed.
+    pub failed: u64,
+    /// Arrivals shed by open circuit breakers.
+    pub shed: u64,
+    /// Breaker state transitions over the run.
+    pub breaker_transitions: u64,
+    /// Small arrivals admitted in brownout while a breaker was open.
+    pub brownout_admits: u64,
+    /// Retry chains abandoned (budget exhausted or deadline passed).
+    pub retries_abandoned: u64,
+    /// Total seconds with at least one fault window open.
+    pub fault_seconds: f64,
+    /// Completions per second while a fault was active.
+    pub goodput_under_fault: f64,
+    /// Seconds from the last fault clearing until throughput regained 90%
+    /// of its pre-fault baseline.
+    pub time_to_recovery_s: f64,
+    /// The paper's sustained-throughput metric, for cross-reference with
+    /// the policy scoreboard.
+    pub throughput_per_slice: f64,
+}
+
+/// Per-(policy, scenario) resilience metrics aggregated over the seed axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceAggregate {
+    /// Admission policy name.
+    pub policy: &'static str,
+    /// Chaos scenario name.
+    pub scenario: String,
+    /// Number of seeds aggregated.
+    pub seeds: usize,
+    /// Completions per second under fault.
+    pub goodput_under_fault: MeanCi,
+    /// Seconds to regain 90% of pre-fault throughput.
+    pub time_to_recovery_s: MeanCi,
+    /// Breaker sheds per run.
+    pub shed: MeanCi,
+    /// Abandoned retry chains per run.
+    pub retries_abandoned: MeanCi,
+    /// Sustained throughput per slice.
+    pub throughput_per_slice: MeanCi,
+}
+
+/// Everything the resilience laboratory produced.
+#[derive(Debug, Clone)]
+pub struct ResilienceSweepOutcome {
+    /// The sweep's scale.
+    pub scale: Scale,
+    /// Worker threads used (wall-clock only; absent from the JSON).
+    pub workers: usize,
+    /// Deterministic cell results, ordered by (policy, scenario, seed)
+    /// index.
+    pub cells: Vec<ResilienceCell>,
+    /// Per-(policy, scenario) aggregates in the same policy-major order.
+    pub aggregates: Vec<ResilienceAggregate>,
+    /// End-to-end wall time in milliseconds (absent from the JSON).
+    pub total_wall_ms: f64,
+}
+
+/// Run the (policy × chaos-scenario × seed) resilience grid. The spec is
+/// shared with the policy laboratory; scenarios are expected (but not
+/// required) to carry fault plans — a fault-free scenario simply reports
+/// zero fault seconds and zero recovery time.
+///
+/// Determinism mirrors [`run_policy_sweep`] exactly: shared per-scenario
+/// profiles, seeded runs, index-keyed result slots — so
+/// [`ResilienceSweepOutcome::resilience_json`] is byte-identical whatever
+/// `workers` is.
+pub fn run_resilience_sweep(spec: &PolicySweepSpec) -> ResilienceSweepOutcome {
+    let started = Instant::now();
+    let workers = spec.workers.max(1);
+    let profiles = characterize_scenarios(&spec.scenarios, spec.scale, workers);
+
+    let coords: Vec<(usize, usize, u64)> = spec
+        .policies
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, _)| {
+            spec.scenarios
+                .iter()
+                .enumerate()
+                .flat_map(move |(si, _)| spec.seeds.iter().map(move |&seed| (pi, si, seed)))
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<ResilienceCell>>> = Mutex::new(vec![None; coords.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(coords.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(policy_idx, scenario_idx, seed)) = coords.get(idx) else {
+                    break;
+                };
+                let policy = spec.policies[policy_idx];
+                let name = &spec.scenarios[scenario_idx];
+                let scenario = Scenario::builtin(name, spec.scale)
+                    .expect("validated above")
+                    .with_seed(seed)
+                    .with_policy(policy);
+                let outcome = ScenarioRunner::new(scenario)
+                    .with_profiles(profiles[scenario_idx].clone())
+                    .run();
+                let m = &outcome.metrics;
+                let cell = ResilienceCell {
+                    policy: policy.name(),
+                    scenario: name.clone(),
+                    seed,
+                    completed: m.completed.total(),
+                    failed: m.failed.total(),
+                    shed: m.shed,
+                    breaker_transitions: m.breaker_transitions,
+                    brownout_admits: m.brownout_admits,
+                    retries_abandoned: m.retries_abandoned,
+                    fault_seconds: m.fault_seconds(),
+                    goodput_under_fault: m.goodput_under_fault(),
+                    time_to_recovery_s: m.time_to_recovery(),
+                    throughput_per_slice: m.sustained_throughput_per_slice(),
+                };
+                results.lock().expect("no poisoned workers")[idx] = Some(cell);
+            });
+        }
+    });
+
+    let cells: Vec<ResilienceCell> = results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every cell ran"))
+        .collect();
+
+    let mut aggregates = Vec::with_capacity(spec.policies.len() * spec.scenarios.len());
+    for policy in &spec.policies {
+        for name in &spec.scenarios {
+            let mut goodput = Running::new();
+            let mut recovery = Running::new();
+            let mut shed = Running::new();
+            let mut abandoned = Running::new();
+            let mut throughput = Running::new();
+            for cell in cells
+                .iter()
+                .filter(|c| c.policy == policy.name() && &c.scenario == name)
+            {
+                goodput.push(cell.goodput_under_fault);
+                recovery.push(cell.time_to_recovery_s);
+                shed.push(cell.shed as f64);
+                abandoned.push(cell.retries_abandoned as f64);
+                throughput.push(cell.throughput_per_slice);
+            }
+            aggregates.push(ResilienceAggregate {
+                policy: policy.name(),
+                scenario: name.clone(),
+                seeds: goodput.count() as usize,
+                goodput_under_fault: mean_ci(&goodput),
+                time_to_recovery_s: mean_ci(&recovery),
+                shed: mean_ci(&shed),
+                retries_abandoned: mean_ci(&abandoned),
+                throughput_per_slice: mean_ci(&throughput),
+            });
+        }
+    }
+
+    ResilienceSweepOutcome {
+        scale: spec.scale,
+        workers,
+        cells,
+        aggregates,
+        total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+impl ResilienceSweepOutcome {
+    /// The `BENCH_resilience.json` scoreboard: the deterministic
+    /// (policy × chaos-scenario × seed) grid plus per-(policy, scenario)
+    /// mean ± 95% CI aggregates over seeds. No wall-clock data — CI diffs
+    /// the whole document between worker counts, like `BENCH_policies.json`.
+    pub fn resilience_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"benchmark\": \"resilience\",\n  \"scale\": \"");
+        out.push_str(scale_str(self.scale));
+        out.push_str("\",\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"policy\": \"{}\", \"scenario\": \"{}\", \"seed\": {}, \
+                 \"completed\": {}, \"failed\": {}, \"shed\": {}, \
+                 \"breaker_transitions\": {}, \"brownout_admits\": {}, \
+                 \"retries_abandoned\": {}, \"fault_seconds\": {:.6}, \
+                 \"goodput_under_fault\": {:.6}, \"time_to_recovery_s\": {:.6}, \
+                 \"throughput_per_slice\": {:.6}}}",
+                c.policy,
+                json_escape(&c.scenario),
+                c.seed,
+                c.completed,
+                c.failed,
+                c.shed,
+                c.breaker_transitions,
+                c.brownout_admits,
+                c.retries_abandoned,
+                c.fault_seconds,
+                c.goodput_under_fault,
+                c.time_to_recovery_s,
+                c.throughput_per_slice,
+            );
+            let _ = writeln!(out, "{}", if i + 1 == self.cells.len() { "" } else { "," });
+        }
+        out.push_str("  ],\n  \"aggregates\": [\n");
+        for (i, a) in self.aggregates.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"policy\": \"{}\", \"scenario\": \"{}\", \"seeds\": {}, ",
+                a.policy,
+                json_escape(&a.scenario),
+                a.seeds
+            );
+            write_mean_ci(&mut out, "goodput_under_fault", a.goodput_under_fault);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "time_to_recovery_s", a.time_to_recovery_s);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "shed", a.shed);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "retries_abandoned", a.retries_abandoned);
+            out.push_str(", ");
+            write_mean_ci(&mut out, "throughput_per_slice", a.throughput_per_slice);
+            let _ = writeln!(
+                out,
+                "}}{}",
+                if i + 1 == self.aggregates.len() {
+                    ""
+                } else {
+                    ","
+                }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// Characterize each scenario's workload once, fanned across `workers`
 /// (shared by [`run_sweep`]-style drivers; deterministic per config).
 fn characterize_scenarios(
@@ -657,6 +911,43 @@ mod tests {
             seeds: vec![2007, 2008],
             scale: Scale::Quick,
             workers,
+        }
+    }
+
+    fn tiny_resilience_spec(workers: usize) -> PolicySweepSpec {
+        PolicySweepSpec {
+            policies: vec![PolicyKind::Ladder, PolicyKind::Pid],
+            scenarios: vec!["retry_storm".to_string()],
+            seeds: vec![2007, 2008],
+            scale: Scale::Quick,
+            workers,
+        }
+    }
+
+    #[test]
+    fn resilience_grid_is_worker_count_invariant_and_sees_the_faults() {
+        let sequential = run_resilience_sweep(&tiny_resilience_spec(1));
+        let parallel = run_resilience_sweep(&tiny_resilience_spec(4));
+        assert_eq!(sequential.cells, parallel.cells);
+        assert_eq!(sequential.resilience_json(), parallel.resilience_json());
+        // 2 policies x 1 scenario x 2 seeds.
+        assert_eq!(sequential.cells.len(), 4);
+        assert_eq!(sequential.aggregates.len(), 2);
+        for cell in &sequential.cells {
+            // The retry-storm fault window is a quarter of the run.
+            assert!(
+                cell.fault_seconds > 0.0,
+                "cell {}/{}/{} saw no fault window",
+                cell.policy,
+                cell.scenario,
+                cell.seed
+            );
+            assert!(cell.time_to_recovery_s >= 0.0);
+            assert!(cell.goodput_under_fault >= 0.0);
+        }
+        for agg in &sequential.aggregates {
+            assert_eq!(agg.seeds, 2, "{}/{} lost a seed", agg.policy, agg.scenario);
+            assert!(agg.time_to_recovery_s.ci95 >= 0.0);
         }
     }
 

@@ -1,0 +1,102 @@
+//! `scenario_runner --replay` must turn a damaged trace file into a clean
+//! diagnostic and a nonzero exit — never a panic, and never a multi-minute
+//! simulation that fails only at the end. These tests feed the real binary
+//! a mid-file-truncated trace and a corrupted-line trace built from the
+//! committed retry-storm golden.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn golden() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../scenario/tests/golden/retry_storm_quick_2007.trace");
+    std::fs::read_to_string(&path).expect("committed golden trace exists")
+}
+
+fn temp_trace(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("throttledb_replay_errors_{name}.trace"));
+    std::fs::write(&path, contents).expect("can write temp trace");
+    path
+}
+
+fn replay(path: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scenario_runner"))
+        .args(["retry_storm", "quick", "2007", "--replay"])
+        .arg(path)
+        .output()
+        .expect("scenario_runner launches")
+}
+
+fn assert_clean_failure(out: &Output, case: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "{case}: damaged trace must exit nonzero, stderr:\n{stderr}"
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{case}: decode failure is exit 1, stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("is not a valid trace"),
+        "{case}: missing TraceError diagnostic, stderr:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "{case}: the runner panicked instead of reporting, stderr:\n{stderr}"
+    );
+    // Fail-fast contract: the diagnostic arrives before any simulation
+    // output (the run banner goes to stderr only once a trace decodes).
+    assert!(
+        !stderr.contains("running scenario"),
+        "{case}: runner simulated before validating the trace, stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn truncated_trace_is_a_diagnostic_not_a_panic() {
+    let full = golden();
+    // Keep the first half of the records, then cut the next line after its
+    // keyword — a mid-line truncation that is a broken arity, not a shorter
+    // but still well-formed record.
+    let lines: Vec<&str> = full.lines().collect();
+    let mid = lines.len() / 2;
+    assert!(mid + 1 < lines.len(), "golden trace is non-trivial");
+    let keyword = lines[mid].split(' ').next().unwrap();
+    let truncated = format!("{}\n{keyword}", lines[..mid].join("\n"));
+    let path = temp_trace("truncated", &truncated);
+    let out = replay(&path);
+    std::fs::remove_file(&path).ok();
+    assert_clean_failure(&out, "truncated");
+}
+
+#[test]
+fn corrupted_line_is_a_diagnostic_not_a_panic() {
+    let full = golden();
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() > 4, "golden trace is non-trivial");
+    // Replace a middle record with garbage that parses as no event kind.
+    let mut corrupted: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] = "submit not-a-number 42 SALES".to_string();
+    let text = corrupted.join("\n") + "\n";
+    let path = temp_trace("corrupted", &text);
+    let out = replay(&path);
+    std::fs::remove_file(&path).ok();
+    assert_clean_failure(&out, "corrupted");
+}
+
+#[test]
+fn missing_file_is_a_diagnostic_not_a_panic() {
+    let path = std::env::temp_dir().join("throttledb_replay_errors_does_not_exist.trace");
+    std::fs::remove_file(&path).ok();
+    let out = replay(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("cannot read trace"),
+        "missing-file diagnostic absent, stderr:\n{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr:\n{stderr}");
+}

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use throttledb_core::ThrottleConfig;
+use throttledb_governor::BreakerConfig;
 use throttledb_membroker::BrokerConfig;
 use throttledb_sim::SimDuration;
 use throttledb_workload::ClientModel;
@@ -191,6 +192,19 @@ pub struct ServerConfig {
     /// gateway ladder). Ignored when the throttle is disabled — a baseline
     /// run admits everything under any policy.
     pub policy: PolicyKind,
+    /// Per-class circuit breaker over a rolling failure-rate window
+    /// (default: disabled). While open, large arrivals are shed and small
+    /// ones brown out; see `throttledb_governor::CircuitBreaker`.
+    pub breaker: BreakerConfig,
+    /// Consecutive failed/shed attempts a client tolerates before
+    /// abandoning the retry chain and moving on to fresh work (0 =
+    /// unlimited, the paper's behaviour).
+    pub retry_budget: u32,
+    /// Total deadline for one logical query across retries, measured from
+    /// the chain's first submission: once exceeded, a failed attempt is
+    /// abandoned instead of requeued (fail fast). `None` disables the
+    /// deadline.
+    pub query_deadline: Option<SimDuration>,
 }
 
 impl ServerConfig {
@@ -245,6 +259,9 @@ impl ServerConfig {
             oltp_fraction: 0.05,
             classes: vec![WorkloadClassConfig::default_class()],
             policy: PolicyKind::Ladder,
+            breaker: BreakerConfig::default(),
+            retry_budget: 0,
+            query_deadline: None,
         }
     }
 
@@ -317,6 +334,10 @@ impl ServerConfig {
             grant_total <= 1.0 + 1e-9,
             "class grant fractions oversubscribe the execution budget (sum = {grant_total})"
         );
+        self.breaker.validate();
+        if let Some(deadline) = self.query_deadline {
+            assert!(!deadline.is_zero(), "query deadline must be positive");
+        }
     }
 
     /// The deterministic order in which clients are activated when fewer
@@ -511,6 +532,26 @@ mod tests {
     fn default_policy_is_the_paper_ladder() {
         assert_eq!(ServerConfig::paper(10, true).policy, PolicyKind::Ladder);
         assert_eq!(ServerConfig::quick(10, true).policy, PolicyKind::Ladder);
+    }
+
+    #[test]
+    fn degradation_machinery_defaults_off() {
+        // The chaos layer is opt-in: stock configurations run without a
+        // breaker, retry budget or deadline, so pre-existing goldens and
+        // baselines are unaffected.
+        let c = ServerConfig::paper(10, true);
+        assert!(!c.breaker.enabled);
+        assert_eq!(c.retry_budget, 0);
+        assert_eq!(c.query_deadline, None);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn zero_query_deadline_rejected() {
+        let mut c = ServerConfig::quick(5, true);
+        c.query_deadline = Some(SimDuration::ZERO);
+        c.validate();
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct ClassMetrics {
     pub failed: u64,
     /// Queries completed with a best-effort plan.
     pub best_effort_plans: u64,
+    /// Arrivals shed by this class's circuit breaker.
+    pub shed: u64,
+    /// State transitions of this class's circuit breaker.
+    pub breaker_transitions: u64,
     /// The class ladder's statistics (including per-gateway wait
     /// histograms).
     pub throttle: ThrottleStats,
@@ -71,6 +75,26 @@ pub struct RunMetrics {
     pub events_dispatched: u64,
     /// Peak number of simultaneously pending events in the event queue.
     pub peak_queue_depth: usize,
+    /// Arrivals shed by the circuit breakers (load-shed while open).
+    pub shed: u64,
+    /// Circuit-breaker state transitions, summed across classes (flapping
+    /// shows up here).
+    pub breaker_transitions: u64,
+    /// Arrivals admitted in brownout mode (small enough for the breaker's
+    /// exemption while it was open).
+    pub brownout_admits: u64,
+    /// Retry chains abandoned because the per-client retry budget or the
+    /// total query deadline was exhausted (the client gave up and moved on
+    /// instead of churning the wheel).
+    pub retries_abandoned: u64,
+    /// Completions that landed inside an active fault window.
+    pub completed_during_fault: u64,
+    /// The installed faults' active windows, clamped to the run
+    /// (see [`crate::fault::FaultSpec`]); empty for fault-free runs.
+    pub fault_windows: Vec<(SimTime, SimTime)>,
+    /// Total configured run length (recovery measurements need the end of
+    /// the observation window).
+    pub run_duration: SimDuration,
 }
 
 impl RunMetrics {
@@ -91,6 +115,13 @@ impl RunMetrics {
             slice,
             events_dispatched: 0,
             peak_queue_depth: 0,
+            shed: 0,
+            breaker_transitions: 0,
+            brownout_admits: 0,
+            retries_abandoned: 0,
+            completed_during_fault: 0,
+            fault_windows: Vec::new(),
+            run_duration: SimDuration::ZERO,
         }
     }
 
@@ -120,6 +151,66 @@ impl RunMetrics {
     /// Mean completions per slice after warm-up (the figures' sustained level).
     pub fn sustained_throughput_per_slice(&self) -> f64 {
         self.completed.mean_per_bucket_from(self.warmup)
+    }
+
+    /// Total simulated seconds during which at least the recorded fault
+    /// windows were active (windows may overlap; this sums them as given).
+    pub fn fault_seconds(&self) -> f64 {
+        self.fault_windows
+            .iter()
+            .map(|(s, e)| e.as_secs_f64() - s.as_secs_f64())
+            .sum()
+    }
+
+    /// Goodput under fault: successful completions per second while a
+    /// fault was active. 0.0 for fault-free runs.
+    pub fn goodput_under_fault(&self) -> f64 {
+        let secs = self.fault_seconds();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed_during_fault as f64 / secs
+        }
+    }
+
+    /// Time-to-recovery in seconds: from the instant the last fault
+    /// cleared until the start of the first reporting slice whose
+    /// completion count reaches 90% of the pre-fault baseline (the mean
+    /// over slices fully before the first fault). Returns 0.0 for
+    /// fault-free runs or when there is no pre-fault baseline to recover
+    /// to, and the remaining observation window when the run never
+    /// recovers — a lower bound that still ranks policies.
+    pub fn time_to_recovery(&self) -> f64 {
+        let Some(&(first_start, _)) = self.fault_windows.first() else {
+            return 0.0;
+        };
+        let clear = self
+            .fault_windows
+            .iter()
+            .map(|(_, e)| *e)
+            .max()
+            .unwrap_or(first_start);
+        // Baseline: mean completions/slice over slices that end at or
+        // before the first fault begins.
+        let (mut sum, mut n) = (0u64, 0u64);
+        for (t, c) in self.completed.iter() {
+            if t + self.slice <= first_start {
+                sum += c;
+                n += 1;
+            }
+        }
+        if n == 0 || sum == 0 {
+            return 0.0;
+        }
+        let baseline = sum as f64 / n as f64;
+        let target = 0.9 * baseline;
+        for (t, c) in self.completed.iter() {
+            if t >= clear && c as f64 >= target {
+                return (t.as_secs_f64() - clear.as_secs_f64()).max(0.0);
+            }
+        }
+        let end = SimTime::ZERO + self.run_duration;
+        (end.as_secs_f64() - clear.as_secs_f64()).max(0.0)
     }
 
     /// The `(slice start seconds, completions)` rows of a throughput figure,
@@ -164,6 +255,52 @@ mod tests {
         assert_eq!(m.grant_timeouts, 1);
         assert_eq!(m.total_failures(), 4);
         assert_eq!(m.failed.total(), 4);
+    }
+
+    #[test]
+    fn goodput_under_fault_divides_by_fault_seconds() {
+        let mut m = metrics();
+        assert_eq!(m.goodput_under_fault(), 0.0, "fault-free run");
+        m.fault_windows = vec![
+            (SimTime::from_secs(100), SimTime::from_secs(200)),
+            (SimTime::from_secs(400), SimTime::from_secs(500)),
+        ];
+        m.completed_during_fault = 50;
+        assert!((m.fault_seconds() - 200.0).abs() < 1e-9);
+        assert!((m.goodput_under_fault() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_to_recovery_finds_the_first_recovered_slice() {
+        // 600 s slices; baseline 10/slice before the fault at 3600 s,
+        // depressed during it, recovered two slices after the 7200 s clear.
+        let mut m = RunMetrics::new(SimDuration::from_secs(600), SimTime::ZERO, 3);
+        m.run_duration = SimDuration::from_secs(14_400);
+        for slice in 0..6 {
+            m.completed
+                .record_n(SimTime::from_secs(slice * 600 + 1), 10);
+        }
+        for slice in 6..12 {
+            m.completed.record_n(SimTime::from_secs(slice * 600 + 1), 2);
+        }
+        for slice in 14..24 {
+            m.completed
+                .record_n(SimTime::from_secs(slice * 600 + 1), 10);
+        }
+        m.fault_windows = vec![(SimTime::from_secs(3600), SimTime::from_secs(7200))];
+        // Clear at 7200 s; slices 12 and 13 are still at 0, slice 14
+        // (8400 s) reaches the 90% baseline again.
+        assert!((m.time_to_recovery() - 1200.0).abs() < 1e-9);
+        // A run that never recovers reports the remaining window.
+        m.completed = TimeSeries::new("completed", SimDuration::from_secs(600));
+        for slice in 0..6 {
+            m.completed
+                .record_n(SimTime::from_secs(slice * 600 + 1), 10);
+        }
+        assert!((m.time_to_recovery() - 7200.0).abs() < 1e-9);
+        // No faults: trivially recovered.
+        m.fault_windows.clear();
+        assert_eq!(m.time_to_recovery(), 0.0);
     }
 
     #[test]

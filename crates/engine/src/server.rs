@@ -7,6 +7,7 @@
 //! machine model (CPU load factor, submission scheduling).
 
 use crate::config::ServerConfig;
+use crate::fault::{FaultKind, FaultSpec};
 use crate::metrics::{ClassMetrics, RunMetrics};
 use crate::profile::{CompileProfile, WorkloadProfiles};
 use crate::stages::{ClassRuntime, Query};
@@ -36,6 +37,12 @@ pub(crate) enum Event {
     ExecFinish { query: u64 },
     /// Periodic broker recalculation / housekeeping.
     BrokerTick,
+    /// An installed fault's window begins (index into the fault list).
+    FaultBegin { index: u32 },
+    /// An installed fault's window ends; its effects are reverted.
+    FaultEnd { index: u32 },
+    /// One allocation increment of an active memory-leak fault.
+    LeakStep { index: u32 },
 }
 
 /// Plan-cache key: a compact, copyable stand-in for the query text the
@@ -110,6 +117,38 @@ pub struct Server {
     pub(crate) scratch_resumed: Vec<u64>,
     /// Reused buffer for grant-pool admissions, same discipline.
     pub(crate) scratch_admitted: Vec<(GrantRequestId, GrantOutcome)>,
+    /// Installed fault specs (see [`crate::Server::install_faults`]).
+    pub(crate) faults: Vec<FaultSpec>,
+    /// Per-fault active flag; effect multipliers are recomputed from the
+    /// active set on every begin/end so reverting is exact.
+    pub(crate) fault_active: Vec<bool>,
+    /// Ballast currently allocated per memory-leak fault (freed exactly
+    /// when the fault clears).
+    pub(crate) leak_allocated: Vec<u64>,
+    /// The leak faults' broker clerk: a `Fixed` subcomponent the broker
+    /// accounts for but never squeezes. Registered lazily when faults with
+    /// leaks are installed.
+    pub(crate) ballast_clerk: Option<Clerk>,
+    /// Dedicated RNG stream for fault-effect jitter, seeded from the run
+    /// seed but independent of the workload stream — a faulted run's
+    /// client behaviour stays draw-for-draw comparable to its fault-free
+    /// twin until the effects themselves diverge it.
+    pub(crate) fault_rng: SimRng,
+    /// Product of the active compile-stall multipliers (1.0 = no stall).
+    pub(crate) compile_stall: f64,
+    /// CPUs currently lost to slot-loss faults.
+    pub(crate) lost_slots: u32,
+    /// Product of the active grant-collapse scales (1.0 = no collapse).
+    pub(crate) fault_grant_scale: f64,
+    /// Number of currently active fault windows (completions during any
+    /// window count toward goodput-under-fault).
+    pub(crate) active_faults: u32,
+    /// Consecutive failed/shed attempts per client (reset on success or
+    /// when the chain is abandoned); indexes the backoff exponent.
+    pub(crate) retry_attempts: Vec<u32>,
+    /// When each client's current retry chain first submitted (the total
+    /// query deadline is measured from here).
+    pub(crate) first_attempt_at: Vec<SimTime>,
 }
 
 impl Server {
@@ -134,16 +173,18 @@ impl Server {
                     &exec_clerk,
                     config.policy,
                     crate::stages::scaled_budget(compile_budget, spec.client_share / total_share),
+                    config.breaker,
                 )
             })
             .collect();
         let class_by_client = config.class_assignment();
         let plan_cache = PlanCache::new(256 << 20, Some(cache_clerk));
-        let metrics = RunMetrics::new(
+        let mut metrics = RunMetrics::new(
             config.slice,
             SimTime::ZERO + config.warmup,
             config.policy.levels(&config.throttle),
         );
+        metrics.run_duration = config.duration;
         let mut client_model = config.client_model;
         client_model.oltp_fraction = config.oltp_fraction;
         let clients = config.clients as usize;
@@ -176,6 +217,19 @@ impl Server {
             trace_peak: 0,
             scratch_resumed: Vec::new(),
             scratch_admitted: Vec::new(),
+            faults: Vec::new(),
+            fault_active: Vec::new(),
+            leak_allocated: Vec::new(),
+            ballast_clerk: None,
+            // Independent stream: derived from the run seed, but no draw is
+            // taken from the workload RNG.
+            fault_rng: SimRng::seed_from_u64(config.seed ^ 0xC4A0_55EED_u64),
+            compile_stall: 1.0,
+            lost_slots: 0,
+            fault_grant_scale: 1.0,
+            active_faults: 0,
+            retry_attempts: vec![0; clients],
+            first_attempt_at: vec![SimTime::ZERO; clients],
             config,
         }
     }
@@ -215,6 +269,9 @@ impl Server {
                 Event::GrantTimeout { query } => self.on_grant_timeout(query),
                 Event::ExecFinish { query } => self.on_exec_finish(query),
                 Event::BrokerTick => self.on_broker_tick(),
+                Event::FaultBegin { index } => self.on_fault_begin(index),
+                Event::FaultEnd { index } => self.on_fault_end(index),
+                Event::LeakStep { index } => self.on_leak_step(index),
             }
         }
         self.now = self.now.max(until);
@@ -279,6 +336,159 @@ impl Server {
     /// Consume the server and return the run's metrics.
     pub fn finish(self) -> RunMetrics {
         self.finalize_metrics()
+    }
+
+    // --- fault injection --------------------------------------------------
+
+    /// Install a set of timed faults (see [`FaultSpec`]). Call once, before
+    /// [`Server::begin`]: each fault becomes a pair of begin/end events on
+    /// the wheel, so injection is part of the deterministic event order and
+    /// replays byte-identically. Faults whose windows extend past the run
+    /// simply never clear (their effects last to the end).
+    pub fn install_faults(&mut self, faults: &[FaultSpec]) {
+        if faults.is_empty() {
+            return;
+        }
+        assert!(self.faults.is_empty(), "faults already installed");
+        for (index, fault) in faults.iter().enumerate() {
+            fault.validate();
+            self.faults.push(*fault);
+            self.fault_active.push(false);
+            self.leak_allocated.push(0);
+            self.queue.schedule(
+                fault.start,
+                Event::FaultBegin {
+                    index: index as u32,
+                },
+            );
+            self.queue.schedule(
+                fault.end(),
+                Event::FaultEnd {
+                    index: index as u32,
+                },
+            );
+        }
+        if self
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::MemoryLeak { .. }))
+            && self.ballast_clerk.is_none()
+        {
+            // Fixed: the broker accounts for the ballast (available_bytes
+            // shrinks, pressure rises) but never asks it to shrink —
+            // exactly how a leak behaves.
+            self.ballast_clerk = Some(self.broker.register(SubcomponentKind::Fixed));
+        }
+    }
+
+    fn on_fault_begin(&mut self, index: u32) {
+        let i = index as usize;
+        let spec = self.faults[i];
+        self.fault_active[i] = true;
+        self.active_faults += 1;
+        self.trace_push(TraceEvent::FaultInjected {
+            at: self.now,
+            fault: index,
+        });
+        self.recompute_fault_effects();
+        match spec.kind {
+            FaultKind::MemoryLeak { .. } => {
+                self.queue.schedule(self.now, Event::LeakStep { index });
+            }
+            FaultKind::ClientSurge { extra_clients } => {
+                let n = self.active_clients.saturating_add(extra_clients);
+                self.set_active_clients(n);
+            }
+            FaultKind::CompileStall { .. }
+            | FaultKind::SlotLoss { .. }
+            | FaultKind::GrantCollapse { .. } => {}
+        }
+    }
+
+    fn on_fault_end(&mut self, index: u32) {
+        let i = index as usize;
+        if !self.fault_active[i] {
+            return;
+        }
+        let spec = self.faults[i];
+        self.fault_active[i] = false;
+        self.active_faults = self.active_faults.saturating_sub(1);
+        self.trace_push(TraceEvent::FaultCleared {
+            at: self.now,
+            fault: index,
+        });
+        self.recompute_fault_effects();
+        match spec.kind {
+            FaultKind::MemoryLeak { .. } => {
+                let leaked = std::mem::take(&mut self.leak_allocated[i]);
+                if leaked > 0 {
+                    if let Some(clerk) = self.ballast_clerk.as_ref() {
+                        clerk.free(leaked);
+                    }
+                }
+            }
+            FaultKind::ClientSurge { extra_clients } => {
+                let n = self.active_clients.saturating_sub(extra_clients);
+                self.set_active_clients(n);
+            }
+            FaultKind::CompileStall { .. }
+            | FaultKind::SlotLoss { .. }
+            | FaultKind::GrantCollapse { .. } => {}
+        }
+    }
+
+    fn on_leak_step(&mut self, index: u32) {
+        let i = index as usize;
+        if !self.fault_active[i] {
+            return;
+        }
+        let spec = self.faults[i];
+        let FaultKind::MemoryLeak { total_bytes, steps } = spec.kind else {
+            return;
+        };
+        let per_step = (total_bytes / steps as u64).max(1);
+        // Jitter each increment from the dedicated fault stream; the ramp
+        // stays deterministic and never overshoots the configured total.
+        let jittered = (per_step as f64 * self.fault_rng.jitter(0.25)) as u64;
+        let remaining = total_bytes.saturating_sub(self.leak_allocated[i]);
+        let amount = jittered.clamp(1, remaining.max(1)).min(remaining);
+        if amount > 0 {
+            if let Some(clerk) = self.ballast_clerk.as_ref() {
+                clerk.allocate(amount);
+            }
+            self.leak_allocated[i] += amount;
+        }
+        if self.leak_allocated[i] < total_bytes {
+            let interval =
+                SimDuration::from_micros((spec.duration.as_micros() / steps as u64).max(1_000_000));
+            let next = self.now + interval;
+            if next < spec.end() {
+                self.queue.schedule(next, Event::LeakStep { index });
+            }
+        }
+    }
+
+    /// Recompute the effect multipliers from the set of currently active
+    /// faults. Doing this from scratch on every begin/end keeps reverting
+    /// exact (no drifting inverse floating-point updates).
+    fn recompute_fault_effects(&mut self) {
+        let mut stall = 1.0;
+        let mut lost: u32 = 0;
+        let mut grant = 1.0;
+        for (i, fault) in self.faults.iter().enumerate() {
+            if !self.fault_active[i] {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::CompileStall { multiplier } => stall *= multiplier,
+                FaultKind::SlotLoss { slots } => lost = lost.saturating_add(slots),
+                FaultKind::GrantCollapse { scale } => grant *= scale,
+                FaultKind::MemoryLeak { .. } | FaultKind::ClientSurge { .. } => {}
+            }
+        }
+        self.compile_stall = stall;
+        self.lost_slots = lost.min(self.config.cpus - 1);
+        self.fault_grant_scale = grant;
     }
 
     // --- observers --------------------------------------------------------
@@ -393,11 +603,88 @@ impl Server {
 
     pub(crate) fn compile_step_duration(&mut self, profile: &CompileProfile) -> SimDuration {
         let per_step = profile.compile_cpu_seconds / self.config.compile_steps as f64;
-        SimDuration::from_secs_f64((per_step * self.load_factor()).max(0.001))
+        // An active compile-stall fault multiplies the planner's service
+        // time (self.compile_stall is 1.0 otherwise).
+        SimDuration::from_secs_f64((per_step * self.load_factor() * self.compile_stall).max(0.001))
     }
 
     pub(crate) fn load_factor(&self) -> f64 {
-        (self.running_cpu_tasks as f64 / self.config.cpus as f64).max(1.0)
+        // Slot-loss faults shrink the effective machine; at least one CPU
+        // always survives (see recompute_fault_effects).
+        let cpus = (self.config.cpus - self.lost_slots).max(1);
+        (self.running_cpu_tasks as f64 / cpus as f64).max(1.0)
+    }
+
+    /// A client's attempt failed or was shed: either schedule the capped
+    /// exponential-backoff retry, or — when the retry budget or the total
+    /// query deadline is exhausted — abandon the chain and let the client
+    /// think about fresh work instead of churning the wheel.
+    pub(crate) fn reschedule_after_setback(&mut self, client: u32) {
+        let idx = client as usize;
+        self.retry_attempts[idx] = self.retry_attempts[idx].saturating_add(1);
+        let attempts = self.retry_attempts[idx];
+        let over_budget = self.config.retry_budget > 0 && attempts > self.config.retry_budget;
+        let over_deadline = self
+            .config
+            .query_deadline
+            .is_some_and(|d| self.now >= self.first_attempt_at[idx] + d);
+        if over_budget || over_deadline {
+            self.metrics.retries_abandoned += 1;
+            self.retry_attempts[idx] = 0;
+            let think = self.client_model.think_time(&mut self.rng);
+            self.schedule_submit(client, think);
+        } else {
+            let delay = self.client_model.retry_delay(&mut self.rng, attempts);
+            self.schedule_submit(client, delay);
+        }
+    }
+
+    /// Consult the class breaker (if enabled) about an arrival estimated at
+    /// `bytes` of compilation memory, tracing any state transition the
+    /// consultation causes.
+    pub(crate) fn breaker_admit(
+        &mut self,
+        class: usize,
+        bytes: u64,
+    ) -> throttledb_governor::AdmissionDecision {
+        let now = self.now;
+        let Some(breaker) = self.classes[class].breaker.as_mut() else {
+            return throttledb_governor::AdmissionDecision::Admit { units: 1 };
+        };
+        let before = breaker.state();
+        let decision = breaker.admit(now, bytes);
+        let after = breaker.state();
+        if after != before {
+            self.trace_push(TraceEvent::BreakerTransition {
+                at: now,
+                class,
+                state: after,
+            });
+        }
+        decision
+    }
+
+    /// Feed an outcome to the class breaker (if enabled), tracing any state
+    /// transition it causes.
+    pub(crate) fn breaker_record(&mut self, class: usize, success: bool) {
+        let now = self.now;
+        let Some(breaker) = self.classes[class].breaker.as_mut() else {
+            return;
+        };
+        let before = breaker.state();
+        if success {
+            breaker.record_success(now);
+        } else {
+            breaker.record_failure(now);
+        }
+        let after = breaker.state();
+        if after != before {
+            self.trace_push(TraceEvent::BreakerTransition {
+                at: now,
+                class,
+                state: after,
+            });
+        }
     }
 
     /// Fold per-class results into the run metrics.
@@ -410,6 +697,13 @@ impl Server {
         }
         for (idx, class) in self.classes.iter().enumerate() {
             self.metrics.throttle.merge(class.policy.stats());
+            let (shed, transitions, brownout) = class
+                .breaker
+                .as_ref()
+                .map(|b| (b.shed(), b.transitions(), b.brownout_admits()))
+                .unwrap_or((0, 0, 0));
+            self.metrics.breaker_transitions += transitions;
+            self.metrics.brownout_admits += brownout;
             self.metrics.classes.push(ClassMetrics {
                 name: class.spec.name.clone(),
                 clients: class_clients[idx],
@@ -417,10 +711,21 @@ impl Server {
                 completed_after_warmup: class.completed_after_warmup,
                 failed: class.failed,
                 best_effort_plans: class.best_effort_plans,
+                shed,
+                breaker_transitions: transitions,
                 throttle: class.policy.stats().clone(),
                 grants: class.grants.pool_stats(),
             });
         }
+        // Fault windows, clamped to the observation window; a fault that
+        // never began contributes nothing.
+        let end = SimTime::ZERO + self.config.duration;
+        self.metrics.fault_windows = self
+            .faults
+            .iter()
+            .filter(|f| f.start < end)
+            .map(|f| (f.start, f.end().min(end)))
+            .collect();
         self.metrics
     }
 }

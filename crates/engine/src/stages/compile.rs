@@ -31,6 +31,10 @@ impl Server {
             return;
         }
         let class = self.class_of(client);
+        // A fresh chain (not a retry) starts its total-deadline clock here.
+        if self.retry_attempts[client as usize] == 0 {
+            self.first_attempt_at[client as usize] = self.now;
+        }
         let template =
             self.client_model
                 .choose_id(&self.mix, self.profiles.catalog(), &mut self.rng);
@@ -49,6 +53,24 @@ impl Server {
             client,
             class,
         });
+
+        // Circuit breaker: while the class is failing hard, large arrivals
+        // are shed at the door (the client backs off as if the attempt
+        // failed) and small ones brown out through the exemption. The RNG
+        // draws above happen unconditionally, so a breakered run's stream
+        // stays aligned with an unbreakered one until behaviour actually
+        // diverges.
+        if self.breaker_admit(class, profile.peak_compile_bytes)
+            == throttledb_governor::AdmissionDecision::Reject
+        {
+            self.metrics.shed += 1;
+            self.trace_push(TraceEvent::Shed {
+                at: self.now,
+                query: id,
+            });
+            self.reschedule_after_setback(client);
+            return;
+        }
 
         // The uniquifier defeats the plan cache (as in the paper); text
         // digests and compiled-plan keys live in disjoint `PlanKey`

@@ -78,11 +78,18 @@ impl Server {
             at: self.now,
             query: id,
         });
+        if self.active_faults > 0 {
+            self.metrics.completed_during_fault += 1;
+        }
         let class = &mut self.classes[q.class];
         class.completed += 1;
         if self.now >= self.metrics.warmup {
             class.completed_after_warmup += 1;
         }
+        self.breaker_record(q.class, true);
+        // Success ends the retry chain: the next failure starts a fresh
+        // backoff ladder and deadline clock.
+        self.retry_attempts[q.client as usize] = 0;
         let think = self.client_model.think_time(&mut self.rng);
         self.schedule_submit(q.client, think);
     }

@@ -27,7 +27,7 @@ use crate::server::Server;
 use crate::trace::TraceEvent;
 use throttledb_core::{GatewayLadder, ThrottleConfig};
 use throttledb_executor::{GrantManager, GrantRequestId};
-use throttledb_governor::{CostPolicy, PidPolicy, Policy};
+use throttledb_governor::{BreakerConfig, CircuitBreaker, CostPolicy, PidPolicy, Policy};
 use throttledb_membroker::{Clerk, SubcomponentKind};
 
 /// Where a query currently is in the compile → grant → execute pipeline.
@@ -113,6 +113,9 @@ pub(crate) struct ClassRuntime {
     pub policy: Box<dyn Policy>,
     /// This class's execution memory-grant pool.
     pub grants: GrantManager,
+    /// This class's circuit breaker; `None` when disabled, so fault-free
+    /// configurations pay nothing on the submit path.
+    pub breaker: Option<CircuitBreaker>,
     pub completed: u64,
     pub completed_after_warmup: u64,
     pub failed: u64,
@@ -139,6 +142,7 @@ impl ClassRuntime {
         exec_clerk: &Clerk,
         kind: PolicyKind,
         compile_budget: u64,
+        breaker: BreakerConfig,
     ) -> Self {
         let throttle = spec.scaled_throttle(base_throttle);
         let wait_timeout = throttle
@@ -171,6 +175,7 @@ impl ClassRuntime {
             spec,
             policy,
             grants,
+            breaker: breaker.enabled.then(|| CircuitBreaker::new(breaker)),
             completed: 0,
             completed_after_warmup: 0,
             failed: 0,
@@ -254,8 +259,8 @@ impl Server {
             kind,
         });
         self.classes[q.class].failed += 1;
-        let delay = self.client_model.retry_delay(&mut self.rng);
-        self.schedule_submit(q.client, delay);
+        self.breaker_record(q.class, false);
+        self.reschedule_after_setback(q.client);
     }
 
     /// Broker housekeeping: recalculate, tick every class admission policy
@@ -296,9 +301,11 @@ impl Server {
                 pressure,
                 &mut resumed,
             );
+            // Scenario knob × active grant-collapse faults (both 1.0 in
+            // fair weather).
             class.grants.set_budget(scaled_budget(
                 scaled_budget(exec_target, class.spec.grant_fraction),
-                self.grant_budget_scale,
+                self.grant_budget_scale * self.fault_grant_scale,
             ));
             self.resume_tasks(idx, &resumed);
         }

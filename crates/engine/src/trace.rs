@@ -11,6 +11,7 @@
 
 use crate::metrics::FailureKind;
 use serde::{Deserialize, Serialize};
+use throttledb_governor::BreakerState;
 use throttledb_sim::SimTime;
 
 /// One recorded admission-control event.
@@ -100,6 +101,37 @@ pub enum TraceEvent {
         /// Aggregate compile bytes in use.
         bytes: u64,
     },
+    /// An installed fault became active (see [`crate::fault::FaultSpec`]).
+    FaultInjected {
+        /// Injection time.
+        at: SimTime,
+        /// Index into the installed fault list.
+        fault: u32,
+    },
+    /// An installed fault's window ended and its effects were reverted.
+    FaultCleared {
+        /// Clear time.
+        at: SimTime,
+        /// Index into the installed fault list.
+        fault: u32,
+    },
+    /// A class circuit breaker shed an arriving query (load-shed; the
+    /// client backs off and retries).
+    Shed {
+        /// Shed time.
+        at: SimTime,
+        /// Query id the arrival would have become.
+        query: u64,
+    },
+    /// A class circuit breaker changed state.
+    BreakerTransition {
+        /// Transition time.
+        at: SimTime,
+        /// Workload-class index of the breaker.
+        class: usize,
+        /// The state entered.
+        state: BreakerState,
+    },
     /// End of the recording.
     End {
         /// Final time.
@@ -120,6 +152,10 @@ impl TraceEvent {
             | TraceEvent::Completed { at, .. }
             | TraceEvent::Failed { at, .. }
             | TraceEvent::CompilePeak { at, .. }
+            | TraceEvent::FaultInjected { at, .. }
+            | TraceEvent::FaultCleared { at, .. }
+            | TraceEvent::Shed { at, .. }
+            | TraceEvent::BreakerTransition { at, .. }
             | TraceEvent::End { at } => *at,
         }
     }
@@ -167,6 +203,14 @@ mod tests {
                 kind: FailureKind::OutOfMemory,
             },
             TraceEvent::CompilePeak { at: t, bytes: 9 },
+            TraceEvent::FaultInjected { at: t, fault: 0 },
+            TraceEvent::FaultCleared { at: t, fault: 0 },
+            TraceEvent::Shed { at: t, query: 1 },
+            TraceEvent::BreakerTransition {
+                at: t,
+                class: 0,
+                state: BreakerState::Open,
+            },
             TraceEvent::End { at: t },
         ];
         for ev in events {

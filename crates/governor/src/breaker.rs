@@ -1,0 +1,418 @@
+//! A per-class circuit breaker with a brownout load-shed mode.
+//!
+//! The degradation counterpart of the admission policies: where a
+//! [`crate::Policy`] decides *when* a compilation may grow, the breaker
+//! decides whether a class should accept new work *at all* while the
+//! server is failing. It is a classic three-state machine driven by a
+//! rolling window of recent outcomes:
+//!
+//! ```text
+//!            failure rate >= threshold
+//!   Closed ----------------------------> Open
+//!     ^                                   |
+//!     | half_open_probes                  | open_duration elapsed
+//!     |   successes                       v
+//!     +------------------------------ HalfOpen
+//!                 (any probe failure reopens)
+//! ```
+//!
+//! While `Open`, large arrivals are shed outright ([`AdmissionDecision::Reject`])
+//! and small ones — at most [`BreakerConfig::exempt_bytes`] of estimated
+//! compilation memory — are admitted in *brownout* mode
+//! ([`AdmissionDecision::Degrade`]), so diagnostic and point queries keep
+//! flowing while the expensive work that caused the failures is kept out.
+//! `HalfOpen` admits a limited number of probes; enough successes close the
+//! breaker, one failure reopens it.
+//!
+//! The breaker is fully deterministic (no randomness, virtual time only),
+//! so runs that use it record and replay byte-identically.
+
+use crate::decision::AdmissionDecision;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use throttledb_sim::{SimDuration, SimTime};
+
+/// Configuration of a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Master switch; a disabled breaker is never consulted.
+    pub enabled: bool,
+    /// Number of recent outcomes the rolling failure-rate window holds.
+    pub window: usize,
+    /// Minimum outcomes in the window before the failure rate is judged.
+    pub min_samples: usize,
+    /// Failure rate (failures / window samples) at or above which the
+    /// breaker opens.
+    pub failure_threshold: f64,
+    /// How long the breaker stays open before probing again.
+    pub open_duration: SimDuration,
+    /// Number of probe admissions allowed in the half-open state; the same
+    /// number of consecutive probe successes closes the breaker.
+    pub half_open_probes: u32,
+    /// Brownout exemption: arrivals estimated at or below this many bytes
+    /// of compilation memory are admitted (degraded) even while open.
+    pub exempt_bytes: u64,
+}
+
+impl Default for BreakerConfig {
+    /// Disabled; the other fields hold sane defaults for when a scenario
+    /// switches the breaker on.
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: false,
+            window: 32,
+            min_samples: 12,
+            failure_threshold: 0.5,
+            open_duration: SimDuration::from_secs(120),
+            half_open_probes: 4,
+            exempt_bytes: 10 << 20,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Panics on inconsistent settings.
+    pub fn validate(&self) {
+        if !self.enabled {
+            return;
+        }
+        assert!(self.window > 0, "breaker window must be positive");
+        assert!(
+            self.min_samples > 0 && self.min_samples <= self.window,
+            "breaker min_samples must be in 1..=window"
+        );
+        assert!(
+            self.failure_threshold > 0.0 && self.failure_threshold <= 1.0,
+            "breaker failure_threshold must be in (0,1]"
+        );
+        assert!(
+            !self.open_duration.is_zero(),
+            "breaker open_duration must be positive"
+        );
+        assert!(
+            self.half_open_probes > 0,
+            "breaker needs at least one half-open probe"
+        );
+    }
+}
+
+/// The breaker's current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Normal operation; outcomes feed the rolling window.
+    Closed,
+    /// Shedding: large arrivals rejected, small ones browned out.
+    Open,
+    /// Probing: a bounded number of arrivals admitted to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-case name used in traces ("closed", "open", "halfopen").
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "halfopen",
+        }
+    }
+
+    /// Parse a [`BreakerState::name`] back (trace decoding).
+    pub fn parse(s: &str) -> Option<BreakerState> {
+        match s {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open),
+            "halfopen" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic Closed / Open / HalfOpen circuit breaker over a rolling
+/// failure-rate window (see the module docs for the state machine).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Rolling outcome window; `true` = failure.
+    outcomes: VecDeque<bool>,
+    failures_in_window: usize,
+    opened_at: SimTime,
+    probes_issued: u32,
+    probe_successes: u32,
+    transitions: u64,
+    shed: u64,
+    brownout_admits: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with an empty window.
+    pub fn new(config: BreakerConfig) -> Self {
+        config.validate();
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            outcomes: VecDeque::with_capacity(config.window),
+            failures_in_window: 0,
+            opened_at: SimTime::ZERO,
+            probes_issued: 0,
+            probe_successes: 0,
+            transitions: 0,
+            shed: 0,
+            brownout_admits: 0,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Number of state transitions so far (flapping shows up here).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Arrivals rejected outright while open / half-open.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Arrivals admitted in brownout mode (small enough for the exemption).
+    pub fn brownout_admits(&self) -> u64 {
+        self.brownout_admits
+    }
+
+    /// Current failure rate over the rolling window.
+    pub fn failure_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.failures_in_window as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Decide whether an arrival with `estimated_peak_bytes` of compilation
+    /// memory may enter at `now`. May move an expired `Open` to `HalfOpen`.
+    pub fn admit(&mut self, now: SimTime, estimated_peak_bytes: u64) -> AdmissionDecision {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.config.open_duration {
+            self.transition(BreakerState::HalfOpen);
+        }
+        match self.state {
+            BreakerState::Closed => AdmissionDecision::Admit { units: 1 },
+            BreakerState::HalfOpen => {
+                if self.probes_issued < self.config.half_open_probes {
+                    self.probes_issued += 1;
+                    AdmissionDecision::Admit { units: 1 }
+                } else {
+                    self.brownout_or_shed(estimated_peak_bytes)
+                }
+            }
+            BreakerState::Open => self.brownout_or_shed(estimated_peak_bytes),
+        }
+    }
+
+    /// Record a successful completion.
+    pub fn record_success(&mut self, _now: SimTime) {
+        match self.state {
+            BreakerState::Closed => self.push_outcome(false),
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.config.half_open_probes {
+                    self.reset_window();
+                    self.transition(BreakerState::Closed);
+                }
+            }
+            // Stragglers admitted before the breaker opened may complete
+            // while it is open; they say nothing about recovery.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failure.
+    pub fn record_failure(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                self.push_outcome(true);
+                if self.outcomes.len() >= self.config.min_samples
+                    && self.failure_rate() >= self.config.failure_threshold
+                {
+                    self.opened_at = now;
+                    self.transition(BreakerState::Open);
+                }
+            }
+            BreakerState::HalfOpen => {
+                // A failed probe reopens for a full open_duration.
+                self.opened_at = now;
+                self.transition(BreakerState::Open);
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn brownout_or_shed(&mut self, estimated_peak_bytes: u64) -> AdmissionDecision {
+        if estimated_peak_bytes <= self.config.exempt_bytes {
+            self.brownout_admits += 1;
+            AdmissionDecision::Degrade { units: 1 }
+        } else {
+            self.shed += 1;
+            AdmissionDecision::Reject
+        }
+    }
+
+    fn transition(&mut self, next: BreakerState) {
+        debug_assert_ne!(self.state, next);
+        self.state = next;
+        self.transitions += 1;
+        if next == BreakerState::HalfOpen {
+            self.probes_issued = 0;
+            self.probe_successes = 0;
+        }
+    }
+
+    fn push_outcome(&mut self, failure: bool) {
+        if self.outcomes.len() == self.config.window {
+            if let Some(old) = self.outcomes.pop_front() {
+                if old {
+                    self.failures_in_window -= 1;
+                }
+            }
+        }
+        self.outcomes.push_back(failure);
+        if failure {
+            self.failures_in_window += 1;
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.outcomes.clear();
+        self.failures_in_window = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled() -> BreakerConfig {
+        BreakerConfig {
+            enabled: true,
+            window: 8,
+            min_samples: 4,
+            failure_threshold: 0.5,
+            open_duration: SimDuration::from_secs(60),
+            half_open_probes: 2,
+            exempt_bytes: 1 << 20,
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn stays_closed_under_scattered_failures() {
+        let mut b = CircuitBreaker::new(enabled());
+        for i in 0..20 {
+            b.record_success(t(i));
+            if i % 5 == 0 {
+                b.record_failure(t(i));
+            }
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.transitions(), 0);
+        assert!(matches!(
+            b.admit(t(21), 1 << 30),
+            AdmissionDecision::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn opens_on_failure_rate_and_sheds_large_arrivals() {
+        let mut b = CircuitBreaker::new(enabled());
+        for i in 0..4 {
+            b.record_failure(t(i));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions(), 1);
+        // Large arrival: shed. Small arrival: brownout-admitted.
+        assert_eq!(b.admit(t(5), 1 << 30), AdmissionDecision::Reject);
+        assert!(matches!(
+            b.admit(t(5), 1 << 10),
+            AdmissionDecision::Degrade { .. }
+        ));
+        assert_eq!(b.shed(), 1);
+        assert_eq!(b.brownout_admits(), 1);
+    }
+
+    #[test]
+    fn half_open_probes_then_closes_on_success() {
+        let mut b = CircuitBreaker::new(enabled());
+        for i in 0..4 {
+            b.record_failure(t(i));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Before open_duration elapses: still shedding.
+        assert_eq!(b.admit(t(30), 1 << 30), AdmissionDecision::Reject);
+        // After: half-open, two probes pass, further large arrivals shed.
+        assert!(matches!(
+            b.admit(t(70), 1 << 30),
+            AdmissionDecision::Admit { .. }
+        ));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(matches!(
+            b.admit(t(71), 1 << 30),
+            AdmissionDecision::Admit { .. }
+        ));
+        assert_eq!(b.admit(t(72), 1 << 30), AdmissionDecision::Reject);
+        // Both probes succeed: closed again, window cleared.
+        b.record_success(t(80));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(t(81));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.failure_rate(), 0.0);
+        assert!(matches!(
+            b.admit(t(82), 1 << 30),
+            AdmissionDecision::Admit { .. }
+        ));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_window() {
+        let mut b = CircuitBreaker::new(enabled());
+        for i in 0..4 {
+            b.record_failure(t(i));
+        }
+        assert!(b.admit(t(70), 1 << 30).admitted()); // half-open probe
+        b.record_failure(t(75));
+        assert_eq!(b.state(), BreakerState::Open);
+        // The reopen stamps a fresh opened_at: still shedding at t=100
+        // (75 + 60 > 100), probing again at t=140.
+        assert_eq!(b.admit(t(100), 1 << 30), AdmissionDecision::Reject);
+        assert!(b.admit(t(140), 1 << 30).admitted());
+    }
+
+    #[test]
+    fn state_names_round_trip() {
+        for s in [
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+        ] {
+            assert_eq!(BreakerState::parse(s.name()), Some(s));
+        }
+        assert_eq!(BreakerState::parse("ajar"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_samples")]
+    fn validate_rejects_min_samples_beyond_window() {
+        let cfg = BreakerConfig {
+            enabled: true,
+            window: 4,
+            min_samples: 8,
+            ..enabled()
+        };
+        CircuitBreaker::new(cfg);
+    }
+}

@@ -25,6 +25,9 @@
 //!   trait in `throttledb-core`.
 //! * [`ThrottleStats`] — the admission counters every policy reports
 //!   through (formerly private to the core crate's ladder).
+//! * [`CircuitBreaker`] — a per-class Closed/Open/HalfOpen breaker over a
+//!   rolling failure-rate window, with a brownout exemption for small
+//!   arrivals; the graceful-degradation side of admission control.
 //!
 //! Layering: this crate depends only on `throttledb-sim` (virtual time and
 //! histograms); `throttledb-core`, `throttledb-executor`,
@@ -33,12 +36,14 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod breaker;
 pub mod decision;
 pub mod policy;
 pub mod pool;
 pub mod queue;
 pub mod stats;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use decision::AdmissionDecision;
 pub use policy::{CostPolicy, PidPolicy, Policy, PolicyDecision, PolicySignals};
 pub use pool::{PoolStats, ResourcePool};

@@ -48,4 +48,74 @@ proptest! {
             prop_assert_eq!(live, expected, "FIFO order must match the model");
         }
     }
+
+    /// The timeout-then-cancel race: a grant-timeout event fires holding a
+    /// [`WaiterKey`], but the waiter it pointed at was already released by a
+    /// pop (or cancelled), and its slot may since have been reused by a new
+    /// waiter. The late `cancel` must be a generation-checked no-op — it may
+    /// never double-free the slot or evict the slot's new occupant — and the
+    /// stale key must read as dead through `contains`/`deadline` too.
+    #[test]
+    fn stale_tickets_never_release_a_reused_slot(
+        ops in proptest::collection::vec((0u8..4, 0usize..16), 1..400),
+    ) {
+        let mut q: WaitQueue<u64> = WaitQueue::new();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut live_keys: Vec<(WaiterKey, u64)> = Vec::new();
+        let mut stale_keys: Vec<WaiterKey> = Vec::new();
+        let mut next = 0u64;
+
+        for (op, pick) in ops {
+            match op {
+                0 => {
+                    let key = q.push(next, SimTime::from_secs(next), SimTime::MAX);
+                    model.push_back(next);
+                    live_keys.push((key, next));
+                    next += 1;
+                }
+                1 => {
+                    // Release from the front; the released key becomes the
+                    // ticket a pending timeout still holds.
+                    let popped = q.pop_front().map(|w| w.payload);
+                    prop_assert_eq!(popped, model.pop_front());
+                    if let Some(v) = popped {
+                        let at = live_keys
+                            .iter()
+                            .position(|(_, payload)| *payload == v)
+                            .expect("popped waiter was live");
+                        stale_keys.push(live_keys.remove(at).0);
+                    }
+                }
+                2 => {
+                    // A timeout cancels its (still-live) waiter, then keeps
+                    // the now-dead ticket around.
+                    if !live_keys.is_empty() {
+                        let (key, payload) = live_keys.remove(pick % live_keys.len());
+                        prop_assert_eq!(q.cancel(key).map(|w| w.payload), Some(payload));
+                        model.retain(|v| *v != payload);
+                        stale_keys.push(key);
+                    }
+                }
+                _ => {
+                    // The race itself: fire a long-dead ticket at the queue,
+                    // after any number of pushes may have reused its slot.
+                    if !stale_keys.is_empty() {
+                        let key = stale_keys[pick % stale_keys.len()];
+                        prop_assert!(q.cancel(key).is_none(), "stale cancel released a waiter");
+                        prop_assert!(!q.contains(key), "stale key reads as live");
+                        prop_assert!(q.deadline(key).is_none(), "stale key still has a deadline");
+                    }
+                }
+            }
+            // No interleaving of stale-ticket fires may perturb the queue:
+            // every live waiter survives, in FIFO order.
+            prop_assert_eq!(q.len(), model.len());
+            let live: Vec<u64> = q.iter().map(|w| w.payload).collect();
+            let expected: Vec<u64> = model.iter().copied().collect();
+            prop_assert_eq!(live, expected, "stale tickets disturbed the live waiters");
+            for (key, payload) in &live_keys {
+                prop_assert_eq!(q.deadline(*key), Some(SimTime::MAX), "live waiter {} lost", payload);
+            }
+        }
+    }
 }

@@ -24,6 +24,13 @@
 //!   reports from the events alone, so a stored trace is a regression
 //!   golden file: same seed + same policy code ⇒ byte-identical trace and
 //!   identical reports.
+//! * [`FaultPlan`] — deterministic chaos: timed fault events (memory-leak
+//!   ramps, compile stalls, executor slot loss, grant-budget collapse,
+//!   client surges) attached to any scenario. Faults ride the engine's
+//!   timing wheel like every other event, so faulted runs record and
+//!   replay byte-identically too; the chaos built-ins
+//!   (`memory_leak_creep`, `retry_storm`, …) exercise the governor's
+//!   graceful-degradation machinery end to end.
 //!
 //! Built-in scenarios cover the paper's own figures
 //! ([`Scenario::paper_figure3`] …) and workload shapes the paper never
@@ -35,11 +42,13 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod phase;
 pub mod runner;
 pub mod scenario;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultPlan};
 pub use phase::{Phase, PhaseOverrides};
 pub use runner::{PhaseReport, ScenarioOutcome, ScenarioRunner};
 pub use scenario::{Scale, Scenario};

@@ -36,6 +36,8 @@ pub struct PhaseReport {
     pub completed: u64,
     /// Queries failed in the phase.
     pub failed: u64,
+    /// Arrivals shed at the door by an open circuit breaker.
+    pub shed: u64,
     /// Out-of-memory failures.
     pub oom_failures: u64,
     /// Compile-gateway timeout failures.
@@ -64,7 +66,7 @@ impl fmt::Display for PhaseReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>5} {:>6} {:>9.1} {:>9.0}",
+            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>9.1} {:>9.0}",
             self.name,
             format!("{}s", self.start.as_secs()),
             format!("{}s", self.end.as_secs()),
@@ -72,6 +74,7 @@ impl fmt::Display for PhaseReport {
             self.submitted,
             self.completed,
             self.failed,
+            self.shed,
             self.best_effort_plans,
             format!(
                 "{}/{}/{}",
@@ -106,7 +109,7 @@ impl ScenarioOutcome {
         let mut out = String::new();
         out.push_str(&format!("== scenario: {} ==\n", self.scenario));
         out.push_str(&format!(
-            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>5} {:>6} {:>9} {:>9}\n",
+            "{:<14} {:>7} {:>7} {:>6} {:>6} {:>5} {:>5} {:>5} {:>5} {:>6} {:>9} {:>9}\n",
             "phase",
             "start",
             "end",
@@ -114,6 +117,7 @@ impl ScenarioOutcome {
             "subm",
             "done",
             "fail",
+            "shed",
             "b-eff",
             "o/c/g",
             "done/min",
@@ -137,6 +141,7 @@ struct Snapshot {
     submitted: u64,
     completed: u64,
     failed: u64,
+    shed: u64,
     oom: u64,
     compile_timeouts: u64,
     grant_timeouts: u64,
@@ -150,6 +155,7 @@ impl Snapshot {
             submitted: server.queries_submitted(),
             completed: m.completed.total(),
             failed: m.failed.total(),
+            shed: m.shed,
             oom: m.oom_failures,
             compile_timeouts: m.compile_timeouts,
             grant_timeouts: m.grant_timeouts,
@@ -233,6 +239,10 @@ impl ScenarioRunner {
         if record {
             server.enable_trace();
         }
+        // Faults are ordinary timing-wheel events: installed once, before
+        // the first phase, they fire at their absolute offsets regardless
+        // of the phase schedule around them.
+        server.install_faults(&scenario.faults.to_specs());
 
         let mut phases = Vec::with_capacity(scenario.phases.len());
         let mut begun = false;
@@ -261,6 +271,7 @@ impl ScenarioRunner {
                 submitted: after.submitted - before.submitted,
                 completed: after.completed - before.completed,
                 failed: after.failed - before.failed,
+                shed: after.shed - before.shed,
                 oom_failures: after.oom - before.oom,
                 compile_timeouts: after.compile_timeouts - before.compile_timeouts,
                 grant_timeouts: after.grant_timeouts - before.grant_timeouts,

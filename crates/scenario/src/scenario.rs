@@ -12,9 +12,10 @@
 //!   exercising the same admission-control policy under phase-varying
 //!   load.
 
+use crate::fault::FaultPlan;
 use crate::phase::Phase;
 use serde::{Deserialize, Serialize};
-use throttledb_engine::{PolicyKind, ServerConfig, WorkloadClassConfig};
+use throttledb_engine::{BreakerConfig, FaultKind, PolicyKind, ServerConfig, WorkloadClassConfig};
 use throttledb_sim::SimDuration;
 use throttledb_workload::WorkloadMix;
 
@@ -63,6 +64,10 @@ pub struct Scenario {
     pub base: ServerConfig,
     /// The phase schedule, executed in order.
     pub phases: Vec<Phase>,
+    /// The fault schedule (empty for a fault-free run). Offsets are
+    /// relative to the run start; the runner installs them on the engine
+    /// before the first phase begins.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -78,7 +83,15 @@ impl Scenario {
             description: description.into(),
             base,
             phases,
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Attach a fault schedule (every other setting untouched), so any
+    /// scenario — built-in or bespoke — can run under chaos.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Replace the RNG seed (every other setting untouched).
@@ -114,7 +127,9 @@ impl Scenario {
     /// configs through here, so their cells can never silently diverge.
     pub fn runtime_config(&self) -> ServerConfig {
         let mut config = self.base.clone();
-        config.clients = self.max_clients();
+        // Client-surge faults wake clients beyond the phase maximum, so the
+        // server's client table needs that headroom built in up front.
+        config.clients = self.max_clients() + self.faults.max_surge_clients();
         config.duration = self.total_duration();
         if config.warmup >= config.duration {
             config.warmup = SimDuration::ZERO;
@@ -129,6 +144,7 @@ impl Scenario {
         for phase in &self.phases {
             phase.validate();
         }
+        self.faults.validate(self.total_duration());
     }
 
     // --- the paper's own runs, as scenarios --------------------------------
@@ -295,6 +311,158 @@ impl Scenario {
         )
     }
 
+    // --- chaos scenarios: deterministic fault injection ----------------------
+
+    /// Ballast creeps into the machine mid-run — an external consumer leaks
+    /// half the brokered memory in two dozen jittered increments, holds it,
+    /// then releases it all at once. Compile targets shrink, OOM pressure
+    /// rises, and the recovery phase measures how fast throughput returns.
+    pub fn memory_leak_creep(scale: Scale) -> Self {
+        let base = Self::chaos_base(scale, 2007);
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![
+            Phase::steady("steady", scale.minutes(12), 14, mix),
+            Phase::steady("leaking", scale.minutes(14), 14, mix),
+            Phase::steady("recovery", scale.minutes(12), 14, mix),
+        ];
+        let faults = FaultPlan::new().with(
+            scale.minutes(12),
+            scale.minutes(14),
+            FaultKind::MemoryLeak {
+                total_bytes: base.broker.brokered_bytes() / 2,
+                steps: 24,
+            },
+        );
+        Scenario::new(
+            "memory_leak_creep",
+            "external leak ramps to half the brokered memory, holds, then clears",
+            base,
+            phases,
+        )
+        .with_faults(faults)
+    }
+
+    /// The optimizer stalls: every compile step takes 5x its normal service
+    /// time for a ten-minute window. Queries pile up at the gateway, the
+    /// ladder times out compiles, and the per-class breakers open until the
+    /// stall clears.
+    pub fn compile_stall(scale: Scale) -> Self {
+        let base = Self::chaos_base(scale, 2007);
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![
+            Phase::steady("steady", scale.minutes(10), 16, mix),
+            Phase::steady("stalled", scale.minutes(10), 16, mix),
+            Phase::steady("recovery", scale.minutes(12), 16, mix),
+        ];
+        let faults = FaultPlan::new().with(
+            scale.minutes(10),
+            scale.minutes(10),
+            FaultKind::CompileStall { multiplier: 5.0 },
+        );
+        Scenario::new(
+            "compile_stall",
+            "optimizer service time 5x for ten minutes; breakers absorb the stall",
+            base,
+            phases,
+        )
+        .with_faults(faults)
+    }
+
+    /// Half the executor slots fail and later come back. Execution times
+    /// inflate with the shrunken machine, grants hold longer, and the
+    /// admission ladder backs up behind the slower pipeline.
+    pub fn slot_failure(scale: Scale) -> Self {
+        let base = Self::chaos_base(scale, 2007);
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![
+            Phase::steady("steady", scale.minutes(10), 18, mix),
+            Phase::steady("degraded", scale.minutes(10), 18, mix),
+            Phase::steady("recovery", scale.minutes(12), 18, mix),
+        ];
+        let faults = FaultPlan::new().with(
+            scale.minutes(10),
+            scale.minutes(10),
+            FaultKind::SlotLoss {
+                slots: (base.cpus / 2).max(1),
+            },
+        );
+        Scenario::new(
+            "slot_failure",
+            "half the executor slots fail for ten minutes, then return",
+            base,
+            phases,
+        )
+        .with_faults(faults)
+    }
+
+    /// The grant pool collapses to a quarter of its budget under an
+    /// impatient all-SALES population: grant waits time out, every failed
+    /// client re-arrives, and only the exponential backoff, retry budgets
+    /// and breakers stand between the collapse and a retry storm.
+    pub fn retry_storm(scale: Scale) -> Self {
+        let base = Self::chaos_base(scale, 2007);
+        let phases = vec![
+            Phase::steady("steady", scale.minutes(8), 22, WorkloadMix::sales_only())
+                .with_think_time(SimDuration::from_secs(5)),
+            Phase::steady("collapse", scale.minutes(8), 22, WorkloadMix::sales_only())
+                .with_think_time(SimDuration::from_secs(5)),
+            Phase::steady("recovery", scale.minutes(8), 22, WorkloadMix::sales_only())
+                .with_think_time(SimDuration::from_secs(5)),
+        ];
+        let faults = FaultPlan::new().with(
+            scale.minutes(8),
+            scale.minutes(8),
+            FaultKind::GrantCollapse { scale: 0.25 },
+        );
+        Scenario::new(
+            "retry_storm",
+            "grant budget collapses to 25%; backoff and breakers damp the retry storm",
+            base,
+            phases,
+        )
+        .with_faults(faults)
+    }
+
+    /// A thundering herd: sixteen extra clients slam into a ten-client
+    /// steady state for eight minutes, then vanish. Time-to-recovery after
+    /// the herd leaves is the scenario's headline metric.
+    pub fn thundering_herd_recovery(scale: Scale) -> Self {
+        let base = Self::chaos_base(scale, 2007);
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![
+            Phase::steady("steady", scale.minutes(10), 10, mix),
+            Phase::steady("herd", scale.minutes(8), 10, mix),
+            Phase::steady("recovery", scale.minutes(12), 10, mix),
+        ];
+        let faults = FaultPlan::new().with(
+            scale.minutes(10),
+            scale.minutes(8),
+            FaultKind::ClientSurge { extra_clients: 16 },
+        );
+        Scenario::new(
+            "thundering_herd_recovery",
+            "16-client herd joins a 10-client steady state, then leaves",
+            base,
+            phases,
+        )
+        .with_faults(faults)
+    }
+
+    /// Base configuration for the chaos scenarios: [`Self::custom_base`]
+    /// with the graceful-degradation machinery switched on — per-class
+    /// circuit breakers, a finite retry budget, and a total query deadline
+    /// — so the fault windows exercise the full resilience stack.
+    fn chaos_base(scale: Scale, seed: u64) -> ServerConfig {
+        let mut base = Self::custom_base(scale, seed);
+        base.breaker = BreakerConfig {
+            enabled: true,
+            ..BreakerConfig::default()
+        };
+        base.retry_budget = 6;
+        base.query_deadline = Some(scale.minutes(20));
+        base
+    }
+
     /// Base configuration for the beyond-the-paper scenarios: the paper's
     /// machine at quick reporting granularity, no warm-up exclusion (every
     /// phase is reported), fixed seed.
@@ -321,6 +489,23 @@ impl Scenario {
             "burst_degrading_pool",
             "class_mix_shift",
             "ramp_to_saturation",
+            "memory_leak_creep",
+            "compile_stall",
+            "slot_failure",
+            "retry_storm",
+            "thundering_herd_recovery",
+        ]
+    }
+
+    /// The names of the chaos (fault-injection) scenarios — the subset of
+    /// [`Scenario::builtin_names`] with a non-empty [`FaultPlan`].
+    pub fn chaos_names() -> &'static [&'static str] {
+        &[
+            "memory_leak_creep",
+            "compile_stall",
+            "slot_failure",
+            "retry_storm",
+            "thundering_herd_recovery",
         ]
     }
 
@@ -335,6 +520,11 @@ impl Scenario {
             "burst_degrading_pool" => Some(Self::burst_degrading_pool(scale)),
             "class_mix_shift" => Some(Self::class_mix_shift(scale)),
             "ramp_to_saturation" => Some(Self::ramp_to_saturation(scale)),
+            "memory_leak_creep" => Some(Self::memory_leak_creep(scale)),
+            "compile_stall" => Some(Self::compile_stall(scale)),
+            "slot_failure" => Some(Self::slot_failure(scale)),
+            "retry_storm" => Some(Self::retry_storm(scale)),
+            "thundering_herd_recovery" => Some(Self::thundering_herd_recovery(scale)),
             _ => None,
         }
     }
@@ -408,6 +598,41 @@ mod tests {
             .collect();
         assert_eq!(scales, vec![0.70, 0.45, 0.25]);
         assert_eq!(s.max_clients(), 24);
+    }
+
+    #[test]
+    fn chaos_builtins_carry_fault_plans_and_degradation_config() {
+        for name in Scenario::chaos_names() {
+            for scale in [Scale::Quick, Scale::Paper] {
+                let s = Scenario::builtin(name, scale)
+                    .unwrap_or_else(|| panic!("chaos builtin {name} missing"));
+                assert!(!s.faults.is_empty(), "{name} schedules no faults");
+                assert!(s.base.breaker.enabled, "{name} leaves the breaker off");
+                assert!(s.base.retry_budget > 0, "{name} has no retry budget");
+                assert!(s.base.query_deadline.is_some(), "{name} has no deadline");
+                s.validate();
+            }
+        }
+        // Everything outside the chaos set stays fault-free: the layer is
+        // strictly additive for pre-existing scenarios and their goldens.
+        for name in Scenario::builtin_names() {
+            if !Scenario::chaos_names().contains(name) {
+                let s = Scenario::builtin(name, Scale::Quick).unwrap();
+                assert!(s.faults.is_empty(), "{name} unexpectedly has faults");
+                assert!(!s.base.breaker.enabled, "{name} unexpectedly breakered");
+            }
+        }
+    }
+
+    #[test]
+    fn surge_headroom_reaches_the_runtime_config() {
+        let s = Scenario::thundering_herd_recovery(Scale::Quick);
+        assert_eq!(s.max_clients(), 10, "phase population");
+        assert_eq!(
+            s.runtime_config().clients,
+            10 + s.faults.max_surge_clients(),
+            "runtime config must reserve client slots for the surge"
+        );
     }
 
     #[test]

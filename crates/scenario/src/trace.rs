@@ -18,7 +18,7 @@
 //! review and stable across serde swaps.
 
 use crate::runner::PhaseReport;
-use throttledb_engine::{FailureKind, TraceEvent};
+use throttledb_engine::{BreakerState, FailureKind, TraceEvent};
 use throttledb_sim::SimTime;
 
 /// Header line identifying the format and its version.
@@ -121,6 +121,21 @@ impl Trace {
                 TraceEvent::CompilePeak { at, bytes } => {
                     out.push_str(&format!("cpeak {} {}\n", at.as_micros(), bytes));
                 }
+                TraceEvent::FaultInjected { at, fault } => {
+                    out.push_str(&format!("fault {} {} inject\n", at.as_micros(), fault));
+                }
+                TraceEvent::FaultCleared { at, fault } => {
+                    out.push_str(&format!("fault {} {} clear\n", at.as_micros(), fault));
+                }
+                TraceEvent::Shed { at, query } => {
+                    out.push_str(&format!("shed {} {}\n", at.as_micros(), query));
+                }
+                TraceEvent::BreakerTransition { at, class, state } => out.push_str(&format!(
+                    "breaker {} {} {}\n",
+                    at.as_micros(),
+                    class,
+                    state.name()
+                )),
                 TraceEvent::End { at } => {
                     out.push_str(&format!("end {}\n", at.as_micros()));
                 }
@@ -235,6 +250,31 @@ impl Trace {
                     bytes: num(2)?,
                 }
             }
+            "fault" => {
+                arity(4)?;
+                let at = at(1)?;
+                let fault = num(2)? as u32;
+                match tokens[3] {
+                    "inject" => TraceEvent::FaultInjected { at, fault },
+                    "clear" => TraceEvent::FaultCleared { at, fault },
+                    _ => return None,
+                }
+            }
+            "shed" => {
+                arity(3)?;
+                TraceEvent::Shed {
+                    at: at(1)?,
+                    query: num(2)?,
+                }
+            }
+            "breaker" => {
+                arity(4)?;
+                TraceEvent::BreakerTransition {
+                    at: at(1)?,
+                    class: num(2)? as usize,
+                    state: BreakerState::parse(tokens[3])?,
+                }
+            }
             "end" => {
                 arity(2)?;
                 TraceEvent::End { at: at(1)? }
@@ -271,6 +311,7 @@ impl Trace {
                     submitted: 0,
                     completed: 0,
                     failed: 0,
+                    shed: 0,
                     oom_failures: 0,
                     compile_timeouts: 0,
                     grant_timeouts: 0,
@@ -301,9 +342,15 @@ impl Trace {
                 TraceEvent::CompilePeak { bytes, .. } => {
                     current.peak_compile_bytes = current.peak_compile_bytes.max(*bytes);
                 }
+                // A trace recorded before the chaos layer simply has no
+                // `shed` lines, so old goldens replay with `shed: 0`.
+                TraceEvent::Shed { .. } => current.shed += 1,
                 TraceEvent::GatewayBlocked { .. }
                 | TraceEvent::GrantQueued { .. }
                 | TraceEvent::ExecStarted { .. }
+                | TraceEvent::FaultInjected { .. }
+                | TraceEvent::FaultCleared { .. }
+                | TraceEvent::BreakerTransition { .. }
                 | TraceEvent::PhaseStart { .. }
                 | TraceEvent::End { .. } => {}
             }
@@ -375,6 +422,28 @@ mod tests {
                 query: 1,
                 kind: FailureKind::GrantTimeout,
             },
+            TraceEvent::FaultInjected {
+                at: SimTime::from_secs(13),
+                fault: 0,
+            },
+            TraceEvent::BreakerTransition {
+                at: SimTime::from_secs(14),
+                class: 1,
+                state: BreakerState::Open,
+            },
+            TraceEvent::Shed {
+                at: SimTime::from_secs(15),
+                query: 2,
+            },
+            TraceEvent::BreakerTransition {
+                at: SimTime::from_secs(16),
+                class: 1,
+                state: BreakerState::HalfOpen,
+            },
+            TraceEvent::FaultCleared {
+                at: SimTime::from_secs(17),
+                fault: 0,
+            },
             TraceEvent::End {
                 at: SimTime::from_secs(20),
             },
@@ -434,7 +503,37 @@ mod tests {
         assert_eq!(storm.end, SimTime::from_secs(20));
         assert_eq!(storm.failed, 1);
         assert_eq!(storm.grant_timeouts, 1);
+        assert_eq!(storm.shed, 1);
         assert_eq!(storm.peak_compile_bytes, 0);
+        assert_eq!(steady.shed, 0);
+    }
+
+    #[test]
+    fn pre_chaos_traces_still_decode_with_zero_shed() {
+        // A golden recorded before the chaos layer has none of the new
+        // line kinds; it must decode and replay unchanged.
+        let old = format!(
+            "{HEADER}\nphase 0 2 legacy\nsubmit 1000000 0 1 0\ndone 5000000 0\nend 9000000\n"
+        );
+        let trace = Trace::decode(&old).expect("pre-chaos trace decodes");
+        let reports = trace.replay();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].completed, 1);
+        assert_eq!(reports[0].shed, 0);
+    }
+
+    #[test]
+    fn fault_and_breaker_lines_reject_unknown_tails() {
+        let bad_fault = format!("{HEADER}\nfault 1000 0 explode\n");
+        assert!(matches!(
+            Trace::decode(&bad_fault),
+            Err(TraceError::BadLine(1, _))
+        ));
+        let bad_state = format!("{HEADER}\nbreaker 1000 0 ajar\n");
+        assert!(matches!(
+            Trace::decode(&bad_state),
+            Err(TraceError::BadLine(1, _))
+        ));
     }
 
     #[test]

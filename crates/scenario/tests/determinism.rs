@@ -115,14 +115,17 @@ fn different_seeds_diverge() {
     );
 }
 
-/// The timing-wheel regression gate: these traces were recorded with the
-/// pre-refactor `BinaryHeap` event queue (and per-submission string
-/// cloning), seed 2007, quick scale. The wheel-backed, interned engine must
-/// reproduce them byte for byte — event order, timestamps, ids and all —
-/// or the refactor changed observable scheduling semantics.
+/// The scheduling-semantics regression gate: any engine refactor must
+/// reproduce these committed traces byte for byte — event order,
+/// timestamps, ids and all — or it changed observable behaviour. The two
+/// fault-free goldens date back to the `BinaryHeap`-era engine and were
+/// re-recorded once, when the exponential retry backoff replaced the flat
+/// retry delay (a deliberate timing change for consecutive failures); the
+/// five chaos goldens pin the fault-injection layer, including the
+/// recorded `fault`/`shed`/`breaker` lines.
 #[test]
-fn golden_heap_era_traces_replay_byte_identically() {
-    let goldens: [(&str, &str); 2] = [
+fn golden_traces_replay_byte_identically() {
+    let goldens: [(&str, &str); 7] = [
         (
             "compile_storm",
             include_str!("golden/compile_storm_quick_2007.trace"),
@@ -130,6 +133,26 @@ fn golden_heap_era_traces_replay_byte_identically() {
         (
             "paper_figure3",
             include_str!("golden/paper_figure3_quick_2007.trace"),
+        ),
+        (
+            "memory_leak_creep",
+            include_str!("golden/memory_leak_creep_quick_2007.trace"),
+        ),
+        (
+            "compile_stall",
+            include_str!("golden/compile_stall_quick_2007.trace"),
+        ),
+        (
+            "slot_failure",
+            include_str!("golden/slot_failure_quick_2007.trace"),
+        ),
+        (
+            "retry_storm",
+            include_str!("golden/retry_storm_quick_2007.trace"),
+        ),
+        (
+            "thundering_herd_recovery",
+            include_str!("golden/thundering_herd_recovery_quick_2007.trace"),
         ),
     ];
     for (name, golden) in goldens {
@@ -143,7 +166,7 @@ fn golden_heap_era_traces_replay_byte_identically() {
         assert_eq!(
             live.encode(),
             golden,
-            "{name}: live trace no longer matches the heap-era golden file"
+            "{name}: live trace no longer matches the committed golden file"
         );
         // And the stored golden replays to the live run's phase reports.
         let stored = Trace::decode(golden).expect("golden decodes");
@@ -153,6 +176,25 @@ fn golden_heap_era_traces_replay_byte_identically() {
             "{name}: golden replay diverges from live phase reports"
         );
     }
+}
+
+/// The retry-storm golden is the one chaos scenario whose fault window is
+/// violent enough to open breakers: its trace must carry every new line
+/// kind, and the shed count must survive decode → replay.
+#[test]
+fn retry_storm_golden_records_the_degradation_machinery() {
+    let golden = include_str!("golden/retry_storm_quick_2007.trace");
+    for prefix in ["fault ", "breaker ", "shed "] {
+        assert!(
+            golden.lines().any(|l| l.starts_with(prefix)),
+            "golden has no {prefix:?} lines"
+        );
+    }
+    let reports = Trace::decode(golden).expect("golden decodes").replay();
+    assert!(
+        reports.iter().map(|p| p.shed).sum::<u64>() > 0,
+        "replay lost the shed count"
+    );
 }
 
 #[test]

@@ -330,6 +330,38 @@ mod tests {
         assert_eq!(r.ci95_half_width(), 0.0);
     }
 
+    /// The aggregation layers divide by and compare against this value, so
+    /// the degenerate seed counts must stay exactly 0.0 — never NaN or an
+    /// infinity from a 0/0 variance or a df = 0 t-lookup.
+    #[test]
+    fn ci95_half_width_degenerate_counts_are_exactly_zero() {
+        // n = 0.
+        let empty = Running::new();
+        assert_eq!(empty.ci95_half_width(), 0.0);
+        assert!(empty.ci95_half_width().is_finite());
+
+        // n = 1: a single seed has no spread to estimate.
+        let mut one = Running::new();
+        one.push(42.5);
+        assert_eq!(one.count(), 1);
+        assert_eq!(one.ci95_half_width(), 0.0);
+        assert!(one.ci95_half_width().is_finite());
+
+        // Merging two degenerate accumulators stays degenerate...
+        let mut merged = Running::new();
+        merged.merge(&empty);
+        merged.merge(&one);
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.ci95_half_width(), 0.0);
+
+        // ...and the first non-degenerate count produces a finite,
+        // strictly positive width (df = 1 hits the widest t row).
+        let mut two = one;
+        two.push(43.5);
+        let width = two.ci95_half_width();
+        assert!(width.is_finite() && width > 0.0, "width = {width}");
+    }
+
     #[test]
     fn percentile_extremes_are_exact() {
         let mut h = Histogram::new("x");

@@ -18,8 +18,13 @@ use throttledb_sim::{SimDuration, SimRng};
 pub struct ClientModel {
     /// Mean think time between a completion and the next submission.
     pub mean_think_time: SimDuration,
-    /// Back-off before resubmitting after a failure.
+    /// Base back-off before resubmitting after a failure; consecutive
+    /// failures double it (capped at
+    /// [`ClientModel::retry_backoff_cap`]).
     pub retry_backoff: SimDuration,
+    /// Ceiling on the exponential retry back-off: however long a failure
+    /// streak grows, the next retry comes within this bound (± jitter).
+    pub retry_backoff_cap: SimDuration,
     /// Probability that a submission is drawn from the OLTP/diagnostic mix
     /// instead of the main DSS templates (small but non-zero, as real
     /// deployments always have monitoring queries running).
@@ -33,6 +38,7 @@ impl Default for ClientModel {
         ClientModel {
             mean_think_time: SimDuration::from_secs(20),
             retry_backoff: SimDuration::from_secs(30),
+            retry_backoff_cap: SimDuration::from_secs(240),
             oltp_fraction: 0.05,
             template_skew: 0.3,
         }
@@ -45,9 +51,18 @@ impl ClientModel {
         SimDuration::from_secs_f64(rng.exponential(self.mean_think_time.as_secs_f64()))
     }
 
-    /// Draw the back-off before a retry.
-    pub fn retry_delay(&self, rng: &mut SimRng) -> SimDuration {
-        SimDuration::from_secs_f64(self.retry_backoff.as_secs_f64() * rng.jitter(0.5))
+    /// Draw the back-off before retry number `attempt` (1-based) of a
+    /// failure streak: capped exponential back-off with ±50% jitter.
+    ///
+    /// The first attempt draws exactly the flat back-off the model used
+    /// before the exponential ladder existed — one `jitter(0.5)` draw of
+    /// `retry_backoff` — so seeded runs only diverge from the historical
+    /// stream when a client actually fails twice in a row.
+    pub fn retry_delay(&self, rng: &mut SimRng, attempt: u32) -> SimDuration {
+        let exponent = attempt.saturating_sub(1).min(16);
+        let backoff = (self.retry_backoff.as_secs_f64() * (1u64 << exponent) as f64)
+            .min(self.retry_backoff_cap.as_secs_f64());
+        SimDuration::from_secs_f64(backoff * rng.jitter(0.5))
     }
 
     /// Choose the next template for a client, given the DSS templates and the
@@ -125,10 +140,45 @@ mod tests {
         let m = ClientModel::default();
         let mut rng = SimRng::seed_from_u64(5);
         for _ in 0..100 {
-            let d = m.retry_delay(&mut rng);
+            let d = m.retry_delay(&mut rng, 1);
             assert!(d > SimDuration::from_secs(10));
             assert!(d < SimDuration::from_secs(60));
         }
+    }
+
+    #[test]
+    fn first_retry_matches_the_historical_flat_backoff() {
+        // Attempt 1 must consume one jitter(0.5) draw of retry_backoff —
+        // the exact stream the flat model drew — so seeded runs without
+        // consecutive failures are unchanged by the backoff ladder.
+        let m = ClientModel::default();
+        let mut rng_new = SimRng::seed_from_u64(17);
+        let mut rng_old = SimRng::seed_from_u64(17);
+        for _ in 0..500 {
+            let new = m.retry_delay(&mut rng_new, 1);
+            let old =
+                SimDuration::from_secs_f64(m.retry_backoff.as_secs_f64() * rng_old.jitter(0.5));
+            assert_eq!(new, old);
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_saturates_at_the_cap() {
+        let m = ClientModel::default();
+        // Expected deterministic bounds per attempt: base 30 s doubles
+        // 30, 60, 120, 240 and stays at the 240 s cap; jitter is ±50%.
+        for (attempt, base) in [(1u32, 30.0), (2, 60.0), (3, 120.0), (4, 240.0), (9, 240.0)] {
+            let mut rng = SimRng::seed_from_u64(23);
+            for _ in 0..200 {
+                let d = m.retry_delay(&mut rng, attempt).as_secs_f64();
+                assert!(d >= base * 0.5 - 1e-9, "attempt {attempt}: {d} too short");
+                assert!(d <= base * 1.5 + 1e-9, "attempt {attempt}: {d} too long");
+            }
+        }
+        // Huge streaks do not overflow the exponent.
+        let mut rng = SimRng::seed_from_u64(29);
+        let d = m.retry_delay(&mut rng, u32::MAX);
+        assert!(d <= SimDuration::from_secs_f64(240.0 * 1.5));
     }
 
     #[test]
