@@ -127,11 +127,18 @@ fn main() {
         group.finish();
     }
 
-    // The measured record: both patterns at 1k / 100k / 1M.
+    // The measured record: both patterns at 1k / 100k / 1M. A single run at
+    // the small sizes lasts ~100 µs, well inside scheduler/turbo noise, so
+    // best-of over many runs is what makes the recorded ratio meaningful.
+    let best_of = |n: usize| match n {
+        n if n >= 1_000_000 => 3,
+        n if n >= 100_000 => 5,
+        _ => 100,
+    };
     let mut rows = Vec::new();
     for &n in &[1_000usize, 100_000, 1_000_000] {
         let times = fill_times(n, 7);
-        let runs = if n >= 1_000_000 { 3 } else { 5 };
+        let runs = best_of(n);
         rows.push(Row {
             pattern: "fill_drain",
             events: n,
@@ -142,7 +149,7 @@ fn main() {
     for &n in &[1_000usize, 100_000, 1_000_000] {
         // Dispatch 2N events against a pending set held at N.
         let rounds = n * 2;
-        let runs = if n >= 1_000_000 { 3 } else { 5 };
+        let runs = best_of(n);
         rows.push(Row {
             pattern: "churn",
             events: n,

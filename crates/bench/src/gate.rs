@@ -291,6 +291,13 @@ const METRICS: &[(&str, Direction, f64)] = &[
     ("shed", Direction::LowerIsBetter, 2.0),
     ("retries_abandoned", Direction::LowerIsBetter, 2.0),
     ("breaker_transitions", Direction::LowerIsBetter, 2.0),
+    // Open-loop arrival metrics (BENCH_sweep.json cells). Arrival counts
+    // are deterministic per (scenario, seed), so any movement at all is a
+    // semantic change; the floors only keep zero-valued closed-loop cells
+    // from tripping on a scenario that later gains a small source.
+    ("arrivals", Direction::HigherIsBetter, 2.0),
+    ("arrivals_admitted", Direction::HigherIsBetter, 2.0),
+    ("arrivals_shed", Direction::LowerIsBetter, 2.0),
 ];
 
 /// One extracted (cell-or-aggregate, metric) observation.
@@ -609,6 +616,25 @@ mod tests {
         assert_eq!(compare_text(zero_tput, zero_tput, 0.10).unwrap(), vec![]);
         let improved = r#"{"cells": [{"scenario": "s", "seed": 1, "completed": 7}]}"#;
         assert_eq!(compare_text(zero_tput, improved, 0.10).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn arrival_metrics_are_gated_directionally() {
+        let base = r#"{"cells": [{"scenario": "open_loop_poisson", "seed": 1,
+            "arrivals": 1200, "arrivals_admitted": 1100, "arrivals_shed": 100,
+            "arrival_digest": "ignored"}]}"#;
+        // Identical arrivals pass.
+        assert_eq!(compare_text(base, base, 0.10).unwrap(), vec![]);
+        // An admission drop beyond tolerance trips arrivals_admitted.
+        let fewer = base.replace("\"arrivals_admitted\": 1100", "\"arrivals_admitted\": 900");
+        let trips = compare_text(base, &fewer, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("arrivals_admitted"));
+        // A shed storm trips arrivals_shed.
+        let stormy = base.replace("\"arrivals_shed\": 100", "\"arrivals_shed\": 400");
+        let trips = compare_text(base, &stormy, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("arrivals_shed"));
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub struct SweepCell {
     pub events_dispatched: u64,
     /// Peak pending events in the timing-wheel queue.
     pub peak_queue_depth: usize,
+    /// Open-loop arrivals offered across all sources (0 for purely
+    /// closed-loop scenarios).
+    pub arrivals: u64,
+    /// Open-loop arrivals that entered the admission pipeline.
+    pub arrivals_admitted: u64,
+    /// Open-loop arrivals shed at a source's concurrency cap or by an open
+    /// breaker.
+    pub arrivals_shed: u64,
+    /// Streaming FNV-1a digest over every (time, source, decision) arrival
+    /// triple — the open-loop counterpart of `trace_digest`, cheap enough
+    /// to fold at tens of millions of arrivals per cell.
+    pub arrival_digest: u64,
     /// FNV-1a digest of the run's recorded admission trace — a fingerprint
     /// of the entire event ordering, so any nondeterminism shows up here
     /// first.
@@ -87,8 +99,13 @@ pub struct SweepOutcome {
     pub cells: Vec<SweepCell>,
     /// Per-cell wall-clock measurements, parallel to `cells`.
     pub timings: Vec<SweepTiming>,
-    /// End-to-end sweep wall time in milliseconds.
+    /// End-to-end sweep wall time in milliseconds (characterization,
+    /// warm-up and all).
     pub total_wall_ms: f64,
+    /// Wall time of the untimed warm-up cell run before the workers spawn
+    /// (first coordinate, result discarded), so the first *timed* cell is
+    /// measured against a warm process.
+    pub warmup_wall_ms: f64,
 }
 
 /// Run the sweep. Panics on an unknown scenario name (the CLI validates
@@ -113,6 +130,23 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
         .enumerate()
         .flat_map(|(si, _)| spec.seeds.iter().map(move |&seed| (si, seed)))
         .collect();
+
+    // Warm-up: run the first cell once, untimed and discarded, so the
+    // first *measured* cell doesn't absorb process warm-up (allocator,
+    // page faults, lazily-initialized tables). Before this fix the first
+    // cell's wall_ms ran ~10x its identical siblings and skewed every
+    // aggregate derived from it.
+    let warmup_started = Instant::now();
+    if let Some(&(scenario_idx, seed)) = coords.first() {
+        let scenario = Scenario::builtin(&spec.scenarios[scenario_idx], spec.scale)
+            .expect("validated above")
+            .with_seed(seed);
+        let _ = ScenarioRunner::new(scenario)
+            .record_trace(true)
+            .with_profiles(profiles[scenario_idx].clone())
+            .run();
+    }
+    let warmup_wall_ms = warmup_started.elapsed().as_secs_f64() * 1e3;
 
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<(SweepCell, SweepTiming)>>> =
@@ -146,6 +180,10 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
                     phases: outcome.phases.len(),
                     events_dispatched: metrics.events_dispatched,
                     peak_queue_depth: metrics.peak_queue_depth,
+                    arrivals: metrics.arrivals,
+                    arrivals_admitted: metrics.arrivals_admitted,
+                    arrivals_shed: metrics.arrivals_shed,
+                    arrival_digest: metrics.arrival_digest,
                     trace_digest: outcome.trace.as_ref().expect("recording enabled").digest(),
                 };
                 let timing = SweepTiming {
@@ -170,6 +208,7 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
         cells,
         timings,
         total_wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        warmup_wall_ms,
     }
 }
 
@@ -209,7 +248,8 @@ fn write_cell(out: &mut String, c: &SweepCell, timing: Option<&SweepTiming>, las
         "    {{\"scenario\": \"{}\", \"seed\": {}, \"submitted\": {}, \
          \"completed\": {}, \"failed\": {}, \"best_effort\": {}, \"phases\": {}, \
          \"events_dispatched\": {}, \"peak_queue_depth\": {}, \
-         \"trace_digest\": \"{:016x}\"",
+         \"arrivals\": {}, \"arrivals_admitted\": {}, \"arrivals_shed\": {}, \
+         \"arrival_digest\": \"{:016x}\", \"trace_digest\": \"{:016x}\"",
         json_escape(&c.scenario),
         c.seed,
         c.submitted,
@@ -219,6 +259,10 @@ fn write_cell(out: &mut String, c: &SweepCell, timing: Option<&SweepTiming>, las
         c.phases,
         c.events_dispatched,
         c.peak_queue_depth,
+        c.arrivals,
+        c.arrivals_admitted,
+        c.arrivals_shed,
+        c.arrival_digest,
         c.trace_digest,
     );
     if let Some(t) = timing {
@@ -249,19 +293,32 @@ impl SweepOutcome {
 
     /// The full `BENCH_sweep.json` document: sweep metadata and wall-clock
     /// timing alongside the deterministic cells.
+    ///
+    /// The headline `events_per_sec` is the *steady-state* rate: total
+    /// events over the sum of per-cell wall times. Characterization and
+    /// the warm-up cell are excluded — dividing by end-to-end wall time
+    /// (the old behaviour) understated the simulator by ~500x on a quick
+    /// sweep, because optimizer characterization dominates its wall clock.
     pub fn full_json(&self) -> String {
         let total_events: u64 = self.cells.iter().map(|c| c.events_dispatched).sum();
-        let events_per_sec = total_events as f64 / (self.total_wall_ms / 1e3).max(1e-9);
+        let total_arrivals: u64 = self.cells.iter().map(|c| c.arrivals).sum();
+        let steady_wall_ms: f64 = self.timings.iter().map(|t| t.wall_ms).sum();
+        let events_per_sec = total_events as f64 / (steady_wall_ms / 1e3).max(1e-9);
         let mut out = String::new();
         out.push_str("{\n  \"benchmark\": \"sweep\",\n");
         let _ = write!(
             out,
             "  \"scale\": \"{}\",\n  \"workers\": {},\n  \"total_wall_ms\": {:.1},\n  \
-             \"total_events_dispatched\": {},\n  \"events_per_sec\": {:.0},\n",
+             \"warmup_wall_ms\": {:.1},\n  \"steady_wall_ms\": {:.1},\n  \
+             \"total_events_dispatched\": {},\n  \"total_arrivals\": {},\n  \
+             \"events_per_sec\": {:.0},\n",
             scale_str(self.scale),
             self.workers,
             self.total_wall_ms,
+            self.warmup_wall_ms,
+            steady_wall_ms,
             total_events,
+            total_arrivals,
             events_per_sec,
         );
         out.push_str("  \"cells\": [\n");
@@ -895,6 +952,57 @@ mod tests {
             sequential.cells[0].trace_digest,
             sequential.cells[1].trace_digest
         );
+        // Closed-loop scenarios have no open-loop arrivals; the fields are
+        // present (for the gate) but zero, and the digest is the FNV
+        // offset basis.
+        for cell in &sequential.cells {
+            assert_eq!(cell.arrivals, 0);
+            assert_eq!(cell.arrivals_admitted, 0);
+            assert_eq!(cell.arrivals_shed, 0);
+        }
+    }
+
+    #[test]
+    fn open_loop_cells_account_arrivals_and_stay_worker_invariant() {
+        let spec = |workers| SweepSpec {
+            scenarios: vec!["open_loop_poisson".to_string()],
+            seeds: vec![2007, 2008],
+            scale: Scale::Quick,
+            workers,
+        };
+        let sequential = run_sweep(&spec(1));
+        let parallel = run_sweep(&spec(4));
+        assert_eq!(sequential.cells, parallel.cells);
+        assert_eq!(sequential.cells_json(), parallel.cells_json());
+        for cell in &sequential.cells {
+            assert!(cell.arrivals > 0, "source offered nothing");
+            assert_eq!(cell.arrivals, cell.arrivals_admitted + cell.arrivals_shed);
+            assert!(cell.submitted > 0, "no arrival reached the pipeline");
+        }
+        // The arrival digest separates seeds just like the trace digest.
+        assert_ne!(
+            sequential.cells[0].arrival_digest,
+            sequential.cells[1].arrival_digest
+        );
+    }
+
+    #[test]
+    fn aggregate_events_per_sec_comes_from_steady_state_sums() {
+        let outcome = run_sweep(&tiny_spec(1));
+        assert!(outcome.warmup_wall_ms > 0.0, "warm-up cell must be timed");
+        let steady_ms: f64 = outcome.timings.iter().map(|t| t.wall_ms).sum();
+        let total_events: u64 = outcome.cells.iter().map(|c| c.events_dispatched).sum();
+        let expected = total_events as f64 / (steady_ms / 1e3).max(1e-9);
+        let json = outcome.full_json();
+        let doc = crate::gate::parse(&json).expect("own JSON parses");
+        let reported = doc.get("events_per_sec").and_then(|v| match v {
+            crate::gate::Value::Num(n) => Some(*n),
+            _ => None,
+        });
+        assert_eq!(reported, Some(expected.round()));
+        // The aggregate excludes characterization and warm-up: steady wall
+        // is strictly less than end-to-end wall.
+        assert!(steady_ms < outcome.total_wall_ms);
     }
 
     #[test]

@@ -4,8 +4,53 @@ use serde::{Deserialize, Serialize};
 use throttledb_core::ThrottleConfig;
 use throttledb_governor::BreakerConfig;
 use throttledb_membroker::BrokerConfig;
-use throttledb_sim::SimDuration;
+use throttledb_sim::{ArrivalProcess, SimDuration};
 use throttledb_workload::ClientModel;
+
+/// One open-loop arrival source: an aggregate client population modeled as
+/// a stochastic arrival *process* instead of per-client closed-loop state.
+///
+/// A source costs the server one pending timing-wheel event (its next
+/// arrival) regardless of how many users it models, which is what lets a
+/// single sweep cell push tens of millions of arrivals through admission.
+/// Arrivals beyond [`ArrivalSourceConfig::max_in_flight`] concurrent
+/// queries are shed at the door — before any query content is sampled — so
+/// an overloaded source stays cheap: one event and one digest fold per
+/// rejected arrival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSourceConfig {
+    /// Source name ("web", "api", "batch", ...), used in per-source metrics.
+    pub name: String,
+    /// The stochastic process arrival instants are drawn from. Each source
+    /// samples from its own forked RNG stream, so adding a source never
+    /// perturbs another source's arrival sequence.
+    pub process: ArrivalProcess,
+    /// Workload class (index into [`ServerConfig::classes`]) this source's
+    /// queries submit under.
+    pub class: usize,
+    /// Concurrency cap: with this many of the source's queries already in
+    /// flight, further arrivals are shed immediately.
+    pub max_in_flight: u32,
+    /// Size of the user population this source stands in for. Reporting
+    /// only — the process alone fixes the offered load.
+    pub modeled_clients: u32,
+}
+
+impl ArrivalSourceConfig {
+    /// Panics on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "arrival source needs a name");
+        self.process.validate();
+        assert!(
+            self.max_in_flight > 0,
+            "arrival source needs max_in_flight >= 1"
+        );
+        assert!(
+            self.modeled_clients > 0,
+            "arrival source models at least one client"
+        );
+    }
+}
 
 /// One named workload class, mapped to its own per-class admission pools: a
 /// gateway ladder with scaled thresholds and a slice of the execution
@@ -136,8 +181,21 @@ pub struct ServerConfig {
     pub broker: BrokerConfig,
     /// Gateway-ladder configuration (enabled = throttled run).
     pub throttle: ThrottleConfig,
-    /// Number of closed-loop clients.
+    /// Number of closed-loop clients. May be zero when at least one
+    /// open-loop [`ArrivalSourceConfig`] supplies the load.
     pub clients: u32,
+    /// Open-loop arrival sources layered on top of (or replacing) the
+    /// closed-loop population. Empty reproduces the paper's purely
+    /// closed-loop runs.
+    pub arrivals: Vec<ArrivalSourceConfig>,
+    /// Run the closed-loop population in cohort-compressed form: no
+    /// per-client vectors are materialized — retry state rides inside each
+    /// pending submit event and class membership is derived from the
+    /// contiguous [`ServerConfig::class_bounds`] ranges. Requires a
+    /// constant population (every phase at the same client count) and no
+    /// client-surge faults; a cohort run's trace is byte-identical to the
+    /// same population materialized as individual clients.
+    pub cohort_compressed: bool,
     /// Total simulated duration.
     pub duration: SimDuration,
     /// Warm-up period excluded from reported results (the paper drops the
@@ -238,6 +296,8 @@ impl ServerConfig {
             broker: BrokerConfig::paper_machine(),
             throttle,
             clients,
+            arrivals: Vec::new(),
+            cohort_compressed: false,
             // The paper plots 10800 s .. 28800 s after warm-up; we simulate
             // 8 hours and drop the first 3 as warm-up, giving the same
             // five 3600-second slices.
@@ -310,7 +370,10 @@ impl ServerConfig {
     /// Panics on inconsistent settings.
     pub fn validate(&self) {
         assert!(self.cpus > 0);
-        assert!(self.clients > 0);
+        assert!(
+            self.clients > 0 || !self.arrivals.is_empty(),
+            "need closed-loop clients or at least one arrival source"
+        );
         assert!(
             self.warmup < self.duration,
             "warm-up must end before the run does"
@@ -335,6 +398,16 @@ impl ServerConfig {
             "class grant fractions oversubscribe the execution budget (sum = {grant_total})"
         );
         self.breaker.validate();
+        for (index, source) in self.arrivals.iter().enumerate() {
+            source.validate();
+            assert!(
+                source.class < self.classes.len(),
+                "arrival source {index} ({}) names class {} but only {} classes exist",
+                source.name,
+                source.class,
+                self.classes.len()
+            );
+        }
         if let Some(deadline) = self.query_deadline {
             assert!(!deadline.is_zero(), "query deadline must be positive");
         }
@@ -371,6 +444,25 @@ impl ServerConfig {
             lhs.cmp(&rhs).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
         });
         keyed.into_iter().map(|(_, _, client)| client).collect()
+    }
+
+    /// The fenceposts of [`ServerConfig::class_assignment`]'s contiguous
+    /// ranges, as `classes.len() + 1` client-id boundaries: class `i` owns
+    /// client ids `bounds[i] .. bounds[i + 1]`. Cohort-compressed runs map
+    /// a client id to its class through these bounds instead of
+    /// materializing the per-client assignment vector.
+    pub fn class_bounds(&self) -> Vec<u32> {
+        let total_share: f64 = self.classes.iter().map(|c| c.client_share).sum();
+        let mut bounds = Vec::with_capacity(self.classes.len() + 1);
+        bounds.push(0u32);
+        let mut acc = 0.0;
+        for class in self.classes.iter().take(self.classes.len() - 1) {
+            acc += class.client_share / total_share;
+            let end = ((self.clients as f64 * acc).round() as u32).min(self.clients);
+            bounds.push(end);
+        }
+        bounds.push(self.clients);
+        bounds
     }
 
     /// Deterministically assign each client to a class: contiguous ranges
@@ -559,6 +651,60 @@ mod tests {
     fn oversubscribed_grant_fractions_rejected() {
         let mut c = ServerConfig::quick(5, true).with_standard_classes();
         c.classes[0].grant_fraction = 0.9;
+        c.validate();
+    }
+
+    fn source(class: usize) -> ArrivalSourceConfig {
+        ArrivalSourceConfig {
+            name: "web".to_string(),
+            process: ArrivalProcess::Poisson { rate_per_sec: 50.0 },
+            class,
+            max_in_flight: 64,
+            modeled_clients: 100_000,
+        }
+    }
+
+    #[test]
+    fn class_bounds_match_class_assignment() {
+        for clients in [1u32, 7, 10, 20, 33] {
+            let mut c = ServerConfig::quick(clients, true).with_standard_classes();
+            c.clients = clients;
+            let assignment = c.class_assignment();
+            let bounds = c.class_bounds();
+            assert_eq!(bounds.len(), c.classes.len() + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), clients);
+            for (client, class) in assignment.iter().enumerate() {
+                let client = client as u32;
+                assert!(
+                    bounds[*class] <= client && client < bounds[*class + 1],
+                    "client {client} of {clients}: class {class} vs bounds {bounds:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_sources_allow_a_zero_client_population() {
+        let mut c = ServerConfig::quick(1, true);
+        c.clients = 0;
+        c.arrivals.push(source(0));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival source")]
+    fn zero_clients_without_sources_rejected() {
+        let mut c = ServerConfig::quick(1, true);
+        c.clients = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "classes exist")]
+    fn arrival_source_with_unknown_class_rejected() {
+        let mut c = ServerConfig::quick(5, true);
+        c.arrivals.push(source(3));
         c.validate();
     }
 }

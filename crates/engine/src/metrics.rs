@@ -43,6 +43,26 @@ pub struct ClassMetrics {
     pub grants: PoolStats,
 }
 
+/// Per-arrival-source results of one run (one entry per configured
+/// open-loop source).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrivalSourceMetrics {
+    /// Source name.
+    pub name: String,
+    /// Size of the user population the source models.
+    pub modeled_clients: u32,
+    /// Total arrivals offered (admitted + shed).
+    pub arrivals: u64,
+    /// Arrivals admitted into the pipeline.
+    pub admitted: u64,
+    /// Arrivals shed at the door (concurrency cap or breaker).
+    pub shed: u64,
+    /// Admitted arrivals that completed.
+    pub completed: u64,
+    /// Admitted arrivals that failed out of the pipeline.
+    pub failed: u64,
+}
+
 /// Metrics collected over one simulated run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunMetrics {
@@ -95,6 +115,20 @@ pub struct RunMetrics {
     /// Total configured run length (recovery measurements need the end of
     /// the observation window).
     pub run_duration: SimDuration,
+    /// Total open-loop arrivals offered, across all sources (admitted +
+    /// shed). 0 for purely closed-loop runs.
+    pub arrivals: u64,
+    /// Open-loop arrivals admitted into the pipeline.
+    pub arrivals_admitted: u64,
+    /// Open-loop arrivals shed at the door (concurrency cap or breaker).
+    pub arrivals_shed: u64,
+    /// Streaming FNV-1a digest over every arrival's admission decision
+    /// (time, source, outcome). Identical digests ⇒ identical per-arrival
+    /// decisions — the determinism witness for runs too large to trace.
+    /// Holds the FNV offset basis for runs without sources.
+    pub arrival_digest: u64,
+    /// Per-source breakdown (one entry per configured arrival source).
+    pub arrival_sources: Vec<ArrivalSourceMetrics>,
 }
 
 impl RunMetrics {
@@ -122,6 +156,11 @@ impl RunMetrics {
             completed_during_fault: 0,
             fault_windows: Vec::new(),
             run_duration: SimDuration::ZERO,
+            arrivals: 0,
+            arrivals_admitted: 0,
+            arrivals_shed: 0,
+            arrival_digest: 0xcbf2_9ce4_8422_2325,
+            arrival_sources: Vec::new(),
         }
     }
 

@@ -8,9 +8,9 @@
 
 use crate::config::ServerConfig;
 use crate::fault::{FaultKind, FaultSpec};
-use crate::metrics::{ClassMetrics, RunMetrics};
+use crate::metrics::{ArrivalSourceMetrics, ClassMetrics, RunMetrics};
 use crate::profile::{CompileProfile, WorkloadProfiles};
-use crate::stages::{ClassRuntime, Query};
+use crate::stages::{ClassRuntime, Query, QueryOrigin};
 use crate::trace::TraceEvent;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,7 +19,7 @@ use throttledb_executor::GrantOutcome;
 use throttledb_executor::GrantRequestId;
 use throttledb_membroker::{Clerk, MemoryBroker, SubcomponentKind};
 use throttledb_plancache::PlanCache;
-use throttledb_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use throttledb_sim::{ArrivalSampler, EventQueue, SimDuration, SimRng, SimTime};
 use throttledb_workload::{ClientModel, TemplateId, Uniquifier, WorkloadMix};
 
 /// Discrete events driving the simulation.
@@ -27,6 +27,17 @@ use throttledb_workload::{ClientModel, TemplateId, Uniquifier, WorkloadMix};
 pub(crate) enum Event {
     /// A client submits its next query.
     Submit { client: u32 },
+    /// A cohort-compressed client submits: the retry chain's state rides in
+    /// the event, so an idle cohort member costs no per-client memory.
+    CohortSubmit {
+        client: u32,
+        attempts: u32,
+        first_at: SimTime,
+    },
+    /// The next query of an open-loop arrival source arrives. Exactly one
+    /// such event is pending per source — the self-perpetuating
+    /// next-arrival sample — regardless of the modeled population size.
+    Arrival { source: u32 },
     /// One compilation memory-growth step completes.
     CompileStep { query: u64 },
     /// A gateway wait reached its timeout.
@@ -59,6 +70,32 @@ pub(crate) enum PlanKey {
     Text(u64),
     /// A compiled plan's identity (insert side).
     Compiled(TemplateId, u64),
+}
+
+/// Runtime state of one open-loop arrival source.
+///
+/// The whole modeled population is this struct plus one pending wheel
+/// event: the next-arrival sample. Each source draws from its own forked
+/// RNG stream, so sources never perturb each other (or the closed-loop
+/// workload stream).
+pub(crate) struct SourceRuntime {
+    /// This source's private RNG stream.
+    pub rng: SimRng,
+    /// Stateful sampler over the source's arrival process.
+    pub sampler: ArrivalSampler,
+    /// Queries of this source currently in the pipeline.
+    pub in_flight: u32,
+    /// Total arrivals offered (admitted + shed).
+    pub arrivals: u64,
+    /// Arrivals admitted into the compile→grant→execute pipeline.
+    pub admitted: u64,
+    /// Arrivals shed at the door (concurrency cap or breaker).
+    pub shed: u64,
+    /// Admitted arrivals that ran to completion.
+    pub completed: u64,
+    /// Admitted arrivals that failed out of the pipeline (terminal — open
+    /// systems do not retry).
+    pub failed: u64,
 }
 
 /// The simulated server: builds the paper's machine, runs the client
@@ -149,6 +186,20 @@ pub struct Server {
     /// When each client's current retry chain first submitted (the total
     /// query deadline is measured from here).
     pub(crate) first_attempt_at: Vec<SimTime>,
+    /// Runtime state of the configured open-loop arrival sources.
+    pub(crate) sources: Vec<SourceRuntime>,
+    /// Streaming FNV-1a digest over every arrival's admission decision
+    /// (time, source, outcome code). Two runs that agree on this digest
+    /// made identical shed/admit decisions at identical instants — the
+    /// cheap determinism witness for runs too large to trace.
+    pub(crate) arrival_digest: u64,
+    /// Fenceposts of the contiguous class ranges
+    /// (see [`ServerConfig::class_bounds`]); cohort-compressed runs derive
+    /// class membership from these instead of `class_by_client`.
+    pub(crate) class_bounds: Vec<u32>,
+    /// Whether a cohort-compressed population has been started; cohort
+    /// runs require the population to stay constant afterwards.
+    pub(crate) cohort_started: bool,
 }
 
 impl Server {
@@ -177,7 +228,35 @@ impl Server {
                 )
             })
             .collect();
-        let class_by_client = config.class_assignment();
+        // Cohort-compressed runs materialize no per-client state at all:
+        // class membership comes from the contiguous bounds and retry state
+        // rides inside the pending submit events.
+        let cohort = config.cohort_compressed;
+        let class_by_client = if cohort {
+            Vec::new()
+        } else {
+            config.class_assignment()
+        };
+        let class_bounds = config.class_bounds();
+        // Every source gets a private stream forked off a dedicated base —
+        // never off the workload RNG, so configuring sources leaves the
+        // closed-loop draw sequence untouched.
+        let mut source_base = SimRng::seed_from_u64(config.seed ^ 0xA221_4A15_0000_0001);
+        let sources = config
+            .arrivals
+            .iter()
+            .enumerate()
+            .map(|(index, src)| SourceRuntime {
+                rng: source_base.fork(index as u64),
+                sampler: src.process.sampler(),
+                in_flight: 0,
+                arrivals: 0,
+                admitted: 0,
+                shed: 0,
+                completed: 0,
+                failed: 0,
+            })
+            .collect();
         let plan_cache = PlanCache::new(256 << 20, Some(cache_clerk));
         let mut metrics = RunMetrics::new(
             config.slice,
@@ -187,7 +266,7 @@ impl Server {
         metrics.run_duration = config.duration;
         let mut client_model = config.client_model;
         client_model.oltp_fraction = config.oltp_fraction;
-        let clients = config.clients as usize;
+        let clients = if cohort { 0 } else { config.clients as usize };
         Server {
             rng: SimRng::seed_from_u64(config.seed),
             profiles,
@@ -208,7 +287,11 @@ impl Server {
             metrics,
             now: SimTime::ZERO,
             active_clients: 0,
-            activation_order: config.activation_order(),
+            activation_order: if cohort {
+                Vec::new()
+            } else {
+                config.activation_order()
+            },
             client_active: vec![false; clients],
             client_busy: vec![false; clients],
             mix: WorkloadMix::paper_default(config.oltp_fraction),
@@ -230,6 +313,11 @@ impl Server {
             active_faults: 0,
             retry_attempts: vec![0; clients],
             first_attempt_at: vec![SimTime::ZERO; clients],
+            sources,
+            // FNV-1a offset basis: the empty-stream digest.
+            arrival_digest: 0xcbf2_9ce4_8422_2325,
+            class_bounds,
+            cohort_started: false,
             config,
         }
     }
@@ -249,10 +337,24 @@ impl Server {
     // simulation windows: begin once, then alternate `set_*` mutators with
     // `run_until` at phase boundaries, and `finish` at the end.
 
-    /// Start the server's housekeeping (the periodic broker tick). Call
-    /// once, after configuring the initial client population.
+    /// Start the server's housekeeping (the periodic broker tick) and the
+    /// open-loop arrival sources. Call once, after configuring the initial
+    /// client population.
     pub fn begin(&mut self) {
         self.queue.schedule(self.now, Event::BrokerTick);
+        let end = SimTime::ZERO + self.config.duration;
+        for (index, src) in self.sources.iter_mut().enumerate() {
+            let gap = src.sampler.next_gap(&mut src.rng, self.now);
+            let at = self.now + gap;
+            if at < end {
+                self.queue.schedule(
+                    at,
+                    Event::Arrival {
+                        source: index as u32,
+                    },
+                );
+            }
+        }
     }
 
     /// Advance the simulation, processing every event scheduled strictly
@@ -264,6 +366,12 @@ impl Server {
             self.now = ev.at;
             match ev.payload {
                 Event::Submit { client } => self.on_submit(client),
+                Event::CohortSubmit {
+                    client,
+                    attempts,
+                    first_at,
+                } => self.on_cohort_submit(client, attempts, first_at),
+                Event::Arrival { source } => self.on_arrival(source),
                 Event::CompileStep { query } => self.on_compile_step(query),
                 Event::CompileTimeout { query, level } => self.on_compile_timeout(query, level),
                 Event::GrantTimeout { query } => self.on_grant_timeout(query),
@@ -285,6 +393,10 @@ impl Server {
     /// simulated minute; removed clients leave the closed loop as soon as
     /// their in-flight work completes.
     pub fn set_active_clients(&mut self, n: u32) {
+        if self.config.cohort_compressed {
+            self.set_active_cohort(n);
+            return;
+        }
         let n = n.min(self.config.clients) as usize;
         for idx in 0..self.activation_order.len() {
             let client = self.activation_order[idx] as usize;
@@ -306,6 +418,121 @@ impl Server {
             }
         }
         self.active_clients = n as u32;
+    }
+
+    /// Start (or re-assert) a cohort-compressed population of `n` clients.
+    ///
+    /// The activation order and the per-client first-submission offsets are
+    /// drawn exactly as the materialized path draws them — same RNG, same
+    /// sequence — then the order is dropped: what remains is one pending
+    /// [`Event::CohortSubmit`] per active client. Cohort populations are
+    /// constant: repeating the same `n` is a no-op, changing it panics
+    /// (resizing would need the per-client participation vectors the mode
+    /// exists to avoid).
+    fn set_active_cohort(&mut self, n: u32) {
+        let n = n.min(self.config.clients);
+        if self.cohort_started {
+            assert_eq!(
+                n, self.active_clients,
+                "cohort-compressed runs require a constant population"
+            );
+            return;
+        }
+        self.cohort_started = true;
+        let order = self.config.activation_order();
+        for &client in order.iter().take(n as usize) {
+            let offset = SimDuration::from_millis(self.rng.uniform_u64(0, 60_000));
+            self.queue.schedule(
+                self.now + offset,
+                Event::CohortSubmit {
+                    client,
+                    attempts: 0,
+                    first_at: SimTime::ZERO,
+                },
+            );
+        }
+        self.active_clients = n;
+    }
+
+    /// Schedule a cohort client's next submission, bounded by the run's
+    /// end exactly like [`Server::schedule_submit`] (cohort populations are
+    /// constant, so the materialized path's `client_active` check is
+    /// trivially true).
+    pub(crate) fn schedule_cohort_submit(
+        &mut self,
+        client: u32,
+        attempts: u32,
+        first_at: SimTime,
+        delay: SimDuration,
+    ) {
+        let at = self.now + delay;
+        if at < SimTime::ZERO + self.config.duration {
+            self.queue.schedule(
+                at,
+                Event::CohortSubmit {
+                    client,
+                    attempts,
+                    first_at,
+                },
+            );
+        }
+    }
+
+    /// Dispatch a cohort client's submission: a fresh chain (attempts = 0)
+    /// starts its total-deadline clock now, mirroring the materialized
+    /// path's `first_attempt_at` bookkeeping.
+    fn on_cohort_submit(&mut self, client: u32, attempts: u32, first_at: SimTime) {
+        let first_at = if attempts == 0 { self.now } else { first_at };
+        self.submit_query(QueryOrigin::Cohort {
+            client,
+            attempts,
+            first_at,
+        });
+    }
+
+    /// One open-loop arrival: decide admission, fold the decision into the
+    /// streaming digest, and sample the source's next arrival.
+    ///
+    /// Order matters for cost: the concurrency cap is checked *before* any
+    /// query content is drawn, so an overloaded source sheds at one cheap
+    /// event (~a digest fold) per arrival instead of paying template
+    /// selection and uniquification for work it then discards.
+    fn on_arrival(&mut self, source: u32) {
+        let s = source as usize;
+        self.sources[s].arrivals += 1;
+        let code: u8 = if self.sources[s].in_flight >= self.config.arrivals[s].max_in_flight {
+            self.sources[s].shed += 1;
+            1 // shed at the concurrency cap, before any draws
+        } else if self.submit_query(QueryOrigin::Source { source }) {
+            self.sources[s].in_flight += 1;
+            self.sources[s].admitted += 1;
+            0 // admitted into the pipeline
+        } else {
+            self.sources[s].shed += 1;
+            2 // shed by the class breaker
+        };
+        self.fold_arrival(self.now, source, code);
+        let end = SimTime::ZERO + self.config.duration;
+        let src = &mut self.sources[s];
+        let gap = src.sampler.next_gap(&mut src.rng, self.now);
+        let at = self.now + gap;
+        if at < end {
+            self.queue.schedule(at, Event::Arrival { source });
+        }
+    }
+
+    /// Fold one arrival decision into the streaming FNV-1a digest.
+    fn fold_arrival(&mut self, at: SimTime, source: u32, code: u8) {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = self.arrival_digest;
+        for byte in at.as_micros().to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+        for byte in source.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+        }
+        h = (h ^ code as u64).wrapping_mul(FNV_PRIME);
+        self.arrival_digest = h;
     }
 
     /// Replace the workload mix submissions are sampled from. TPC-H-like
@@ -352,6 +579,11 @@ impl Server {
         assert!(self.faults.is_empty(), "faults already installed");
         for (index, fault) in faults.iter().enumerate() {
             fault.validate();
+            assert!(
+                !(self.config.cohort_compressed
+                    && matches!(fault.kind, FaultKind::ClientSurge { .. })),
+                "client-surge faults resize the population, which cohort-compressed runs forbid"
+            );
             self.faults.push(*fault);
             self.fault_active.push(false);
             self.leak_allocated.push(0);
@@ -509,6 +741,13 @@ impl Server {
         self.next_query
     }
 
+    /// Total open-loop arrivals offered so far, across every source
+    /// (admitted + shed). Scenario phase reports snapshot this at
+    /// boundaries.
+    pub fn arrivals_offered(&self) -> u64 {
+        self.sources.iter().map(|s| s.arrivals).sum()
+    }
+
     /// The number of clients currently in the closed loop.
     pub fn active_clients(&self) -> u32 {
         self.active_clients
@@ -582,9 +821,15 @@ impl Server {
 
     // --- shared machine model ---------------------------------------------
 
-    /// The class index of `client`.
+    /// The class index of `client`. Materialized populations read the
+    /// precomputed per-client vector; cohort-compressed ones derive it from
+    /// the contiguous class bounds (same assignment, no per-client memory).
     pub(crate) fn class_of(&self, client: u32) -> usize {
-        self.class_by_client[client as usize]
+        if self.config.cohort_compressed {
+            self.class_bounds.partition_point(|&b| b <= client) - 1
+        } else {
+            self.class_by_client[client as usize]
+        }
     }
 
     pub(crate) fn schedule_submit(&mut self, client: u32, delay: SimDuration) {
@@ -615,27 +860,62 @@ impl Server {
         (self.running_cpu_tasks as f64 / cpus as f64).max(1.0)
     }
 
-    /// A client's attempt failed or was shed: either schedule the capped
-    /// exponential-backoff retry, or — when the retry budget or the total
-    /// query deadline is exhausted — abandon the chain and let the client
-    /// think about fresh work instead of churning the wheel.
-    pub(crate) fn reschedule_after_setback(&mut self, client: u32) {
-        let idx = client as usize;
-        self.retry_attempts[idx] = self.retry_attempts[idx].saturating_add(1);
-        let attempts = self.retry_attempts[idx];
-        let over_budget = self.config.retry_budget > 0 && attempts > self.config.retry_budget;
-        let over_deadline = self
-            .config
-            .query_deadline
-            .is_some_and(|d| self.now >= self.first_attempt_at[idx] + d);
-        if over_budget || over_deadline {
-            self.metrics.retries_abandoned += 1;
-            self.retry_attempts[idx] = 0;
-            let think = self.client_model.think_time(&mut self.rng);
-            self.schedule_submit(client, think);
-        } else {
-            let delay = self.client_model.retry_delay(&mut self.rng, attempts);
-            self.schedule_submit(client, delay);
+    /// A query's attempt failed or was shed: route the setback to its
+    /// origin. Closed-loop clients (materialized or cohort-compressed)
+    /// either schedule the capped exponential-backoff retry or — when the
+    /// retry budget or the total query deadline is exhausted — abandon the
+    /// chain and think about fresh work. The two closed-loop paths make
+    /// draw-for-draw identical RNG decisions; only where the retry state
+    /// lives differs. Open-loop arrivals never retry: the source's
+    /// in-flight slot is simply released.
+    pub(crate) fn reschedule_after_setback(&mut self, origin: QueryOrigin) {
+        match origin {
+            QueryOrigin::Client { client } => {
+                let idx = client as usize;
+                self.retry_attempts[idx] = self.retry_attempts[idx].saturating_add(1);
+                let attempts = self.retry_attempts[idx];
+                let over_budget =
+                    self.config.retry_budget > 0 && attempts > self.config.retry_budget;
+                let over_deadline = self
+                    .config
+                    .query_deadline
+                    .is_some_and(|d| self.now >= self.first_attempt_at[idx] + d);
+                if over_budget || over_deadline {
+                    self.metrics.retries_abandoned += 1;
+                    self.retry_attempts[idx] = 0;
+                    let think = self.client_model.think_time(&mut self.rng);
+                    self.schedule_submit(client, think);
+                } else {
+                    let delay = self.client_model.retry_delay(&mut self.rng, attempts);
+                    self.schedule_submit(client, delay);
+                }
+            }
+            QueryOrigin::Cohort {
+                client,
+                attempts,
+                first_at,
+            } => {
+                let attempts = attempts.saturating_add(1);
+                let over_budget =
+                    self.config.retry_budget > 0 && attempts > self.config.retry_budget;
+                let over_deadline = self
+                    .config
+                    .query_deadline
+                    .is_some_and(|d| self.now >= first_at + d);
+                if over_budget || over_deadline {
+                    self.metrics.retries_abandoned += 1;
+                    let think = self.client_model.think_time(&mut self.rng);
+                    self.schedule_cohort_submit(client, 0, SimTime::ZERO, think);
+                } else {
+                    let delay = self.client_model.retry_delay(&mut self.rng, attempts);
+                    self.schedule_cohort_submit(client, attempts, first_at, delay);
+                }
+            }
+            QueryOrigin::Source { source } => {
+                let src = &mut self.sources[source as usize];
+                src.in_flight = src.in_flight.saturating_sub(1);
+                src.failed += 1;
+            }
         }
     }
 
@@ -692,9 +972,30 @@ impl Server {
         self.metrics.events_dispatched = self.queue.dispatched();
         self.metrics.peak_queue_depth = self.queue.peak_len();
         let mut class_clients = vec![0u32; self.classes.len()];
-        for class in &self.class_by_client {
-            class_clients[*class] += 1;
+        if self.config.cohort_compressed {
+            for (idx, count) in class_clients.iter_mut().enumerate() {
+                *count = self.class_bounds[idx + 1] - self.class_bounds[idx];
+            }
+        } else {
+            for class in &self.class_by_client {
+                class_clients[*class] += 1;
+            }
         }
+        for (src, spec) in self.sources.iter().zip(&self.config.arrivals) {
+            self.metrics.arrivals += src.arrivals;
+            self.metrics.arrivals_admitted += src.admitted;
+            self.metrics.arrivals_shed += src.shed;
+            self.metrics.arrival_sources.push(ArrivalSourceMetrics {
+                name: spec.name.clone(),
+                modeled_clients: spec.modeled_clients,
+                arrivals: src.arrivals,
+                admitted: src.admitted,
+                shed: src.shed,
+                completed: src.completed,
+                failed: src.failed,
+            });
+        }
+        self.metrics.arrival_digest = self.arrival_digest;
         for (idx, class) in self.classes.iter().enumerate() {
             self.metrics.throttle.merge(class.policy.stats());
             let (shed, transitions, brownout) = class
@@ -909,6 +1210,172 @@ mod tests {
             );
             assert_eq!(a.throttle, b.throttle, "policy {} stats drift", kind.name());
         }
+    }
+
+    use crate::config::ArrivalSourceConfig;
+
+    fn poisson_source(rate: f64, class: usize, max_in_flight: u32) -> ArrivalSourceConfig {
+        ArrivalSourceConfig {
+            name: "web".to_string(),
+            process: throttledb_sim::ArrivalProcess::Poisson { rate_per_sec: rate },
+            class,
+            max_in_flight,
+            modeled_clients: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn cohort_compressed_run_is_trace_identical_to_materialized() {
+        // The tentpole's equivalence claim at the engine level: the same
+        // population run cohort-compressed (no per-client vectors, retry
+        // state in the events) produces the exact same event stream as the
+        // materialized run — including under retry budgets and deadlines,
+        // which exercise every cohort state-machine branch.
+        let profiles = profiles();
+        let run = |cohort: bool| {
+            let mut cfg = ServerConfig::quick(12, true).with_standard_classes();
+            cfg.cohort_compressed = cohort;
+            cfg.retry_budget = 3;
+            cfg.query_deadline = Some(SimDuration::from_secs(1800));
+            cfg.breaker = throttledb_governor::BreakerConfig {
+                enabled: true,
+                ..Default::default()
+            };
+            let mut server = Server::new(cfg.clone(), profiles.clone());
+            server.enable_trace();
+            server.set_active_clients(cfg.clients);
+            server.begin();
+            server.run_until(SimTime::ZERO + cfg.duration);
+            let trace = server.take_trace();
+            (trace, server.finish())
+        };
+        let (mat_trace, mat) = run(false);
+        let (coh_trace, coh) = run(true);
+        assert!(mat.completed.total() > 10, "run too idle to prove anything");
+        assert_eq!(
+            mat_trace, coh_trace,
+            "cohort-compressed trace diverged from the materialized population"
+        );
+        assert_eq!(mat.completed.total(), coh.completed.total());
+        assert_eq!(mat.total_failures(), coh.total_failures());
+        assert_eq!(mat.retries_abandoned, coh.retries_abandoned);
+        // Per-class client counts come from the bounds in cohort mode and
+        // from the materialized vector otherwise; they must agree.
+        for (m, c) in mat.classes.iter().zip(coh.classes.iter()) {
+            assert_eq!(m.clients, c.clients, "class {} population", m.name);
+            assert_eq!(m.completed, c.completed, "class {} completions", m.name);
+        }
+    }
+
+    #[test]
+    fn cohort_population_must_stay_constant() {
+        let profiles = profiles();
+        let mut cfg = ServerConfig::quick(8, true);
+        cfg.cohort_compressed = true;
+        let mut server = Server::new(cfg, profiles);
+        server.set_active_clients(8);
+        server.set_active_clients(8); // same n: no-op
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            server.set_active_clients(4)
+        }));
+        assert!(result.is_err(), "resizing a cohort population must panic");
+    }
+
+    #[test]
+    fn open_loop_source_runs_without_clients_and_accounts_exactly() {
+        let profiles = profiles();
+        let run = || {
+            let mut cfg = ServerConfig::quick(0, true);
+            cfg.arrivals = vec![poisson_source(5.0, 0, 8)];
+            Server::new(cfg, profiles.clone()).run()
+        };
+        let a = run();
+        assert!(
+            a.arrivals > 1_000,
+            "an hour at 5/s should offer thousands of arrivals, got {}",
+            a.arrivals
+        );
+        assert_eq!(a.arrivals, a.arrivals_admitted + a.arrivals_shed);
+        assert_eq!(a.arrival_sources.len(), 1);
+        let s = &a.arrival_sources[0];
+        assert_eq!(s.arrivals, a.arrivals);
+        assert!(s.completed > 0, "no arrival ever completed");
+        assert!(
+            s.admitted >= s.completed + s.failed,
+            "more terminal outcomes than admissions"
+        );
+        assert_ne!(
+            a.arrival_digest, 0xcbf2_9ce4_8422_2325,
+            "digest never folded an arrival"
+        );
+        // Deterministic: the replay makes identical per-arrival decisions.
+        let b = run();
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.arrival_digest, b.arrival_digest);
+    }
+
+    #[test]
+    fn overloaded_source_sheds_at_the_cap_cheaply() {
+        // λ far above what max_in_flight = 2 can drain: almost everything
+        // sheds at the door, and a cap-shed arrival costs one event — so
+        // dispatched events stay within a small multiple of the arrival
+        // count instead of 18× (the admitted-query event cost).
+        let profiles = profiles();
+        let mut cfg = ServerConfig::quick(0, true);
+        cfg.arrivals = vec![poisson_source(50.0, 0, 2)];
+        let metrics = Server::new(cfg, profiles).run();
+        assert!(metrics.arrivals > 100_000);
+        assert!(
+            metrics.arrivals_shed > metrics.arrivals_admitted * 10,
+            "cap never engaged: {} shed vs {} admitted",
+            metrics.arrivals_shed,
+            metrics.arrivals_admitted
+        );
+        assert!(
+            metrics.events_dispatched < metrics.arrivals * 2,
+            "shed arrivals are supposed to be ~1 event each: {} events for {} arrivals",
+            metrics.events_dispatched,
+            metrics.arrivals
+        );
+    }
+
+    #[test]
+    fn mixed_cohort_and_source_run_never_reuses_a_live_query_slot() {
+        // Arena safety under a high arrival count: every query id is
+        // submitted exactly once and reaches at most one terminal event —
+        // i.e. lazily materialized per-arrival state never lands in a slot
+        // that is still live.
+        let profiles = profiles();
+        let mut cfg = ServerConfig::quick(8, true);
+        cfg.cohort_compressed = true;
+        cfg.arrivals = vec![poisson_source(50.0, 0, 256)];
+        let mut server = Server::new(cfg, profiles);
+        server.enable_trace();
+        server.set_active_clients(8);
+        server.begin();
+        server.run_until(SimTime::ZERO + SimDuration::from_secs(900));
+        let trace = server.take_trace();
+        let mut submitted = std::collections::HashSet::new();
+        let mut finished = std::collections::HashSet::new();
+        for ev in &trace {
+            match ev {
+                TraceEvent::Submitted { query, .. } => {
+                    assert!(submitted.insert(*query), "query {query} submitted twice");
+                }
+                TraceEvent::Completed { query, .. }
+                | TraceEvent::Failed { query, .. }
+                | TraceEvent::Shed { query, .. } => {
+                    assert!(submitted.contains(query), "query {query} never submitted");
+                    assert!(finished.insert(*query), "query {query} finished twice");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            submitted.len() > 100,
+            "too few in-flight materializations ({}) to stress slot reuse",
+            submitted.len()
+        );
     }
 
     #[test]

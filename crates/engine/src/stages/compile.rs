@@ -6,23 +6,16 @@
 //! realised as virtual-time timeout events; admission is signalled by the
 //! policy when a holder releases.
 
-use super::{Query, QueryLifecycle};
+use super::{Query, QueryLifecycle, QueryOrigin};
 use crate::metrics::FailureKind;
 use crate::server::{Event, PlanKey, Server};
 use crate::trace::TraceEvent;
 use throttledb_governor::{PolicyDecision, PolicySignals};
 
 impl Server {
-    /// A client submits its next query: choose a template, uniquify its
-    /// text, and start (or skip, on a plan-cache hit) compilation.
-    ///
-    /// This is the allocation-free hot path: the template is chosen as an
-    /// interned [`throttledb_workload::TemplateId`], its profile is a dense
-    /// vector lookup, and the uniquifier perturbs a cached parse and hands
-    /// back only the digest of the unique text — no SQL string is cloned or
-    /// built per submission (the RNG draws are identical to the allocating
-    /// path, so seeded runs are unchanged; see the workload crate's
-    /// equivalence tests).
+    /// A materialized closed-loop client submits its next query: check its
+    /// participation, start a fresh chain's deadline clock, and hand off to
+    /// the shared submission path.
     pub(crate) fn on_submit(&mut self, client: u32) {
         if !self.client_active[client as usize] {
             // The client was deactivated by a scenario phase after this
@@ -30,11 +23,33 @@ impl Server {
             self.client_busy[client as usize] = false;
             return;
         }
-        let class = self.class_of(client);
         // A fresh chain (not a retry) starts its total-deadline clock here.
         if self.retry_attempts[client as usize] == 0 {
             self.first_attempt_at[client as usize] = self.now;
         }
+        self.submit_query(QueryOrigin::Client { client });
+    }
+
+    /// Submit one query from any origin: choose a template, uniquify its
+    /// text, and start (or skip, on a plan-cache hit) compilation. Returns
+    /// whether the query entered the pipeline (`false` = shed at the door).
+    ///
+    /// This is the allocation-free hot path: the template is chosen as an
+    /// interned [`throttledb_workload::TemplateId`], its profile is a dense
+    /// vector lookup, and the uniquifier perturbs a cached parse and hands
+    /// back only the digest of the unique text — no SQL string is cloned or
+    /// built per submission (the RNG draws are identical to the allocating
+    /// path, so seeded runs are unchanged; see the workload crate's
+    /// equivalence tests). The draw sequence is origin-independent, which
+    /// is what makes a cohort-compressed run's trace byte-identical to the
+    /// same population materialized as individual clients.
+    pub(crate) fn submit_query(&mut self, origin: QueryOrigin) -> bool {
+        let class = match origin {
+            QueryOrigin::Client { client } | QueryOrigin::Cohort { client, .. } => {
+                self.class_of(client)
+            }
+            QueryOrigin::Source { source } => self.config.arrivals[source as usize].class,
+        };
         let template =
             self.client_model
                 .choose_id(&self.mix, self.profiles.catalog(), &mut self.rng);
@@ -50,13 +65,13 @@ impl Server {
         self.trace_push(TraceEvent::Submitted {
             at: self.now,
             query: id,
-            client,
+            client: origin.client_id(self.config.clients),
             class,
         });
 
         // Circuit breaker: while the class is failing hard, large arrivals
-        // are shed at the door (the client backs off as if the attempt
-        // failed) and small ones brown out through the exemption. The RNG
+        // are shed at the door (closed-loop clients back off as if the
+        // attempt failed; open-loop arrivals are simply gone). The RNG
         // draws above happen unconditionally, so a breakered run's stream
         // stays aligned with an unbreakered one until behaviour actually
         // diverges.
@@ -68,8 +83,12 @@ impl Server {
                 at: self.now,
                 query: id,
             });
-            self.reschedule_after_setback(client);
-            return;
+            // A shed open-loop arrival never held an in-flight slot, so
+            // there is nothing to release — the caller counts the shed.
+            if !matches!(origin, QueryOrigin::Source { .. }) {
+                self.reschedule_after_setback(origin);
+            }
+            return false;
         }
 
         // The uniquifier defeats the plan cache (as in the paper); text
@@ -78,7 +97,7 @@ impl Server {
         // old text-keyed behaviour, without carrying the text.
         if self.plan_cache.get(&PlanKey::Text(digest)).is_some() {
             let query = Query {
-                client,
+                origin,
                 class,
                 template,
                 profile,
@@ -94,7 +113,7 @@ impl Server {
             // have taken; take it here so the accounting stays balanced.
             self.running_cpu_tasks += 1;
             self.finish_compile(id);
-            return;
+            return true;
         }
 
         let task = self.classes[class].policy.begin();
@@ -102,7 +121,7 @@ impl Server {
         self.queries.insert(
             id,
             Query {
-                client,
+                origin,
                 class,
                 template,
                 profile,
@@ -118,6 +137,7 @@ impl Server {
         let step = self.compile_step_duration(&profile);
         self.queue
             .schedule(self.now + step, Event::CompileStep { query: id });
+        true
     }
 
     /// One compilation memory-growth step: allocate the step's bytes, report

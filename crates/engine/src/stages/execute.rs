@@ -5,7 +5,7 @@
 //! the buffer-pool hit-rate model over whatever physical memory the
 //! brokered subcomponents have left free.
 
-use super::QueryLifecycle;
+use super::{QueryLifecycle, QueryOrigin};
 use crate::server::{Event, Server};
 use crate::trace::TraceEvent;
 use throttledb_sim::SimDuration;
@@ -87,10 +87,24 @@ impl Server {
             class.completed_after_warmup += 1;
         }
         self.breaker_record(q.class, true);
-        // Success ends the retry chain: the next failure starts a fresh
-        // backoff ladder and deadline clock.
-        self.retry_attempts[q.client as usize] = 0;
-        let think = self.client_model.think_time(&mut self.rng);
-        self.schedule_submit(q.client, think);
+        // Success ends the retry chain: closed-loop clients (materialized
+        // or cohort) think and submit fresh work; an open-loop arrival
+        // just releases its source's in-flight slot.
+        match q.origin {
+            QueryOrigin::Client { client } => {
+                self.retry_attempts[client as usize] = 0;
+                let think = self.client_model.think_time(&mut self.rng);
+                self.schedule_submit(client, think);
+            }
+            QueryOrigin::Cohort { client, .. } => {
+                let think = self.client_model.think_time(&mut self.rng);
+                self.schedule_cohort_submit(client, 0, throttledb_sim::SimTime::ZERO, think);
+            }
+            QueryOrigin::Source { source } => {
+                let src = &mut self.sources[source as usize];
+                src.in_flight = src.in_flight.saturating_sub(1);
+                src.completed += 1;
+            }
+        }
     }
 }

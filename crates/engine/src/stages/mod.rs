@@ -29,6 +29,54 @@ use throttledb_core::{GatewayLadder, ThrottleConfig};
 use throttledb_executor::{GrantManager, GrantRequestId};
 use throttledb_governor::{BreakerConfig, CircuitBreaker, CostPolicy, PidPolicy, Policy};
 use throttledb_membroker::{Clerk, SubcomponentKind};
+use throttledb_sim::SimTime;
+
+/// Who submitted a query — and therefore where its completion / failure
+/// feedback is routed.
+///
+/// The three variants are the server's three population models:
+/// materialized closed-loop clients carry retry state in per-client
+/// vectors; cohort-compressed clients carry it *here*, inside the query
+/// and its pending submit events, so a million-user population costs no
+/// per-client memory; open-loop sources have no retry chain at all — a
+/// failed arrival is simply gone, as in any open system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueryOrigin {
+    /// A materialized closed-loop client.
+    Client {
+        /// Client id (index into the server's per-client vectors).
+        client: u32,
+    },
+    /// A cohort-compressed closed-loop client: same id space and same
+    /// random draws as [`QueryOrigin::Client`], but the retry chain's
+    /// attempt count and first-submission time travel with the query.
+    Cohort {
+        /// Client id (class membership derives from the class bounds).
+        client: u32,
+        /// Consecutive setbacks on the current logical query.
+        attempts: u32,
+        /// When the current retry chain first submitted.
+        first_at: SimTime,
+    },
+    /// An open-loop arrival source (index into the server's source table).
+    Source {
+        /// Source index into `ServerConfig::arrivals`.
+        source: u32,
+    },
+}
+
+impl QueryOrigin {
+    /// The client id recorded in traces and metrics. Source arrivals use a
+    /// stable pseudo-client id above the closed-loop population
+    /// (`clients + source`), so per-source streams stay distinguishable in
+    /// a trace without a per-arrival id allocation.
+    pub(crate) fn client_id(self, clients: u32) -> u32 {
+        match self {
+            QueryOrigin::Client { client } | QueryOrigin::Cohort { client, .. } => client,
+            QueryOrigin::Source { source } => clients + source,
+        }
+    }
+}
 
 /// Where a query currently is in the compile → grant → execute pipeline.
 ///
@@ -89,7 +137,7 @@ impl QueryLifecycle {
 /// One in-flight query.
 #[derive(Debug)]
 pub(crate) struct Query {
-    pub client: u32,
+    pub origin: QueryOrigin,
     /// Index into the server's class table.
     pub class: usize,
     /// The interned template this submission instantiated (copy-free; the
@@ -260,7 +308,7 @@ impl Server {
         });
         self.classes[q.class].failed += 1;
         self.breaker_record(q.class, false);
-        self.reschedule_after_setback(q.client);
+        self.reschedule_after_setback(q.origin);
     }
 
     /// Broker housekeeping: recalculate, tick every class admission policy

@@ -10,13 +10,20 @@
 //!   `diurnal_two_classes`, `burst_degrading_pool`, `class_mix_shift`,
 //!   `ramp_to_saturation`) — workload shapes the paper never evaluated,
 //!   exercising the same admission-control policy under phase-varying
-//!   load.
+//!   load; and
+//! * **open-loop scenarios** (`open_loop_poisson`, `flash_crowd`,
+//!   `heavy_tail_arrivals`, `diurnal_arrivals`, `open_loop_scale`) —
+//!   arrival-process-driven populations with no (or only a
+//!   cohort-compressed) closed loop, where the offered rate is set by a
+//!   stochastic process instead of think times.
 
 use crate::fault::FaultPlan;
 use crate::phase::Phase;
 use serde::{Deserialize, Serialize};
-use throttledb_engine::{BreakerConfig, FaultKind, PolicyKind, ServerConfig, WorkloadClassConfig};
-use throttledb_sim::SimDuration;
+use throttledb_engine::{
+    ArrivalSourceConfig, BreakerConfig, FaultKind, PolicyKind, ServerConfig, WorkloadClassConfig,
+};
+use throttledb_sim::{ArrivalProcess, SimDuration};
 use throttledb_workload::WorkloadMix;
 
 /// Experiment scale: `Quick` shrinks durations for tests and CI smoke
@@ -137,13 +144,19 @@ impl Scenario {
         config
     }
 
-    /// Panics on an empty or inconsistent phase schedule.
+    /// Panics on an empty or inconsistent phase schedule, or when the
+    /// scenario drives no load at all (every phase has zero closed-loop
+    /// clients *and* the base configuration has no arrival sources).
     pub fn validate(&self) {
         assert!(!self.name.is_empty(), "scenario needs a name");
         assert!(!self.phases.is_empty(), "scenario needs at least one phase");
         for phase in &self.phases {
             phase.validate();
         }
+        assert!(
+            self.max_clients() > 0 || !self.base.arrivals.is_empty(),
+            "scenario drives no load: every phase has zero clients and the base has no arrival sources"
+        );
         self.faults.validate(self.total_duration());
     }
 
@@ -306,6 +319,139 @@ impl Scenario {
         Scenario::new(
             "ramp_to_saturation",
             "client ramp 8 → 40 across the §5.2 saturation knee",
+            base,
+            phases,
+        )
+    }
+
+    // --- open-loop scenarios: arrival-process-driven load --------------------
+
+    /// A steady open-loop Poisson stream against an empty closed loop: the
+    /// offered rate is fixed by the process, not by think times, so queueing
+    /// delay cannot throttle the arrivals. The textbook contrast case to
+    /// the paper's closed-loop population.
+    pub fn open_loop_poisson(scale: Scale) -> Self {
+        let mut base = Self::custom_base(scale, 2007);
+        base.arrivals = vec![ArrivalSourceConfig {
+            name: "web".to_string(),
+            process: ArrivalProcess::Poisson { rate_per_sec: 0.5 },
+            class: 0,
+            max_in_flight: 48,
+            modeled_clients: 50_000,
+        }];
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("open-loop", scale.minutes(40), 0, mix)];
+        Scenario::new(
+            "open_loop_poisson",
+            "steady Poisson arrivals (0.5/s, 48 in flight) with no closed-loop clients",
+            base,
+            phases,
+        )
+    }
+
+    /// A flash crowd as a two-state MMPP: long calm stretches at a fifth of
+    /// a query per second punctuated by two-minute bursts at twenty times
+    /// that rate. The bursts slam into the concurrency cap and the gateway
+    /// ladder together.
+    pub fn flash_crowd(scale: Scale) -> Self {
+        let mut base = Self::custom_base(scale, 2007);
+        base.arrivals = vec![ArrivalSourceConfig {
+            name: "crowd".to_string(),
+            process: ArrivalProcess::Mmpp {
+                calm_rate_per_sec: 0.2,
+                burst_rate_per_sec: 4.0,
+                mean_calm_secs: 600.0,
+                mean_burst_secs: 120.0,
+            },
+            class: 0,
+            max_in_flight: 96,
+            modeled_clients: 200_000,
+        }];
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("open-loop", scale.minutes(40), 0, mix)];
+        Scenario::new(
+            "flash_crowd",
+            "MMPP flash crowd: 0.2/s calm, 4/s bursts averaging two minutes",
+            base,
+            phases,
+        )
+    }
+
+    /// Heavy-tailed inter-arrival gaps from a bounded Pareto: most gaps are
+    /// near the 200 ms floor (dense arrival trains), but the tail stretches
+    /// to five-minute silences — bursty in a way no Poisson stream is.
+    pub fn heavy_tail_arrivals(scale: Scale) -> Self {
+        let mut base = Self::custom_base(scale, 2007);
+        base.arrivals = vec![ArrivalSourceConfig {
+            name: "heavy-tail".to_string(),
+            process: ArrivalProcess::BoundedPareto {
+                alpha: 1.5,
+                min_secs: 0.2,
+                max_secs: 300.0,
+            },
+            class: 0,
+            max_in_flight: 64,
+            modeled_clients: 100_000,
+        }];
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("open-loop", scale.minutes(40), 0, mix)];
+        Scenario::new(
+            "heavy_tail_arrivals",
+            "bounded-Pareto gaps (alpha 1.5, 0.2 s – 300 s): arrival trains and long silences",
+            base,
+            phases,
+        )
+    }
+
+    /// A sinusoidal day/night arrival rate sampled exactly by thinning: two
+    /// full cycles swinging between 0.1/s and 0.9/s. The rate varies
+    /// *within* one phase — no piecewise-constant client steps involved.
+    pub fn diurnal_arrivals(scale: Scale) -> Self {
+        let mut base = Self::custom_base(scale, 2007);
+        base.arrivals = vec![ArrivalSourceConfig {
+            name: "diurnal".to_string(),
+            process: ArrivalProcess::Diurnal {
+                base_rate_per_sec: 0.5,
+                amplitude: 0.8,
+                period_secs: scale.minutes(20).as_secs_f64(),
+            },
+            class: 0,
+            max_in_flight: 64,
+            modeled_clients: 100_000,
+        }];
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("open-loop", scale.minutes(40), 0, mix)];
+        Scenario::new(
+            "diurnal_arrivals",
+            "sinusoidal arrival rate (0.1/s – 0.9/s, two cycles) via exact thinning",
+            base,
+            phases,
+        )
+    }
+
+    /// The million-user scale cell: a 4 500/s Poisson firehose standing in
+    /// for a million modeled users (≥ 10 M arrivals even at quick scale)
+    /// over a cohort-compressed 64-client closed loop. Nearly all arrivals
+    /// shed at the 512-slot cap — by design: each shed arrival costs one
+    /// wheel event and one digest fold, so the cell measures the admission
+    /// path's per-arrival overhead at wheel-limited rates.
+    pub fn open_loop_scale(scale: Scale) -> Self {
+        let mut base = Self::custom_base(scale, 2007);
+        base.cohort_compressed = true;
+        base.arrivals = vec![ArrivalSourceConfig {
+            name: "firehose".to_string(),
+            process: ArrivalProcess::Poisson {
+                rate_per_sec: 4_500.0,
+            },
+            class: 0,
+            max_in_flight: 512,
+            modeled_clients: 1_000_000,
+        }];
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("firehose", scale.minutes(40), 64, mix)];
+        Scenario::new(
+            "open_loop_scale",
+            "million-user firehose: 4500/s Poisson + cohort-compressed 64-client loop",
             base,
             phases,
         )
@@ -489,11 +635,29 @@ impl Scenario {
             "burst_degrading_pool",
             "class_mix_shift",
             "ramp_to_saturation",
+            "open_loop_poisson",
+            "flash_crowd",
+            "heavy_tail_arrivals",
+            "diurnal_arrivals",
+            "open_loop_scale",
             "memory_leak_creep",
             "compile_stall",
             "slot_failure",
             "retry_storm",
             "thundering_herd_recovery",
+        ]
+    }
+
+    /// The names of the open-loop scenarios — the subset of
+    /// [`Scenario::builtin_names`] whose load comes from arrival sources
+    /// rather than (or in addition to) a closed-loop client population.
+    pub fn open_loop_names() -> &'static [&'static str] {
+        &[
+            "open_loop_poisson",
+            "flash_crowd",
+            "heavy_tail_arrivals",
+            "diurnal_arrivals",
+            "open_loop_scale",
         ]
     }
 
@@ -520,6 +684,11 @@ impl Scenario {
             "burst_degrading_pool" => Some(Self::burst_degrading_pool(scale)),
             "class_mix_shift" => Some(Self::class_mix_shift(scale)),
             "ramp_to_saturation" => Some(Self::ramp_to_saturation(scale)),
+            "open_loop_poisson" => Some(Self::open_loop_poisson(scale)),
+            "flash_crowd" => Some(Self::flash_crowd(scale)),
+            "heavy_tail_arrivals" => Some(Self::heavy_tail_arrivals(scale)),
+            "diurnal_arrivals" => Some(Self::diurnal_arrivals(scale)),
+            "open_loop_scale" => Some(Self::open_loop_scale(scale)),
             "memory_leak_creep" => Some(Self::memory_leak_creep(scale)),
             "compile_stall" => Some(Self::compile_stall(scale)),
             "slot_failure" => Some(Self::slot_failure(scale)),
@@ -550,7 +719,10 @@ mod tests {
                     .unwrap_or_else(|| panic!("builtin {name} missing"));
                 assert_eq!(&s.name, name);
                 s.validate();
-                assert!(s.max_clients() > 0);
+                assert!(
+                    s.max_clients() > 0 || !s.base.arrivals.is_empty(),
+                    "{name} drives no load"
+                );
                 assert!(!s.total_duration().is_zero());
             }
         }
@@ -622,6 +794,54 @@ mod tests {
                 assert!(!s.base.breaker.enabled, "{name} unexpectedly breakered");
             }
         }
+    }
+
+    #[test]
+    fn open_loop_builtins_declare_sources_and_stay_fault_free() {
+        for name in Scenario::open_loop_names() {
+            for scale in [Scale::Quick, Scale::Paper] {
+                let s = Scenario::builtin(name, scale)
+                    .unwrap_or_else(|| panic!("open-loop builtin {name} missing"));
+                assert!(!s.base.arrivals.is_empty(), "{name} declares no sources");
+                assert!(s.faults.is_empty(), "{name} unexpectedly has faults");
+                for src in &s.base.arrivals {
+                    assert!(src.class < s.base.classes.len().max(1));
+                }
+                s.validate();
+                s.runtime_config().validate();
+            }
+        }
+        // The registry subset relation holds.
+        for name in Scenario::open_loop_names() {
+            assert!(Scenario::builtin_names().contains(name));
+        }
+    }
+
+    #[test]
+    fn scale_scenario_offers_ten_million_arrivals_even_at_quick_scale() {
+        let s = Scenario::open_loop_scale(Scale::Quick);
+        assert!(s.base.cohort_compressed, "scale cell must compress cohorts");
+        let offered: f64 = s
+            .base
+            .arrivals
+            .iter()
+            .map(|src| src.process.mean_rate_per_sec() * s.total_duration().as_secs_f64())
+            .sum();
+        assert!(
+            offered >= 10_000_000.0,
+            "scale cell offers only {offered:.0} arrivals"
+        );
+        let modeled: u32 = s.base.arrivals.iter().map(|src| src.modeled_clients).sum();
+        assert!(modeled >= 1_000_000, "scale cell models {modeled} users");
+    }
+
+    #[test]
+    #[should_panic(expected = "drives no load")]
+    fn zero_load_scenario_rejected() {
+        let base = Scenario::custom_base(Scale::Quick, 2007);
+        let mix = WorkloadMix::paper_default(base.oltp_fraction);
+        let phases = vec![Phase::steady("idle", SimDuration::from_secs(60), 0, mix)];
+        Scenario::new("idle", "no clients, no sources", base, phases).validate();
     }
 
     #[test]

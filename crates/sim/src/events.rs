@@ -20,11 +20,22 @@
 //! the scenario crate's recorded golden traces both verify this byte for
 //! byte.
 //!
-//! The trade-off is deliberate: below ~1k pending events the wheel's bucket
-//! bookkeeping costs ~25% more per operation than the tiny heap it replaced
-//! (`BENCH_event_queue.json` records both regimes honestly), which is noise
-//! at the paper-scale experiments' queue depths. The win — 2–3× and growing
-//! — arrives at the 100k–1M pending events the ROADMAP's
+//! Below ~1k pending events the wheel's bucket bookkeeping costs more per
+//! operation than a tiny binary heap, so the queue is *adaptive*: it starts
+//! in a **small mode** that holds the pending set in two bands of
+//! inline-payload records (no arena indirection, no buckets touched, no
+//! near array allocated). Events due before a sliding horizon sit in a
+//! small 4-ary min-heap; everything later is an O(1) append to an unsorted
+//! parked list. When the heap drains, one scan admits the next band of
+//! parked events, and the band width self-tunes so a band is a useful
+//! fraction of the parked set. The heap thus stays well below the
+//! pending-set size and each event pays only a constant number of scan
+//! touches — both bulk fills and closed-loop churn beat the reference
+//! heap, whose every push and pop sifts across the full population. The queue migrates one way onto the wheel the first time the
+//! pending set exceeds `SMALL_LIMIT` events. Pop order is identical in
+//! both modes and across the migration, so determinism is unaffected.
+//! `BENCH_event_queue.json` records the result: ≥1× at heap-friendly
+//! depths, 2–4× and growing at the 100k–1M pending events the ROADMAP's
 //! millions-of-clients north star implies, where the heap's `O(log n)`
 //! cache-missing sifts dominate.
 
@@ -98,6 +109,42 @@ struct Entry {
     slot: u32,
 }
 
+/// Small-mode record: the payload rides inline, so the hot path touches one
+/// contiguous `Vec` and nothing else. Ordered by `(at, seq)` only.
+#[derive(Debug)]
+struct SmallEntry<E> {
+    /// Fire time in microseconds.
+    at: u64,
+    /// FIFO tie-break.
+    seq: u64,
+    payload: E,
+}
+
+impl<E> SmallEntry<E> {
+    /// The heap key: `(time, seq)`, matching [`Entry`]'s derived order.
+    #[inline]
+    fn key(&self) -> (u64, u64) {
+        (self.at, self.seq)
+    }
+}
+
+/// Sentinel arena slot marking an [`EventId`] issued while the queue was in
+/// small mode (inline payloads have no arena slot). The arena's own NIL is
+/// `u32::MAX`, so no real slot can collide with it.
+const SMALL_SLOT: u32 = u32::MAX;
+
+/// Parked sets at or below this size are banded wholesale — a scan
+/// admitting only a few events would not amortize.
+const SMALL_BAND_MIN: usize = 64;
+
+/// Initial small-mode band width (µs): ≈1.05 s.
+const SMALL_BAND_INIT_US: u64 = 1 << 20;
+/// Band-width feedback bounds (µs): ≈65 ms to ≈67 s (the wheel's own near
+/// window), so the controller can track microsecond-dense bursts and
+/// minute-scale think times alike.
+const SMALL_BAND_MIN_US: u64 = 1 << 16;
+const SMALL_BAND_MAX_US: u64 = 1 << 26;
+
 /// A payload slot: `None` marks an event tombstoned by
 /// [`EventQueue::cancel`] whose index record has not surfaced yet.
 #[derive(Debug)]
@@ -117,11 +164,33 @@ const OCC_WORDS: usize = NEAR_SLOTS / 64;
 /// Staged-run length beyond which an earlier-than-cursor schedule retreats
 /// the cursor (re-bucketing the run) instead of insertion-sorting into it.
 const RETREAT_LIMIT: usize = 64;
+/// Pending-set size beyond which the queue migrates from the small-N
+/// banded mode onto the timing wheel. The switch is one-way: once the
+/// population has been large, the wheel's steady-state wins dominate even
+/// if the set later shrinks.
+const SMALL_LIMIT: usize = 1024;
 
 /// A priority queue of events keyed by virtual time with FIFO tie-breaking,
-/// implemented as a timing wheel (see the [module docs](self)).
+/// implemented as a timing wheel with an adaptive small-N heap mode (see
+/// the [module docs](self)).
 ///
-/// Structural invariants (checked by the differential proptests):
+/// While `small` is set, every pending event lives in one of three sets of
+/// inline-payload `SmallEntry` records: `band`, a run sorted descending
+/// on `(time, seq)` holding events due before `horizon_end` (the head pops
+/// O(1) off the end); `late`, a small 4-ary min-heap catching events that
+/// land inside the horizon *after* the band was sorted; and `parked`, an
+/// unsorted list of everything at or past the horizon. Parked events are
+/// by invariant never earlier than the horizon, so the smaller of the band
+/// tail and the late root is the exact queue head; when both drain, one
+/// O(parked) scan plus one band-sized sort slides the horizon forward. The
+/// wheel structures stay untouched (and unallocated), and small mode never
+/// carries a tombstone: cancellation removes the record in place (a rare,
+/// O(n)-scan path). The invariants below apply once the queue has migrated
+/// onto the wheel. In both modes the head record is kept live, so
+/// [`EventQueue::peek_time`] is O(1) and exact.
+///
+/// Structural invariants in wheel mode (checked by the differential
+/// proptests):
 ///
 /// 1. `staged` holds every pending event whose bucket index ("tick") is at
 ///    most `cursor`, as a run sorted *descending* on `(time, seq)` — the
@@ -142,6 +211,24 @@ pub struct EventQueue<E> {
     /// Outstanding cancelled-but-unswept events; when zero (the common
     /// case — the engine cancels nothing), every liveness check is skipped.
     tombstones: usize,
+    /// Small-N mode: `band` + `late` + `parked` hold everything, the wheel
+    /// is idle.
+    small: bool,
+    /// Small mode only: the current band of events due before
+    /// `horizon_end`, sorted descending on `(at, seq)` — the head pops O(1)
+    /// off the end.
+    band: Vec<SmallEntry<E>>,
+    /// Small mode only: events scheduled *after* their band was built (due
+    /// before `horizon_end` but not in `band`), as a small 4-ary min-heap
+    /// on `(at, seq)`.
+    late: Vec<SmallEntry<E>>,
+    /// Small mode only: events due at or after `horizon_end`, unsorted.
+    parked: Vec<SmallEntry<E>>,
+    /// Small mode only: exclusive end (µs) of the active band. Monotone.
+    horizon_end: u64,
+    /// Small mode only: current band width (µs), adapted by feedback so
+    /// each band admits a useful fraction of the parked set.
+    band_width: u64,
     /// Absolute tick of the bucket currently staged.
     cursor: u64,
     next_seq: u64,
@@ -179,10 +266,19 @@ impl<E> EventQueue<E> {
         EventQueue {
             arena: Arena::new(),
             staged: Vec::new(),
-            near: (0..NEAR_SLOTS).map(|_| Vec::new()).collect(),
+            // The near buckets are not allocated until the queue leaves
+            // small mode: a queue that never grows past SMALL_LIMIT never
+            // pays for the wheel.
+            near: Vec::new(),
             occupied: [0; OCC_WORDS],
             far: BinaryHeap::new(),
             tombstones: 0,
+            small: true,
+            band: Vec::new(),
+            late: Vec::new(),
+            parked: Vec::new(),
+            horizon_end: 0,
+            band_width: SMALL_BAND_INIT_US,
             cursor: 0,
             next_seq: 0,
             last_popped: SimTime::ZERO,
@@ -229,6 +325,34 @@ impl<E> EventQueue<E> {
         let at = at.max(self.last_popped);
         let seq = self.next_seq;
         self.next_seq += 1;
+        if self.small {
+            if self.live < SMALL_LIMIT {
+                let entry = SmallEntry {
+                    at: at.as_micros(),
+                    seq,
+                    payload,
+                };
+                if entry.at < self.horizon_end {
+                    // Due inside the current band: the sorted run is already
+                    // built, so the latecomer goes to the small overflow heap.
+                    self.late.push(entry);
+                    self.sift_up(self.late.len() - 1);
+                } else {
+                    // The common case for think-time delays: an O(1) append,
+                    // banded into a sorted run only when its horizon arrives.
+                    self.parked.push(entry);
+                }
+                self.live += 1;
+                self.peak_live = self.peak_live.max(self.live);
+                return EventId {
+                    slot: SMALL_SLOT,
+                    seq,
+                };
+            }
+            // Crossing the limit: move everything onto the wheel, then
+            // place this event through the normal wheel path below.
+            self.migrate_to_wheel();
+        }
         let slot = self.arena.insert(Stored {
             seq,
             payload: Some(payload),
@@ -270,16 +394,22 @@ impl<E> EventQueue<E> {
     /// pending (and is now gone); `false` if it already fired, was already
     /// cancelled, or the queue was cleared since.
     ///
-    /// The index record is tombstoned in place and swept out lazily when its
-    /// bucket is staged, but `len`, `is_empty` and [`EventQueue::peek_time`]
-    /// account for the cancellation immediately.
+    /// In wheel mode the index record is tombstoned in place and swept out
+    /// lazily when its bucket is staged, but `len`, `is_empty` and
+    /// [`EventQueue::peek_time`] account for the cancellation immediately.
+    /// Handles issued in small mode carry no arena slot and are resolved by
+    /// sequence number instead — an O(n) scan, fine for a rare operation
+    /// over a by-construction-small pending set.
     pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.slot == SMALL_SLOT {
+            return self.cancel_by_seq(id.seq);
+        }
         match self.arena.get_mut(id.slot) {
             Some(stored) if stored.seq == id.seq && stored.payload.is_some() => {
                 stored.payload = None;
                 self.live -= 1;
                 self.tombstones += 1;
-                // Invariant 4: a tombstone must not linger at the head.
+                // A tombstone must not linger at the staged head.
                 self.settle();
                 true
             }
@@ -289,6 +419,19 @@ impl<E> EventQueue<E> {
 
     /// Time of the next event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
+        if self.small {
+            // Band tail and late root are both before the horizon and every
+            // parked event is at or past it, so the earlier of the two is
+            // the global head; scan the parked list only in the rare moment
+            // both in-horizon structures are empty.
+            let head = match (self.band.last(), self.late.first()) {
+                (Some(b), Some(l)) => Some(b.key().min(l.key()).0),
+                (Some(b), None) => Some(b.at),
+                (None, Some(l)) => Some(l.at),
+                (None, None) => self.parked.iter().map(|e| e.at).min(),
+            };
+            return head.map(SimTime::from_micros);
+        }
         // Invariant 4: the earliest live event is always at the staged head.
         self.staged.last().map(|e| SimTime::from_micros(e.at))
     }
@@ -308,6 +451,38 @@ impl<E> EventQueue<E> {
 
     /// Pop the next event in (time, insertion) order.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.small {
+            if self.band.is_empty() && self.late.is_empty() {
+                if self.parked.is_empty() {
+                    return None;
+                }
+                self.advance_horizon();
+            }
+            let from_late = match (self.band.last(), self.late.first()) {
+                (Some(b), Some(l)) => l.key() < b.key(),
+                (None, Some(_)) => true,
+                _ => false,
+            };
+            let entry = if from_late {
+                let n = self.late.len();
+                self.late.swap(0, n - 1);
+                let entry = self.late.pop().expect("late is non-empty");
+                if !self.late.is_empty() {
+                    self.sift_down(0);
+                }
+                entry
+            } else {
+                self.band.pop().expect("an in-horizon event exists")
+            };
+            self.last_popped = SimTime::from_micros(entry.at);
+            self.live -= 1;
+            self.dispatched += 1;
+            return Some(ScheduledEvent {
+                at: self.last_popped,
+                seq: entry.seq,
+                payload: entry.payload,
+            });
+        }
         let entry = self.staged.pop()?;
         let stored = self.arena.remove(entry.slot);
         let payload = stored.payload.expect("staged head is live (invariant 4)");
@@ -343,6 +518,9 @@ impl<E> EventQueue<E> {
         let n = self.live;
         self.arena.clear();
         self.staged.clear();
+        self.band.clear();
+        self.late.clear();
+        self.parked.clear();
         self.far.clear();
         for bucket in &mut self.near {
             bucket.clear();
@@ -354,7 +532,178 @@ impl<E> EventQueue<E> {
         n
     }
 
+    // --- small-mode internals ----------------------------------------------
+
+    /// Restore the late heap's 4-ary order upward from `i`.
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.late[i].key() < self.late[parent].key() {
+                self.late.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Restore the late heap's 4-ary order downward from `i`.
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.late.len();
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            for child in (first + 1)..(first + 4).min(len) {
+                if self.late[child].key() < self.late[min].key() {
+                    min = child;
+                }
+            }
+            if self.late[min].key() < self.late[i].key() {
+                self.late.swap(i, min);
+                i = min;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Band and late heap both drained with parked events remaining: slide
+    /// the horizon one band width past the earliest parked event, move
+    /// everything the band covers out of `parked`, and sort it once into a
+    /// descending run so each pop is O(1). The band width adapts by
+    /// feedback — doubled when a band admits too little (the scan would not
+    /// amortize), halved when it swallows too much (the sort would grow
+    /// toward the full pending set) — so each admitted event pays O(1)
+    /// scan touches at any event-time density.
+    fn advance_horizon(&mut self) {
+        debug_assert!(self.band.is_empty() && self.late.is_empty() && !self.parked.is_empty());
+        let min_at = self
+            .parked
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .expect("parked is non-empty");
+        // Parked events are all at or past the old horizon, so the new
+        // horizon only ever moves forward.
+        self.horizon_end = min_at.saturating_add(self.band_width);
+        let mut i = 0;
+        while i < self.parked.len() {
+            if self.parked[i].at < self.horizon_end {
+                let entry = self.parked.swap_remove(i);
+                self.band.push(entry);
+            } else {
+                i += 1;
+            }
+        }
+        self.band
+            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        let admitted = self.band.len();
+        let target = ((self.parked.len() + admitted) / 8).max(SMALL_BAND_MIN);
+        if admitted < target / 2 {
+            self.band_width = (self.band_width * 2).min(SMALL_BAND_MAX_US);
+        } else if admitted > target * 2 {
+            self.band_width = (self.band_width / 2).max(SMALL_BAND_MIN_US);
+        }
+        debug_assert!(!self.band.is_empty());
+    }
+
+    /// Cancel an event through a small-mode handle (no arena slot): scan for
+    /// its sequence number. In small mode the record is removed in place; if
+    /// the queue has since migrated, the matching wheel record is tombstoned
+    /// through its arena slot like any other cancellation.
+    fn cancel_by_seq(&mut self, seq: u64) -> bool {
+        if self.small {
+            if let Some(i) = self.parked.iter().position(|e| e.seq == seq) {
+                self.parked.swap_remove(i);
+                self.live -= 1;
+                return true;
+            }
+            if let Some(i) = self.band.iter().position(|e| e.seq == seq) {
+                // Keep the band's descending sort: shift, don't swap.
+                self.band.remove(i);
+                self.live -= 1;
+                return true;
+            }
+            let Some(i) = self.late.iter().position(|e| e.seq == seq) else {
+                return false;
+            };
+            let n = self.late.len();
+            self.late.swap(i, n - 1);
+            self.late.pop();
+            if i < self.late.len() {
+                // The element moved into the hole may belong either way.
+                if i > 0 && self.late[i].key() < self.late[(i - 1) / 4].key() {
+                    self.sift_up(i);
+                } else {
+                    self.sift_down(i);
+                }
+            }
+            self.live -= 1;
+            return true;
+        }
+        // The handle predates the migration: find the index record the
+        // migration created for this seq (absent = already fired/cancelled).
+        let slot = self
+            .staged
+            .iter()
+            .chain(self.near.iter().flatten())
+            .find(|e| e.seq == seq)
+            .map(|e| e.slot)
+            .or_else(|| self.far.iter().find(|r| r.0.seq == seq).map(|r| r.0.slot));
+        match slot {
+            Some(slot) => self.cancel(EventId { slot, seq }),
+            None => false,
+        }
+    }
+
     // --- wheel internals ---------------------------------------------------
+
+    /// One-way switch out of small mode: allocate the near buckets, move
+    /// every inline payload into the arena, deal the index records into
+    /// their wheel homes, and restore invariant 4. Small mode never carries
+    /// tombstones, so no filtering is needed.
+    fn migrate_to_wheel(&mut self) {
+        self.small = false;
+        if self.near.is_empty() {
+            self.near.resize_with(NEAR_SLOTS, Vec::new);
+        }
+        self.cursor = self.last_popped.as_micros() >> TICK_BITS;
+        let window_end = self.cursor + NEAR_SLOTS as u64;
+        let drained = std::mem::take(&mut self.band)
+            .into_iter()
+            .chain(std::mem::take(&mut self.late))
+            .chain(std::mem::take(&mut self.parked));
+        for small in drained {
+            let SmallEntry { at, seq, payload } = small;
+            let slot = self.arena.insert(Stored {
+                seq,
+                payload: Some(payload),
+            });
+            let entry = Entry { at, seq, slot };
+            let tick = at >> TICK_BITS;
+            if tick <= self.cursor {
+                self.staged.push(entry);
+            } else if tick < window_end {
+                self.push_near(entry, tick);
+            } else {
+                self.far.push(std::cmp::Reverse(entry));
+            }
+        }
+        self.staged.sort_unstable_by(|a, b| b.cmp(a));
+        self.settle();
+    }
+
+    /// Force the wheel representation regardless of size — test hook so the
+    /// differential suites exercise wheel placement at small populations.
+    #[cfg(test)]
+    fn force_wheel(&mut self) {
+        if self.small {
+            self.migrate_to_wheel();
+        }
+    }
 
     fn push_near(&mut self, entry: Entry, tick: u64) {
         let bucket = (tick as usize) % NEAR_SLOTS;
@@ -699,6 +1048,7 @@ mod tests {
         // Mix of events inside the near window, far beyond it, and in
         // between, exercising the far-heap migration path.
         let mut q = EventQueue::new();
+        q.force_wheel();
         q.schedule(SimTime::from_secs(7_200), "far");
         q.schedule(SimTime::from_micros(1), "now");
         q.schedule(SimTime::from_secs(90), "mid");
@@ -747,6 +1097,83 @@ mod tests {
     }
 
     #[test]
+    fn small_mode_defers_wheel_allocation_until_the_limit() {
+        let mut q = EventQueue::new();
+        for i in 0..SMALL_LIMIT as u64 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        assert!(q.small, "at the limit the queue is still a heap");
+        assert!(q.near.is_empty(), "near buckets must stay unallocated");
+        q.schedule(SimTime::from_micros(SMALL_LIMIT as u64), SMALL_LIMIT as u64);
+        assert!(!q.small, "crossing the limit migrates onto the wheel");
+        assert_eq!(q.near.len(), NEAR_SLOTS);
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(popped, (0..=SMALL_LIMIT as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn migration_preserves_order_and_cancellations() {
+        // Differential run that starts in small mode, cancels a few events
+        // (leaving tombstones in the heap), pops a little, then bulk-loads
+        // past SMALL_LIMIT so the migration has to deal staged, near and far
+        // placements while sweeping the tombstones out.
+        let mut q = EventQueue::new();
+        let mut model = HeapEventQueue::new();
+        let mut rng = crate::rng::SimRng::seed_from_u64(42);
+        let mut cancelled = Vec::new();
+        for i in 0..200u64 {
+            let t = SimTime::from_millis(rng.uniform_u64(0, 300_000));
+            let id = q.schedule(t, i);
+            if i % 7 == 0 {
+                cancelled.push(id);
+            } else {
+                model.schedule(t, i);
+            }
+        }
+        for id in cancelled {
+            assert!(q.cancel(id));
+        }
+        for _ in 0..50 {
+            let (w, h) = (q.pop().unwrap(), model.pop().unwrap());
+            assert_eq!((w.at, w.payload), (h.at, h.payload));
+        }
+        assert!(q.small);
+        for i in 1_000..(1_000 + SMALL_LIMIT as u64 + 100) {
+            let t = q.peek_time().unwrap() + SimDuration::from_millis(rng.uniform_u64(0, 900_000));
+            q.schedule(t, i);
+            model.schedule(t, i);
+        }
+        assert!(!q.small, "bulk load must cross the migration threshold");
+        loop {
+            assert_eq!(q.peek_time(), model.peek_time());
+            match (q.pop(), model.pop()) {
+                (Some(w), Some(h)) => assert_eq!((w.at, w.payload), (h.at, h.payload)),
+                (None, None) => break,
+                (w, h) => panic!("length mismatch: {w:?} vs {h:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pre_migration_handles_cancel_after_the_migration() {
+        // Handles issued in small mode carry no arena slot; once the queue
+        // migrates they must still cancel exactly once, by seq lookup.
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_secs(500), u64::MAX - 1);
+        let kill = q.schedule(SimTime::from_secs(600), u64::MAX);
+        for i in 0..(SMALL_LIMIT as u64 + 8) {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        assert!(!q.small, "load must cross the migration threshold");
+        assert!(q.cancel(kill));
+        assert!(!q.cancel(kill), "double cancel is a no-op");
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert!(popped.contains(&(u64::MAX - 1)));
+        assert!(!popped.contains(&u64::MAX), "cancelled event still fired");
+        assert!(!q.cancel(keep), "cancelling a fired event is a no-op");
+    }
+
+    #[test]
     fn counters_track_depth_and_dispatch() {
         let mut q = EventQueue::new();
         for s in 0..10u64 {
@@ -768,6 +1195,7 @@ mod tests {
         // A parked cursor plus a flood of earlier events exercises the
         // cursor-retreat path (and the near-bucket eviction it forces).
         let mut q = EventQueue::new();
+        q.force_wheel();
         let mut heap = HeapEventQueue::new();
         // Park the cursor deep into the horizon...
         for i in 0..(RETREAT_LIMIT as u64 + 8) {
@@ -799,6 +1227,7 @@ mod tests {
         // Differential check on a closed-loop-like pattern: pops interleaved
         // with schedules relative to the popped time.
         let mut wheel = EventQueue::new();
+        wheel.force_wheel();
         let mut heap = HeapEventQueue::new();
         let mut rng = crate::rng::SimRng::seed_from_u64(99);
         for i in 0..64u64 {
@@ -868,8 +1297,14 @@ mod tests {
 
     proptest! {
         #[test]
-        fn prop_pop_order_is_monotone(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        fn prop_pop_order_is_monotone(
+            times in proptest::collection::vec(0u64..10_000, 1..200),
+            force in 0usize..2,
+        ) {
             let mut q = EventQueue::new();
+            if force == 1 {
+                q.force_wheel();
+            }
             for (i, t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_micros(*t), i);
             }
@@ -884,8 +1319,11 @@ mod tests {
         }
 
         #[test]
-        fn prop_equal_times_preserve_insertion_order(n in 1usize..100) {
+        fn prop_equal_times_preserve_insertion_order(n in 1usize..100, force in 0usize..2) {
             let mut q = EventQueue::new();
+            if force == 1 {
+                q.force_wheel();
+            }
             let t = SimTime::from_secs(1) + SimDuration::from_micros(n as u64);
             for i in 0..n {
                 q.schedule(t, i);
@@ -899,8 +1337,12 @@ mod tests {
         #[test]
         fn prop_wheel_matches_heap_exactly(
             times in proptest::collection::vec(0u64..200_000_000, 1..300),
+            force in 0usize..2,
         ) {
             let mut wheel = EventQueue::new();
+            if force == 1 {
+                wheel.force_wheel();
+            }
             let mut heap = HeapEventQueue::new();
             for (i, t) in times.iter().enumerate() {
                 wheel.schedule(SimTime::from_micros(*t), i);
@@ -931,8 +1373,12 @@ mod tests {
         #[test]
         fn prop_cancel_tombstones_stay_invisible(
             ops in proptest::collection::vec((0u8..4, 0u64..200_000_000), 1..250),
+            force in 0usize..2,
         ) {
             let mut q = EventQueue::new();
+            if force == 1 {
+                q.force_wheel();
+            }
             let mut model = ModelQueue::new();
             let mut handles: Vec<EventId> = Vec::new();
             let mut payload = 0u32;

@@ -19,6 +19,9 @@
 //!   (near-future buckets + a far-future overflow heap) over a slab
 //!   [`arena`] so the hot scheduling path is allocation-free.
 //! * [`arena`] — the slab/free-list allocator backing the event queue.
+//! * [`arrival`] — open-loop arrival processes (Poisson, MMPP,
+//!   bounded-Pareto, diurnal) for request streams decoupled from service
+//!   times.
 //! * [`rng`] — a deterministic random-number generator with the
 //!   distributions the workload model needs (uniform, exponential, zipf,
 //!   log-normal-ish compile-time jitter).
@@ -30,6 +33,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arena;
+pub mod arrival;
 pub mod clock;
 pub mod events;
 pub mod rng;
@@ -37,6 +41,7 @@ pub mod series;
 pub mod stats;
 
 pub use arena::Arena;
+pub use arrival::{ArrivalProcess, ArrivalSampler};
 pub use clock::{SimDuration, SimTime};
 pub use events::{EventId, EventQueue, HeapEventQueue, ScheduledEvent};
 pub use rng::SimRng;
