@@ -298,6 +298,12 @@ const METRICS: &[(&str, Direction, f64)] = &[
     ("arrivals", Direction::HigherIsBetter, 2.0),
     ("arrivals_admitted", Direction::HigherIsBetter, 2.0),
     ("arrivals_shed", Direction::LowerIsBetter, 2.0),
+    // Shard-scaling (BENCH_shard_scale.json aggregates). The speedup is a
+    // same-machine events/sec ratio, so — unlike the raw rates, which stay
+    // ungated — it transfers across machines; the floor absorbs scheduler
+    // noise around a ~2-3x baseline without masking a real collapse back
+    // toward 1x.
+    ("shard_speedup", Direction::HigherIsBetter, 0.25),
 ];
 
 /// One extracted (cell-or-aggregate, metric) observation.
@@ -332,6 +338,12 @@ fn entry_key(obj: &Value, kind: &str) -> String {
     }
     if let Some(seed) = obj.get("seed").and_then(Value::as_f64) {
         let _ = write!(key, " seed={seed}");
+    }
+    // Shard-scaling documents measure the *same* (scenario, seed) at
+    // several shard counts; the count is identity there, or two cells
+    // would collide on one key and a vanished shard count could hide.
+    if let Some(shards) = obj.get("shards").and_then(Value::as_f64) {
+        let _ = write!(key, " shards={shards}");
     }
     key
 }
@@ -635,6 +647,33 @@ mod tests {
         let trips = compare_text(base, &stormy, 0.10).unwrap();
         assert_eq!(trips.len(), 1, "{trips:?}");
         assert!(trips[0].what.contains("arrivals_shed"));
+    }
+
+    #[test]
+    fn shard_speedup_is_gated_per_shard_count() {
+        let base = r#"{"cells": [
+            {"scenario": "open_loop_scale", "seed": 2007, "shards": 1, "arrivals": 100},
+            {"scenario": "open_loop_scale", "seed": 2007, "shards": 4, "arrivals": 100}],
+          "aggregates": [
+            {"scenario": "open_loop_scale", "shards": 4, "shard_speedup": 2.5}]}"#;
+        // Identical documents pass; measurement noise within the floor passes.
+        assert_eq!(compare_text(base, base, 0.10).unwrap(), vec![]);
+        let noisy = base.replace("2.5", "2.3");
+        assert_eq!(compare_text(base, &noisy, 0.10).unwrap(), vec![]);
+        // A collapse back toward 1x trips shard_speedup.
+        let collapsed = base.replace("2.5", "1.1");
+        let trips = compare_text(base, &collapsed, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("shard_speedup"));
+        // The shard count is identity: losing the 4-shard cell is a missing
+        // cell, not a silent merge with its 1-shard sibling.
+        let lost = base.replace(
+            ",\n            {\"scenario\": \"open_loop_scale\", \"seed\": 2007, \"shards\": 4, \"arrivals\": 100}",
+            "",
+        );
+        let trips = compare_text(base, &lost, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("shards=4") && trips[0].what.contains("missing"));
     }
 
     #[test]

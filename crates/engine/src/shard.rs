@@ -1,0 +1,327 @@
+//! The sharded arrival plane: generator shards + the decision spine.
+//!
+//! With `ServerConfig::shards > 1`, a run's open-loop arrival *instants*
+//! are produced by worker threads ("generator shards") while every
+//! admission decision stays on the main thread (the "spine"), which
+//! merges generated arrivals with the timing wheel's own events into one
+//! global `(time, seq)` schedule. The split is sound because arrival
+//! generation is feedback-free: each source's sampler draws only from
+//! its own forked RNG stream and the previous arrival's time, so shard
+//! `k` can precompute the instants for sources `index % shards == k`
+//! arbitrarily far ahead of the simulation clock.
+//!
+//! Determinism is byte-exact with the single-threaded path because the
+//! spine reserves each arrival's sequence number from the shared event
+//! queue (`EventQueue::reserve_seq`) at exactly the moments the
+//! single-threaded engine would have called `schedule` for it:
+//!
+//! * at [`crate::Server::begin`], after the broker tick, once per source
+//!   in index order iff the source's first arrival lands inside the run
+//!   (the `Init` handshake carries that bit per source); and
+//! * at the *end* of processing each arrival — after `submit_query`'s
+//!   own pipeline-event schedules — iff the worker's one-sample
+//!   lookahead says a next arrival lands inside the run (`has_next`).
+//!
+//! Workers deliver arrivals in lockstep epochs (one broker tick wide)
+//! over bounded channels and seal each epoch at its barrier; a merged
+//! candidate is released only when its `(time, seq)` key precedes every
+//! sealed frontier, so the spine replays the exact single-threaded
+//! order. The protocol's merge discipline is the same one
+//! `throttledb_sim::shard::EpochMerge` proves against a sorted-vec
+//! oracle; this module is its engine-shaped instantiation (per-source
+//! slots instead of generic mailboxes, because each source's sequence
+//! number is known even before its next arrival time is).
+//!
+//! Workers need no input from the spine, so the plane cannot deadlock:
+//! a worker blocked on a full channel is released when the plane drops
+//! its receivers, and it exits on the resulting send error.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+use throttledb_sim::{ArrivalSampler, SimDuration, SimRng, SimTime};
+
+/// Epochs a generator shard may run ahead of the spine before its
+/// channel backpressures it.
+const EPOCH_PIPELINE: usize = 8;
+
+/// One arrival on the wire: the instant in microseconds shifted left one
+/// bit, with the low bit carrying `has_next` (whether the *following*
+/// arrival lands inside the run). Packing halves the bytes a 10M-arrival
+/// run pushes through the channels and buffers, and the shift preserves
+/// the per-source time order.
+pub(crate) fn pack_arrival(at_us: u64, has_next: bool) -> u64 {
+    debug_assert!(at_us < 1 << 63, "arrival instant overflows the packing");
+    (at_us << 1) | has_next as u64
+}
+
+/// Inverse of [`pack_arrival`]: `(microseconds, has_next)`.
+pub(crate) fn unpack_arrival(packed: u64) -> (u64, bool) {
+    (packed >> 1, packed & 1 != 0)
+}
+
+/// One message from a generator shard to the spine.
+pub(crate) enum ShardMsg {
+    /// Handshake: per owned source (in owned order), whether its first
+    /// arrival lands inside the run — the bit the spine needs to mirror
+    /// the single-threaded `begin`'s conditional first-arrival schedule.
+    Init(Vec<bool>),
+    /// One sealed epoch: per owned source (in owned order), the
+    /// [`pack_arrival`]-encoded instants in `[previous barrier,
+    /// until_us)`.
+    Epoch {
+        /// Exclusive seal frontier (µs): no later message from this
+        /// shard carries an arrival before it.
+        until_us: u64,
+        /// Arrival batches, indexed like the shard's owned-source list.
+        sources: Vec<Vec<u64>>,
+    },
+}
+
+/// Spine-side state of one arrival source.
+#[derive(Debug, Default)]
+pub(crate) struct SourceSlot {
+    /// Sequence number reserved for the source's next arrival (`None`
+    /// once the source is exhausted). Known even while the arrival's
+    /// *time* is still in flight from the worker.
+    pub(crate) reserved: Option<u64>,
+    /// Delivered batches not yet fully dispatched, consumed in place (no
+    /// per-arrival copying): `head` indexes into the front batch, and the
+    /// invariant is that every queued batch is non-empty with
+    /// `head < front.len()`.
+    batches: VecDeque<Vec<u64>>,
+    head: usize,
+    /// Index into the plane's per-shard seal/receiver arrays.
+    pub(crate) shard: usize,
+}
+
+impl SourceSlot {
+    /// The source's next undispatched arrival (packed), if delivered.
+    pub(crate) fn front(&self) -> Option<u64> {
+        self.batches.front().map(|batch| batch[self.head])
+    }
+
+    /// The front batch's undispatched tail, if any.
+    pub(crate) fn front_run(&self) -> Option<&[u64]> {
+        self.batches.front().map(|batch| &batch[self.head..])
+    }
+
+    /// Drop the next `n` arrivals (they were dispatched). `n` must not
+    /// cross a batch boundary beyond the front batch's tail.
+    pub(crate) fn consume(&mut self, n: usize) {
+        self.head += n;
+        if let Some(batch) = self.batches.front() {
+            debug_assert!(self.head <= batch.len());
+            if self.head == batch.len() {
+                self.batches.pop_front();
+                self.head = 0;
+            }
+        }
+    }
+}
+
+/// The spine's handle on the generator shards (see the
+/// [module docs](self)).
+pub(crate) struct ArrivalPlane {
+    /// Per-source merge state, indexed by source index.
+    pub(crate) slots: Vec<SourceSlot>,
+    /// Per-shard sealed frontier (µs); `u64::MAX` once the shard's
+    /// stream is complete (its worker exited).
+    pub(crate) seals: Vec<u64>,
+    /// Per-shard owned-source lists (`index % shards`), in index order.
+    owned: Vec<Vec<usize>>,
+    receivers: Vec<Option<Receiver<ShardMsg>>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per source: whether its first arrival lands inside the run, from
+    /// the `Init` handshake.
+    first_exists: Vec<bool>,
+}
+
+impl ArrivalPlane {
+    /// Spawn one generator shard per non-empty `index % shards` class
+    /// and complete the `Init` handshake. `generators` holds each
+    /// source's private RNG stream and sampler, cloned from the spine's
+    /// (which the sharded path then never touches); `start`/`end` bound
+    /// the run and `epoch` is the barrier interval.
+    pub(crate) fn spawn(
+        shards: usize,
+        generators: Vec<(SimRng, ArrivalSampler)>,
+        start: SimTime,
+        end: SimTime,
+        epoch: SimDuration,
+    ) -> Self {
+        debug_assert!(shards >= 1 && !generators.is_empty());
+        // The window is a pure batching knob: generation is feedback-free,
+        // so widening it changes which message an arrival ships in, never
+        // the arrival itself. Wide windows keep the per-epoch costs (one
+        // rendezvous and one batch allocation per shard) off the hot path
+        // of long runs; the bounded pipeline still caps worker run-ahead
+        // at `EPOCH_PIPELINE` windows of samples.
+        let epoch = epoch.max(SimDuration::from_secs(1));
+        let sources = generators.len();
+        let mut owned: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for index in 0..sources {
+            owned[index % shards].push(index);
+        }
+        let mut slots: Vec<SourceSlot> = (0..sources).map(|_| SourceSlot::default()).collect();
+        let mut seals = vec![u64::MAX; shards];
+        let mut receivers: Vec<Option<Receiver<ShardMsg>>> = Vec::with_capacity(shards);
+        let mut handles = Vec::new();
+        let mut generators: Vec<Option<(SimRng, ArrivalSampler)>> =
+            generators.into_iter().map(Some).collect();
+        for (shard, owned_sources) in owned.iter().enumerate() {
+            if owned_sources.is_empty() {
+                // A shard with nothing to generate stays sealed at MAX
+                // forever and never blocks the merge.
+                receivers.push(None);
+                continue;
+            }
+            for &index in owned_sources {
+                slots[index].shard = shard;
+            }
+            let gens: Vec<(SimRng, ArrivalSampler)> = owned_sources
+                .iter()
+                .map(|&index| generators[index].take().expect("each source owned once"))
+                .collect();
+            let (tx, rx) = sync_channel(EPOCH_PIPELINE);
+            handles.push(std::thread::spawn(move || {
+                generate(gens, start, end, epoch, tx);
+            }));
+            receivers.push(Some(rx));
+            seals[shard] = start.as_micros();
+        }
+        // Init handshake, shards in index order: which sources open with
+        // a live first arrival.
+        let mut first_exists = vec![false; sources];
+        for (shard, rx) in receivers.iter().enumerate() {
+            let Some(rx) = rx else { continue };
+            match rx.recv() {
+                Ok(ShardMsg::Init(flags)) => {
+                    for (pos, exists) in flags.into_iter().enumerate() {
+                        first_exists[owned[shard][pos]] = exists;
+                    }
+                }
+                _ => unreachable!("workers send Init first"),
+            }
+        }
+        ArrivalPlane {
+            slots,
+            seals,
+            owned,
+            receivers,
+            handles,
+            first_exists,
+        }
+    }
+
+    /// Per source, whether its first arrival lands inside the run — the
+    /// spine reserves a sequence number for exactly these, in index
+    /// order, mirroring the single-threaded `begin`.
+    pub(crate) fn first_exists(&self) -> &[bool] {
+        &self.first_exists
+    }
+
+    /// Receive one epoch from every live shard (lockstep), extending the
+    /// per-source buffers and the sealed frontiers. A disconnected shard
+    /// has shipped its whole stream: its seal moves to `u64::MAX`.
+    pub(crate) fn pump(&mut self) {
+        for shard in 0..self.receivers.len() {
+            let Some(rx) = self.receivers[shard].as_ref() else {
+                continue;
+            };
+            match rx.recv() {
+                Ok(ShardMsg::Epoch { until_us, sources }) => {
+                    for (pos, batch) in sources.into_iter().enumerate() {
+                        if !batch.is_empty() {
+                            self.slots[self.owned[shard][pos]].batches.push_back(batch);
+                        }
+                    }
+                    self.seals[shard] = until_us;
+                }
+                Ok(ShardMsg::Init(_)) => unreachable!("Init is consumed at spawn"),
+                Err(_) => {
+                    self.seals[shard] = u64::MAX;
+                    self.receivers[shard] = None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ArrivalPlane {
+    fn drop(&mut self) {
+        // Unblock workers parked on a full channel, then reap them.
+        self.receivers.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Generator-shard body: replay each owned source's arrival recurrence
+/// `t_{k+1} = t_k + next_gap(rng, t_k)` (identical draws to the
+/// single-threaded engine), ship it epoch by epoch, and exit once every
+/// owned source is exhausted — closing the channel is the final seal.
+fn generate(
+    mut gens: Vec<(SimRng, ArrivalSampler)>,
+    start: SimTime,
+    end: SimTime,
+    epoch: SimDuration,
+    tx: SyncSender<ShardMsg>,
+) {
+    // First arrivals, exactly as the single-threaded `begin` samples them.
+    let mut next: Vec<Option<SimTime>> = gens
+        .iter_mut()
+        .map(|(rng, sampler)| {
+            let at = start + sampler.next_gap(rng, start);
+            (at < end).then_some(at)
+        })
+        .collect();
+    if tx
+        .send(ShardMsg::Init(next.iter().map(Option::is_some).collect()))
+        .is_err()
+    {
+        return;
+    }
+    let mut window_end = start + epoch;
+    // Last window's batch sizes, as capacity hints: steady-rate sources
+    // would otherwise regrow every batch from zero, and the doubling
+    // copies dominate the generation loop on long runs.
+    let mut hint = vec![0usize; gens.len()];
+    loop {
+        let mut batches: Vec<Vec<u64>> = hint
+            .iter()
+            .map(|&n| Vec::with_capacity(n + n / 4 + 8))
+            .collect();
+        for (pos, (rng, sampler)) in gens.iter_mut().enumerate() {
+            while let Some(at) = next[pos] {
+                if at >= window_end {
+                    break;
+                }
+                // One-sample lookahead: the spine needs to know, while
+                // processing this arrival, whether the single-threaded
+                // engine would have scheduled a next one.
+                let follow = at + sampler.next_gap(rng, at);
+                let has_next = follow < end;
+                batches[pos].push(pack_arrival(at.as_micros(), has_next));
+                next[pos] = has_next.then_some(follow);
+            }
+            hint[pos] = batches[pos].len();
+        }
+        if tx
+            .send(ShardMsg::Epoch {
+                until_us: window_end.as_micros(),
+                sources: batches,
+            })
+            .is_err()
+        {
+            return;
+        }
+        if window_end >= end {
+            // Every arrival lands before `end`, so this epoch drained
+            // them all; disconnecting seals the stream at infinity.
+            return;
+        }
+        window_end += epoch;
+    }
+}

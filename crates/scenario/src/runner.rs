@@ -195,6 +195,7 @@ pub struct ScenarioRunner {
     scenario: Scenario,
     record: bool,
     profiles: Option<Arc<WorkloadProfiles>>,
+    shards: u32,
 }
 
 impl ScenarioRunner {
@@ -204,12 +205,23 @@ impl ScenarioRunner {
             scenario,
             record: false,
             profiles: None,
+            shards: 1,
         }
     }
 
     /// Enable or disable admission/grant trace recording.
     pub fn record_trace(mut self, record: bool) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Run across `shards` generator shards (default 1, the
+    /// single-threaded path). Any value produces byte-identical traces,
+    /// reports and digests — the determinism tests prove it — so this
+    /// only trades wall-clock time, never results.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "a run needs at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -227,10 +239,14 @@ impl ScenarioRunner {
             scenario,
             record,
             profiles,
+            shards,
         } = self;
         scenario.validate();
 
-        let config = scenario.runtime_config();
+        let mut config = scenario.runtime_config();
+        if shards > 1 {
+            config.shards = shards;
+        }
         let base_think = config.client_model.mean_think_time;
         let profiles =
             profiles.unwrap_or_else(|| Arc::new(WorkloadProfiles::characterize_full(&config)));

@@ -224,13 +224,21 @@ fn different_seeds_diverge() {
 /// re-recorded once, when the exponential retry backoff replaced the flat
 /// retry delay (a deliberate timing change for consecutive failures); the
 /// five chaos goldens pin the fault-injection layer, including the
-/// recorded `fault`/`shed`/`breaker` lines.
+/// recorded `fault`/`shed`/`breaker` lines. The open-loop golden is the
+/// one whose `--shards 4` replay drives a *live* arrival plane (the
+/// closed-loop goldens have no sources, so their sharded run is the
+/// single-threaded path by construction): it pins the sharded engine's
+/// merged global order against the codec-v1 bytes.
 #[test]
 fn golden_traces_replay_byte_identically() {
-    let goldens: [(&str, &str); 7] = [
+    let goldens: [(&str, &str); 8] = [
         (
             "compile_storm",
             include_str!("golden/compile_storm_quick_2007.trace"),
+        ),
+        (
+            "open_loop_poisson",
+            include_str!("golden/open_loop_poisson_quick_2007.trace"),
         ),
         (
             "paper_figure3",
@@ -259,11 +267,22 @@ fn golden_traces_replay_byte_identically() {
     ];
     for (name, golden) in goldens {
         // Mirror the scenario_runner CLI exactly: built-in scenario, quick
-        // scale, seed 2007, internally characterized profiles.
-        let scenario = Scenario::builtin(name, throttledb_scenario::Scale::Quick)
-            .expect("builtin exists")
-            .with_seed(2007);
-        let outcome = ScenarioRunner::new(scenario).record_trace(true).run();
+        // scale, seed 2007. The profiles are characterized once per
+        // scenario and shared by both runs below — byte-identical to what
+        // the CLI computes internally, since characterization is a pure
+        // function of the runtime config.
+        let scenario = || {
+            Scenario::builtin(name, throttledb_scenario::Scale::Quick)
+                .expect("builtin exists")
+                .with_seed(2007)
+        };
+        let profiles = Arc::new(WorkloadProfiles::characterize_full(
+            &scenario().runtime_config(),
+        ));
+        let outcome = ScenarioRunner::new(scenario())
+            .record_trace(true)
+            .with_profiles(profiles.clone())
+            .run();
         let live = outcome.trace.as_ref().expect("recording enabled");
         assert_eq!(
             live.encode(),
@@ -276,6 +295,24 @@ fn golden_traces_replay_byte_identically() {
             stored.replay(),
             outcome.phases,
             "{name}: golden replay diverges from live phase reports"
+        );
+        // The sharded engine must reproduce every committed golden byte
+        // for byte too: the shard count may never become visible in a
+        // trace. (The codec is unchanged at v1 — sharded runs serialize in
+        // the merged global order, so no golden needed re-recording.)
+        let sharded = ScenarioRunner::new(scenario())
+            .record_trace(true)
+            .with_profiles(profiles)
+            .with_shards(4)
+            .run();
+        assert_eq!(
+            sharded.trace.as_ref().expect("recording enabled").encode(),
+            golden,
+            "{name}: --shards 4 trace no longer matches the committed golden file"
+        );
+        assert_eq!(
+            sharded.phases, outcome.phases,
+            "{name}: --shards 4 phase reports diverge"
         );
     }
 }

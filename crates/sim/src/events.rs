@@ -235,7 +235,14 @@ pub struct EventQueue<E> {
     last_popped: SimTime,
     /// Live (scheduled, not yet popped or cancelled) events.
     live: usize,
-    /// High-water mark of `live` over the queue's lifetime.
+    /// Events pending *outside* the queue's own structures: sequence
+    /// numbers reserved through [`EventQueue::reserve_seq`] whose firing
+    /// is driven by an external plane (the engine's sharded arrival
+    /// plane). They count toward depth accounting but deliberately not
+    /// toward `live`, whose value gates the small-mode migration and the
+    /// wheel's "live events exist somewhere" invariants.
+    external: usize,
+    /// High-water mark of `live + external` over the queue's lifetime.
     peak_live: usize,
     /// Events popped over the queue's lifetime.
     dispatched: u64,
@@ -251,6 +258,7 @@ impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
             .field("len", &self.live)
+            .field("external", &self.external)
             .field("peak_len", &self.peak_live)
             .field("dispatched", &self.dispatched)
             .field("cursor_tick", &self.cursor)
@@ -283,6 +291,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             last_popped: SimTime::ZERO,
             live: 0,
+            external: 0,
             peak_live: 0,
             dispatched: 0,
         }
@@ -308,6 +317,83 @@ impl<E> EventQueue<E> {
     /// harness divides this by wall time for an events/sec figure.
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Reserve the next sequence number for an event whose firing is
+    /// driven by an external plane (it never enters the queue's own
+    /// structures). The reservation counts as one pending event for
+    /// depth accounting, exactly as [`EventQueue::schedule`] would, and
+    /// keeps the `(time, seq)` total order shared between internal and
+    /// external events: whoever reserves/schedules first fires first at
+    /// equal times. Pair every reservation with one
+    /// [`EventQueue::external_pop`].
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.external += 1;
+        self.peak_live = self.peak_live.max(self.live + self.external);
+        seq
+    }
+
+    /// Record that an externally-pending event (see
+    /// [`EventQueue::reserve_seq`]) fired at `at`: the dispatch counter
+    /// and pop frontier advance exactly as if the event had popped off
+    /// the queue itself.
+    pub fn external_pop(&mut self, at: SimTime) {
+        debug_assert!(self.external > 0, "external_pop without a reservation");
+        debug_assert!(at >= self.last_popped, "external event fired in the past");
+        self.external -= 1;
+        self.dispatched += 1;
+        self.last_popped = self.last_popped.max(at);
+    }
+
+    /// The sequence number the next [`EventQueue::schedule`] or
+    /// [`EventQueue::reserve_seq`] will hand out. An external merge plane
+    /// uses it to enumerate a run of consecutive reservations up front
+    /// (see [`EventQueue::external_batch`]) instead of reserving one at a
+    /// time.
+    pub fn peek_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Bulk form of a pure pop/reserve run: `popped` externally-pending
+    /// events fired (the last at `at`) and `reserved` fresh reservations
+    /// were taken, interleaved pop-then-reserve per event exactly as the
+    /// one-at-a-time [`EventQueue::external_pop`] /
+    /// [`EventQueue::reserve_seq`] pair would. Because each pop precedes
+    /// its reservation, outstanding external reservations never exceed
+    /// their starting count mid-run, so `peak_live` cannot advance and is
+    /// deliberately left untouched. `reserved` is `popped` or
+    /// `popped - 1` (the final event may end its stream).
+    pub fn external_batch(&mut self, popped: u64, reserved: u64, at: SimTime) {
+        debug_assert!(popped >= reserved && popped - reserved <= 1);
+        debug_assert!(self.external > 0, "external_batch without a reservation");
+        debug_assert!(at >= self.last_popped, "external run fired in the past");
+        self.external -= (popped - reserved) as usize;
+        self.dispatched += popped;
+        self.last_popped = self.last_popped.max(at);
+        self.next_seq += reserved;
+    }
+
+    /// `(time, seq)` of the next *internal* event, if any — the key an
+    /// external plane compares its own candidates against when merging
+    /// two event streams into one `(time, seq)` order. Externally
+    /// reserved events are invisible here; their keys live with the
+    /// caller.
+    pub fn peek_stamp(&self) -> Option<(SimTime, u64)> {
+        if self.small {
+            let in_horizon = match (self.band.last(), self.late.first()) {
+                (Some(b), Some(l)) => Some(b.key().min(l.key())),
+                (Some(b), None) => Some(b.key()),
+                (None, Some(l)) => Some(l.key()),
+                (None, None) => self.parked.iter().map(|e| e.key()).min(),
+            };
+            return in_horizon.map(|(at, seq)| (SimTime::from_micros(at), seq));
+        }
+        // Invariant 4: the earliest live event is always at the staged head.
+        self.staged
+            .last()
+            .map(|e| (SimTime::from_micros(e.at), e.seq))
     }
 
     /// Schedule `payload` to fire at absolute time `at`.
@@ -343,7 +429,7 @@ impl<E> EventQueue<E> {
                     self.parked.push(entry);
                 }
                 self.live += 1;
-                self.peak_live = self.peak_live.max(self.live);
+                self.peak_live = self.peak_live.max(self.live + self.external);
                 return EventId {
                     slot: SMALL_SLOT,
                     seq,
@@ -382,7 +468,7 @@ impl<E> EventQueue<E> {
             self.far.push(std::cmp::Reverse(entry));
         }
         self.live += 1;
-        self.peak_live = self.peak_live.max(self.live);
+        self.peak_live = self.peak_live.max(self.live + self.external);
         if was_empty {
             // Invariant 4: the earliest pending event must be staged.
             self.settle();
@@ -1171,6 +1257,51 @@ mod tests {
         assert!(popped.contains(&(u64::MAX - 1)));
         assert!(!popped.contains(&u64::MAX), "cancelled event still fired");
         assert!(!q.cancel(keep), "cancelling a fired event is a no-op");
+    }
+
+    #[test]
+    fn external_reservations_share_the_seq_space_and_depth_accounting() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let r = q.reserve_seq();
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        // One shared monotone sequence space across both planes.
+        assert_eq!(r, a.seq() + 1);
+        assert_eq!(b.seq(), r + 1);
+        // The reservation counts toward depth but not toward len().
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_len(), 3);
+        // peek_stamp sees only internal events.
+        assert_eq!(q.peek_stamp(), Some((SimTime::from_secs(1), a.seq())));
+        assert_eq!(q.pop().unwrap().payload, "a");
+        // The external event fires between the two internal ones.
+        q.external_pop(SimTime::from_millis(1_500));
+        assert_eq!(q.dispatched(), 2);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.dispatched(), 3);
+        // The frontier advanced through the external pop: scheduling at
+        // the external fire time is not "the past".
+        assert_eq!(q.peek_stamp(), None);
+    }
+
+    #[test]
+    fn peek_stamp_matches_peek_time_in_both_modes() {
+        for force in [false, true] {
+            let mut q = EventQueue::new();
+            if force {
+                q.force_wheel();
+            }
+            let mut rng = crate::rng::SimRng::seed_from_u64(7);
+            for i in 0..300u64 {
+                q.schedule(SimTime::from_millis(rng.uniform_u64(0, 90_000)), i);
+            }
+            while let Some((at, seq)) = q.peek_stamp() {
+                assert_eq!(q.peek_time(), Some(at));
+                let e = q.pop().unwrap();
+                assert_eq!((e.at, e.seq), (at, seq));
+            }
+            assert!(q.is_empty());
+        }
     }
 
     #[test]

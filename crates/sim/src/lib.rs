@@ -27,6 +27,9 @@
 //!   log-normal-ish compile-time jitter).
 //! * [`series`] — bucketed time-series recorders used to regenerate the
 //!   paper's "completed queries per time slice" figures.
+//! * [`shard`] — sealed per-producer mailboxes and a deterministic
+//!   `(time, seq, shard)` merge, the exchange primitives behind
+//!   byte-identical sharded runs.
 //! * [`stats`] — histograms and summary statistics.
 
 #![deny(missing_docs)]
@@ -38,6 +41,7 @@ pub mod clock;
 pub mod events;
 pub mod rng;
 pub mod series;
+pub mod shard;
 pub mod stats;
 
 pub use arena::Arena;
@@ -46,4 +50,5 @@ pub use clock::{SimDuration, SimTime};
 pub use events::{EventId, EventQueue, HeapEventQueue, ScheduledEvent};
 pub use rng::SimRng;
 pub use series::{GaugeTimeline, TimeSeries};
+pub use shard::{EpochMailbox, EpochMerge, Stamped};
 pub use stats::{Histogram, Running, Summary};

@@ -3,8 +3,10 @@
 
 use std::sync::Arc;
 use throttledb_engine::{
-    figure2_timeline, throughput_experiment_with_profiles, ServerConfig, WorkloadProfiles,
+    figure2_timeline, throughput_experiment_with_profiles, ArrivalSourceConfig, Server,
+    ServerConfig, WorkloadProfiles,
 };
+use throttledb_sim::{ArrivalProcess, SimDuration, SimTime};
 
 #[test]
 fn quick_sales_run_reproduces_the_papers_qualitative_shape() {
@@ -24,6 +26,53 @@ fn quick_sales_run_reproduces_the_papers_qualitative_shape() {
     // than the unthrottled one.
     assert!(cmp.throttled.throttle.acquisitions.iter().sum::<u64>() > 0);
     assert!(cmp.throttled.oom_failures <= cmp.unthrottled.oom_failures);
+}
+
+/// The full stack run at 1 and 4 generator shards: real optimizer
+/// characterization, the gateway ladder, the broker, a mixed open-loop +
+/// closed-loop population — and byte-identical results either way. The
+/// shard count is a wall-clock knob, so everything the run reports
+/// (admission counters, arrival digest, trace bytes, event totals) must
+/// be invariant under it.
+#[test]
+fn sharded_run_is_equal_to_single_threaded_across_the_whole_stack() {
+    let base = {
+        let mut cfg = ServerConfig::quick(6, true);
+        cfg.warmup = SimDuration::ZERO;
+        cfg.arrivals = vec![ArrivalSourceConfig {
+            name: "web".to_string(),
+            process: ArrivalProcess::Poisson { rate_per_sec: 4.0 },
+            class: 0,
+            max_in_flight: 8,
+            modeled_clients: 10_000,
+        }];
+        cfg
+    };
+    let profiles = Arc::new(WorkloadProfiles::characterize_full(&base));
+    let run = |shards: u32| {
+        let mut cfg = base.clone();
+        cfg.shards = shards;
+        let mut server = Server::new(cfg.clone(), profiles.clone());
+        server.enable_trace();
+        server.set_active_clients(cfg.clients);
+        server.begin();
+        server.run_until(SimTime::ZERO + SimDuration::from_secs(900));
+        let trace = server.take_trace();
+        (trace, server.finish())
+    };
+    let (trace_1, m1) = run(1);
+    let (trace_4, m4) = run(4);
+    assert!(m1.arrivals > 100, "run too idle to prove anything");
+    assert!(m1.completed.total() > 0, "nothing completed");
+    assert_eq!(trace_1, trace_4, "shards changed the admission trace");
+    assert_eq!(m1.arrival_digest, m4.arrival_digest);
+    assert_eq!(m1.arrivals, m4.arrivals);
+    assert_eq!(m1.arrivals_admitted, m4.arrivals_admitted);
+    assert_eq!(m1.arrivals_shed, m4.arrivals_shed);
+    assert_eq!(m1.completed.total(), m4.completed.total());
+    assert_eq!(m1.failed.total(), m4.failed.total());
+    assert_eq!(m1.events_dispatched, m4.events_dispatched);
+    assert_eq!(m1.peak_queue_depth, m4.peak_queue_depth);
 }
 
 #[test]
