@@ -1,0 +1,330 @@
+//! Trace-plane I/O benchmark: v1 text codec vs v2 binary frame codec.
+//!
+//! Three event streams, spanning the shapes the trace plane actually
+//! carries:
+//!
+//! * **retry_storm** (quick, seed 2007) — a small chaos trace, dominated
+//!   by breaker/fault events;
+//! * **open_loop_scale** (quick, seed 2007) — the ≥10M-offered-arrival
+//!   firehose cell, the stream the `--trace-v2` acceptance target is
+//!   defined on;
+//! * **synthetic_1m** — a deterministic ~1M-event stream with the
+//!   firehose's event mix, for codec throughput well past scenario
+//!   runtime.
+//!
+//! For each stream and codec the bench measures encode and decode
+//! events/sec (best-of, like `event_queue`) and bytes/event, asserts the
+//! round trip reproduces the stream bit-exactly, and rewrites
+//! `BENCH_trace.json` at the repo root. The v2-over-v1 aggregates
+//! (`size_ratio`, `encode_speedup`, `decode_speedup`) are gated against
+//! `crates/bench/baselines/BENCH_trace.json` in CI, and the
+//! open_loop_scale cell must clear the 5x bar outright — the bench fails
+//! loudly if the codec ever regresses below it.
+
+use criterion::{black_box, Criterion};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use throttledb_engine::{FailureKind, TraceEvent, WorkloadProfiles};
+use throttledb_scenario::{Scale, Scenario, ScenarioRunner, Trace, TraceReaderV2, TraceWriterV2};
+use throttledb_sim::{SimRng, SimTime};
+
+/// Record one built-in scenario's quick-scale trace.
+fn scenario_events(name: &str, seed: u64) -> (Vec<TraceEvent>, Vec<String>, u64) {
+    let scenario = Scenario::builtin(name, Scale::Quick)
+        .unwrap_or_else(|| panic!("unknown scenario {name}"))
+        .with_seed(seed);
+    let catalog = scenario.trace_catalog();
+    let config_digest = scenario.config_digest();
+    let mut base = scenario.runtime_config();
+    base.warmup = throttledb_sim::SimDuration::ZERO;
+    let profiles = Arc::new(WorkloadProfiles::characterize_full(&base));
+    let outcome = ScenarioRunner::new(scenario)
+        .record_trace(true)
+        .with_profiles(profiles)
+        .run();
+    let events = outcome.trace.expect("recording was enabled").into_events();
+    (events, catalog, config_digest)
+}
+
+/// A deterministic ~1M-event stream with the firehose's mix: mostly
+/// submissions and failures, a thin band of completions, periodic
+/// compile-peak gauge movement — near-sorted ids and times like the
+/// engine emits.
+fn synthetic_events(n: usize) -> Vec<TraceEvent> {
+    let mut rng = SimRng::seed_from_u64(2007);
+    let mut events = Vec::with_capacity(n + 2);
+    events.push(TraceEvent::PhaseStart {
+        at: SimTime::ZERO,
+        name: "firehose".to_string(),
+        clients: 64,
+    });
+    let mut at_us = 0u64;
+    let mut query = 0u64;
+    let mut peak = 512u64 << 20;
+    while events.len() < n + 1 {
+        at_us += rng.uniform_u64(0, 700);
+        let at = SimTime::from_micros(at_us);
+        query += 1;
+        match rng.uniform_u64(0, 100) {
+            0..=55 => events.push(TraceEvent::Submitted {
+                at,
+                query,
+                client: (query % 64) as u32,
+                class: (query % 3) as usize,
+            }),
+            56..=79 => events.push(TraceEvent::Failed {
+                at,
+                query: query.saturating_sub(rng.uniform_u64(0, 16)),
+                kind: if query % 3 == 0 {
+                    FailureKind::OutOfMemory
+                } else {
+                    FailureKind::CompileTimeout
+                },
+            }),
+            80..=89 => events.push(TraceEvent::GatewayBlocked {
+                at,
+                query,
+                level: (query % 4) as usize,
+            }),
+            90..=95 => {
+                peak = peak.wrapping_add(rng.uniform_u64(0, 8 << 20));
+                events.push(TraceEvent::CompilePeak { at, bytes: peak });
+            }
+            _ => events.push(TraceEvent::Completed {
+                at,
+                query: query.saturating_sub(rng.uniform_u64(0, 64)),
+            }),
+        }
+    }
+    events.push(TraceEvent::End {
+        at: SimTime::from_micros(at_us + 1),
+    });
+    events
+}
+
+fn v2_encode(events: &[TraceEvent], catalog: &[String], config_digest: u64) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(events.len() * 8);
+    let mut w = TraceWriterV2::new(&mut bytes, catalog, config_digest).expect("Vec never fails");
+    for ev in events {
+        w.write_event(ev).expect("Vec never fails");
+    }
+    w.finish().expect("Vec never fails");
+    bytes
+}
+
+fn v2_decode(bytes: &[u8]) -> Vec<TraceEvent> {
+    TraceReaderV2::new(bytes)
+        .expect("own stream parses")
+        .collect::<Result<Vec<_>, _>>()
+        .expect("own stream decodes")
+}
+
+/// Best-of-`runs` events/sec for one codec pass over `events_n` events.
+fn measure(runs: usize, events_n: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        let eps = events_n as f64 / start.elapsed().as_secs_f64().max(1e-12);
+        best = best.max(eps);
+    }
+    best
+}
+
+struct CodecRow {
+    scenario: String,
+    codec: &'static str,
+    events: usize,
+    bytes: usize,
+    encode_eps: f64,
+    decode_eps: f64,
+}
+
+struct SpeedupRow {
+    scenario: String,
+    size_ratio: f64,
+    encode_speedup: f64,
+    decode_speedup: f64,
+}
+
+fn main() {
+    let streams: Vec<(String, Vec<TraceEvent>, Vec<String>, u64)> = {
+        let (rs, rs_cat, rs_cfg) = scenario_events("retry_storm", 2007);
+        let (ols, ols_cat, ols_cfg) = scenario_events("open_loop_scale", 2007);
+        vec![
+            ("retry_storm".to_string(), rs, rs_cat, rs_cfg),
+            ("open_loop_scale".to_string(), ols, ols_cat, ols_cfg),
+            (
+                "synthetic_1m".to_string(),
+                synthetic_events(1_000_000),
+                vec!["firehose".to_string()],
+                0,
+            ),
+        ]
+    };
+
+    // A criterion group over the acceptance-relevant stream, for
+    // interactive `cargo bench` comparisons.
+    {
+        let (_, events, catalog, config) = &streams[1];
+        let trace = Trace::new(events.clone());
+        let v1_text = trace.encode();
+        let v2_bytes = v2_encode(events, catalog, *config);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("trace_codec/open_loop_scale");
+        group.sample_size(10);
+        group.bench_function("v1_encode", |b| b.iter(|| black_box(trace.encode())));
+        group.bench_function("v2_encode", |b| {
+            b.iter(|| black_box(v2_encode(events, catalog, *config)))
+        });
+        group.bench_function("v1_decode", |b| {
+            b.iter(|| black_box(Trace::decode(&v1_text).expect("own text parses")))
+        });
+        group.bench_function("v2_decode", |b| b.iter(|| black_box(v2_decode(&v2_bytes))));
+        group.finish();
+    }
+
+    let best_of = |n: usize| if n >= 1_000_000 { 3 } else { 20 };
+    let mut rows: Vec<CodecRow> = Vec::new();
+    let mut speedups: Vec<SpeedupRow> = Vec::new();
+    for (name, events, catalog, config) in &streams {
+        let n = events.len();
+        let runs = best_of(n);
+        let trace = Trace::new(events.clone());
+
+        let v1_text = trace.encode();
+        let v1_encode_eps = measure(runs, n, || {
+            black_box(trace.encode());
+        });
+        let v1_decode_eps = measure(runs, n, || {
+            black_box(Trace::decode(&v1_text).expect("own text parses"));
+        });
+        // The codecs must be lossless before their speed means anything.
+        assert_eq!(
+            Trace::decode(&v1_text).expect("own text parses").events(),
+            &events[..],
+            "{name}: v1 round trip diverged"
+        );
+
+        let v2_bytes = v2_encode(events, catalog, *config);
+        let v2_encode_eps = measure(runs, n, || {
+            black_box(v2_encode(events, catalog, *config));
+        });
+        let v2_decode_eps = measure(runs, n, || {
+            black_box(v2_decode(&v2_bytes));
+        });
+        assert_eq!(
+            v2_decode(&v2_bytes),
+            events[..],
+            "{name}: v2 round trip diverged"
+        );
+
+        let row = SpeedupRow {
+            scenario: name.clone(),
+            size_ratio: v1_text.len() as f64 / v2_bytes.len() as f64,
+            encode_speedup: v2_encode_eps / v1_encode_eps.max(1e-12),
+            decode_speedup: v2_decode_eps / v1_decode_eps.max(1e-12),
+        };
+        rows.push(CodecRow {
+            scenario: name.clone(),
+            codec: "v1",
+            events: n,
+            bytes: v1_text.len(),
+            encode_eps: v1_encode_eps,
+            decode_eps: v1_decode_eps,
+        });
+        rows.push(CodecRow {
+            scenario: name.clone(),
+            codec: "v2",
+            events: n,
+            bytes: v2_bytes.len(),
+            encode_eps: v2_encode_eps,
+            decode_eps: v2_decode_eps,
+        });
+        speedups.push(row);
+    }
+
+    println!(
+        "\n{:<16} {:>4} {:>9} {:>9} {:>7} {:>14} {:>14}",
+        "scenario", "codec", "events", "bytes", "B/ev", "encode ev/s", "decode ev/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>4} {:>9} {:>9} {:>7.2} {:>14.0} {:>14.0}",
+            r.scenario,
+            r.codec,
+            r.events,
+            r.bytes,
+            r.bytes as f64 / r.events as f64,
+            r.encode_eps,
+            r.decode_eps
+        );
+    }
+    println!(
+        "\n{:<16} {:>10} {:>15} {:>15}",
+        "scenario", "size x", "encode x", "decode x"
+    );
+    for s in &speedups {
+        println!(
+            "{:<16} {:>9.2}x {:>14.2}x {:>14.2}x",
+            s.scenario, s.size_ratio, s.encode_speedup, s.decode_speedup
+        );
+    }
+
+    // The tentpole acceptance bar, enforced at measurement time: on the
+    // scale cell, v2 must be at least 5x smaller and 5x faster than v1 in
+    // both directions.
+    let scale = speedups
+        .iter()
+        .find(|s| s.scenario == "open_loop_scale")
+        .expect("scale stream measured");
+    for (what, value) in [
+        ("size_ratio", scale.size_ratio),
+        ("encode_speedup", scale.encode_speedup),
+        ("decode_speedup", scale.decode_speedup),
+    ] {
+        assert!(
+            value >= 5.0,
+            "open_loop_scale {what} fell below the 5x acceptance bar: {value:.2}x"
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"trace_codec\",\n  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"codec\": \"{}\", \"events\": {}, \"bytes\": {}, \
+             \"bytes_per_event\": {:.2}, \"encode_events_per_sec\": {:.0}, \
+             \"decode_events_per_sec\": {:.0}}}{}",
+            r.scenario,
+            r.codec,
+            r.events,
+            r.bytes,
+            r.bytes as f64 / r.events as f64,
+            r.encode_eps,
+            r.decode_eps,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"aggregates\": [\n");
+    for (i, s) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"scenario\": \"{}\", \"codec\": \"v2\", \"size_ratio\": {:.2}, \
+             \"encode_speedup\": {:.2}, \"decode_speedup\": {:.2}}}{}",
+            s.scenario,
+            s.size_ratio,
+            s.encode_speedup,
+            s.decode_speedup,
+            if i + 1 < speedups.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nrecorded to {path}"),
+        Err(e) => eprintln!("\ncannot record {path}: {e}"),
+    }
+}

@@ -304,6 +304,14 @@ const METRICS: &[(&str, Direction, f64)] = &[
     // noise around a ~2-3x baseline without masking a real collapse back
     // toward 1x.
     ("shard_speedup", Direction::HigherIsBetter, 0.25),
+    // Trace-codec metrics (BENCH_trace.json). Sizes and ratios are
+    // deterministic per (codec, scenario); the throughput rates are
+    // same-machine and stay ungated, but the v2-over-v1 speedups are
+    // ratios and transfer across machines like shard_speedup does.
+    ("bytes_per_event", Direction::LowerIsBetter, 0.5),
+    ("size_ratio", Direction::HigherIsBetter, 0.5),
+    ("encode_speedup", Direction::HigherIsBetter, 0.5),
+    ("decode_speedup", Direction::HigherIsBetter, 0.5),
 ];
 
 /// One extracted (cell-or-aggregate, metric) observation.
@@ -331,7 +339,7 @@ pub struct Regression {
 
 fn entry_key(obj: &Value, kind: &str) -> String {
     let mut key = kind.to_string();
-    for id in ["policy", "scenario"] {
+    for id in ["policy", "scenario", "codec"] {
         if let Some(v) = obj.get(id).and_then(Value::as_str) {
             let _ = write!(key, " {id}={v}");
         }
@@ -466,7 +474,10 @@ pub fn self_test() -> Result<(), String> {
      "failure_rate": {"mean": 0.01, "ci95": 0.002}},
     {"policy": "ladder", "scenario": "retry_storm", "seeds": 5,
      "goodput_under_fault": {"mean": 0.018, "ci95": 0.003},
-     "time_to_recovery_s": {"mean": 640.0, "ci95": 90.0}}
+     "time_to_recovery_s": {"mean": 640.0, "ci95": 90.0}},
+    {"scenario": "open_loop_scale", "codec": "v2",
+     "bytes_per_event": 5.1, "size_ratio": 5.5,
+     "encode_speedup": 9.0, "decode_speedup": 8.0}
   ]
 }"#;
     let regressed = baseline.replace("\"completed\": 1000", "\"completed\": 800");
@@ -505,9 +516,16 @@ pub fn self_test() -> Result<(), String> {
     }
     let shed_storm = baseline.replace("\"shed\": 0", "\"shed\": 40");
     match compare_text(baseline, &shed_storm, 0.10) {
-        Ok(r) if r.len() == 1 && r[0].what.contains("shed") => Ok(()),
-        Ok(r) => Err(format!("shed storm over a zero baseline not caught: {r:?}")),
-        Err(e) => Err(format!("self-test shed-storm doc failed to parse: {e:?}")),
+        Ok(r) if r.len() == 1 && r[0].what.contains("shed") => {}
+        Ok(r) => return Err(format!("shed storm over a zero baseline not caught: {r:?}")),
+        Err(e) => return Err(format!("self-test shed-storm doc failed to parse: {e:?}")),
+    }
+    // A trace-codec compression collapse must trip size_ratio.
+    let bloated = baseline.replace("\"size_ratio\": 5.5", "\"size_ratio\": 2.0");
+    match compare_text(baseline, &bloated, 0.10) {
+        Ok(r) if r.len() == 1 && r[0].what.contains("size_ratio") => Ok(()),
+        Ok(r) => Err(format!("codec size-ratio collapse not caught: {r:?}")),
+        Err(e) => Err(format!("self-test codec doc failed to parse: {e:?}")),
     }
 }
 
@@ -674,6 +692,28 @@ mod tests {
         let trips = compare_text(base, &lost, 0.10).unwrap();
         assert_eq!(trips.len(), 1, "{trips:?}");
         assert!(trips[0].what.contains("shards=4") && trips[0].what.contains("missing"));
+    }
+
+    #[test]
+    fn codec_metrics_are_keyed_and_gated() {
+        let base = r#"{"cells": [
+            {"scenario": "open_loop_scale", "codec": "v1", "bytes_per_event": 28.4},
+            {"scenario": "open_loop_scale", "codec": "v2", "bytes_per_event": 5.1}],
+          "aggregates": [
+            {"scenario": "open_loop_scale", "codec": "v2",
+             "size_ratio": 5.5, "encode_speedup": 9.0, "decode_speedup": 8.0}]}"#;
+        assert_eq!(compare_text(base, base, 0.10).unwrap(), vec![]);
+        // The codec is identity: the v1 and v2 cells must not collide, so
+        // a bloat of only the v2 cell trips exactly that cell.
+        let bloated = base.replace("\"bytes_per_event\": 5.1", "\"bytes_per_event\": 9.9");
+        let trips = compare_text(base, &bloated, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("codec=v2") && trips[0].what.contains("bytes_per_event"));
+        // A decode slowdown beyond tolerance trips decode_speedup.
+        let slower = base.replace("\"decode_speedup\": 8.0", "\"decode_speedup\": 4.0");
+        let trips = compare_text(base, &slower, 0.10).unwrap();
+        assert_eq!(trips.len(), 1, "{trips:?}");
+        assert!(trips[0].what.contains("decode_speedup"));
     }
 
     #[test]

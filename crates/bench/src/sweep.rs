@@ -108,9 +108,10 @@ pub struct SweepOutcome {
     /// End-to-end sweep wall time in milliseconds (characterization,
     /// warm-up and all).
     pub total_wall_ms: f64,
-    /// Wall time of the untimed warm-up cell run before the workers spawn
-    /// (first coordinate, result discarded), so the first *timed* cell is
-    /// measured against a warm process.
+    /// Total wall time of the untimed warm-up cell runs (first coordinate,
+    /// results discarded), summed across workers. Each worker thread runs
+    /// the warm-up before claiming cells, so every first *timed* cell is
+    /// measured against a warm thread, not just a warm process.
     pub warmup_wall_ms: f64,
 }
 
@@ -137,46 +138,55 @@ pub fn run_sweep(spec: &SweepSpec) -> SweepOutcome {
         .flat_map(|(si, _)| spec.seeds.iter().map(move |&seed| (si, seed)))
         .collect();
 
-    // Warm-up: run the first cell once, untimed and discarded, so the
-    // first *measured* cell doesn't absorb process warm-up (allocator,
-    // page faults, lazily-initialized tables). Before this fix the first
-    // cell's wall_ms ran ~10x its identical siblings and skewed every
-    // aggregate derived from it.
-    let warmup_started = Instant::now();
-    if let Some(&(scenario_idx, seed)) = coords.first() {
-        let _ = run_cell(
-            &spec.scenarios[scenario_idx],
-            seed,
-            spec.scale,
-            profiles[scenario_idx].clone(),
-            spec.shards,
-        );
-    }
-    let warmup_wall_ms = warmup_started.elapsed().as_secs_f64() * 1e3;
-
+    // Warm-up: every worker thread runs the first cell once, untimed and
+    // discarded, before claiming any timed cell. A single pre-spawn
+    // warm-up only warmed the *process* (lazily-initialized tables) plus
+    // the main thread; each spawned worker still paid its own per-thread
+    // cold start (allocator arenas, first-touch page faults) on its first
+    // timed cell, so with `--workers 4` up to four cells per sweep ran
+    // skewed. Results are deterministic per config, so the extra runs move
+    // only wall time, never cell values.
+    let warmup_micros = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<(SweepCell, SweepTiming)>>> =
         Mutex::new(vec![None; coords.len()]);
 
     std::thread::scope(|scope| {
         for _ in 0..workers.min(coords.len().max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(scenario_idx, seed)) = coords.get(idx) else {
-                    break;
-                };
-                let name = &spec.scenarios[scenario_idx];
-                let measured = run_cell(
-                    name,
-                    seed,
-                    spec.scale,
-                    profiles[scenario_idx].clone(),
-                    spec.shards,
-                );
-                results.lock().expect("no poisoned workers")[idx] = Some(measured);
+            scope.spawn(|| {
+                if let Some(&(scenario_idx, seed)) = coords.first() {
+                    let warmup_started = Instant::now();
+                    let _ = run_cell(
+                        &spec.scenarios[scenario_idx],
+                        seed,
+                        spec.scale,
+                        profiles[scenario_idx].clone(),
+                        spec.shards,
+                    );
+                    warmup_micros.fetch_add(
+                        warmup_started.elapsed().as_micros() as usize,
+                        Ordering::Relaxed,
+                    );
+                }
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(scenario_idx, seed)) = coords.get(idx) else {
+                        break;
+                    };
+                    let name = &spec.scenarios[scenario_idx];
+                    let measured = run_cell(
+                        name,
+                        seed,
+                        spec.scale,
+                        profiles[scenario_idx].clone(),
+                        spec.shards,
+                    );
+                    results.lock().expect("no poisoned workers")[idx] = Some(measured);
+                }
             });
         }
     });
+    let warmup_wall_ms = warmup_micros.load(Ordering::Relaxed) as f64 / 1e3;
 
     let mut cells = Vec::with_capacity(coords.len());
     let mut timings = Vec::with_capacity(coords.len());
@@ -1157,6 +1167,11 @@ mod tests {
         let parallel = run_sweep(&tiny_spec(4));
         assert_eq!(sequential.cells, parallel.cells);
         assert_eq!(sequential.cells_json(), parallel.cells_json());
+        // Every spawned worker runs its own untimed warm-up cell, so the
+        // recorded warm-up wall time is a sum across workers — nonzero for
+        // any worker count, and never part of a timed cell.
+        assert!(sequential.warmup_wall_ms > 0.0);
+        assert!(parallel.warmup_wall_ms > 0.0);
         assert_eq!(sequential.cells.len(), 2);
         for cell in &sequential.cells {
             assert!(

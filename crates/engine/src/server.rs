@@ -12,8 +12,10 @@ use crate::metrics::{ArrivalSourceMetrics, ClassMetrics, RunMetrics};
 use crate::profile::{CompileProfile, WorkloadProfiles};
 use crate::shard::{unpack_arrival, ArrivalPlane};
 use crate::stages::{ClassRuntime, Query, QueryOrigin};
-use crate::trace::TraceEvent;
+use crate::trace::{TraceEvent, TraceSink};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
 use throttledb_bufferpool::HitRateModel;
 use throttledb_executor::GrantOutcome;
@@ -175,6 +177,10 @@ pub struct Server {
     pub(crate) grant_budget_scale: f64,
     /// Recorded admission/grant events, when tracing is enabled.
     pub(crate) trace: Option<Vec<TraceEvent>>,
+    /// Streaming trace consumer, when installed (see
+    /// [`Server::set_trace_sink`]): every recorded event is forwarded here
+    /// as it happens, so a run can be serialized without buffering.
+    pub(crate) trace_sink: Option<Rc<RefCell<dyn TraceSink>>>,
     /// Running compile-memory high-water mark since the last phase boundary
     /// (trace recording only).
     pub(crate) trace_peak: u64,
@@ -330,6 +336,7 @@ impl Server {
             mix: WorkloadMix::paper_default(config.oltp_fraction),
             grant_budget_scale: 1.0,
             trace: None,
+            trace_sink: None,
             trace_peak: 0,
             scratch_resumed: Vec::new(),
             scratch_admitted: Vec::new(),
@@ -1038,6 +1045,16 @@ impl Server {
         }
     }
 
+    /// Install a streaming consumer that observes every recorded event as
+    /// it happens (see [`TraceSink`]). A sink works with or without the
+    /// buffered recording of [`Server::enable_trace`]: the v2 binary
+    /// writer installs only a sink so multi-million-event runs serialize
+    /// at O(1) memory, while tests install both to prove the two surfaces
+    /// see the same stream.
+    pub fn set_trace_sink(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.trace_sink = Some(sink);
+    }
+
     /// Take the recorded events, leaving recording enabled but empty.
     /// Returns an empty vector if tracing was never enabled.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
@@ -1060,8 +1077,28 @@ impl Server {
         });
     }
 
-    /// Append `event` to the trace if recording is enabled.
+    /// Record the end-of-run marker. The scenario runner calls this after
+    /// the last phase so buffered and streaming consumers both observe the
+    /// final [`TraceEvent::End`] at the run's closing timestamp.
+    pub fn trace_end(&mut self) {
+        let at = self.now;
+        self.trace_push(TraceEvent::End { at });
+    }
+
+    /// Whether any trace consumer (buffered vector or streaming sink) is
+    /// attached. Gates the derived events — e.g. [`TraceEvent::CompilePeak`]
+    /// — that only exist for trace readers.
+    fn trace_enabled(&self) -> bool {
+        self.trace.is_some() || self.trace_sink.is_some()
+    }
+
+    /// Hand `event` to every attached trace consumer: the streaming sink
+    /// first (it observes the event by reference), then the buffered
+    /// vector. No consumers attached means the event is dropped.
     pub(crate) fn trace_push(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.trace_sink.as_ref() {
+            sink.borrow_mut().event(&event);
+        }
         if let Some(events) = self.trace.as_mut() {
             events.push(event);
         }
@@ -1074,7 +1111,7 @@ impl Server {
     pub(crate) fn record_compile_gauge(&mut self) {
         let used = self.compile_clerk.used_bytes();
         self.metrics.compile_memory.record(self.now, used);
-        if self.trace.is_some() && used > self.trace_peak {
+        if self.trace_enabled() && used > self.trace_peak {
             self.trace_peak = used;
             self.trace_push(TraceEvent::CompilePeak {
                 at: self.now,

@@ -139,6 +139,23 @@ pub enum TraceEvent {
     },
 }
 
+/// A streaming consumer of trace events.
+///
+/// When a sink is installed (see [`crate::Server::set_trace_sink`]) the
+/// server hands every recorded event to it *as it happens*, before (and
+/// independently of) the buffered [`crate::Server::take_trace`] vector.
+/// This is the hook the binary `throttledb-trace v2` writer uses to record
+/// multi-million-event runs at O(1) memory: the sink serializes each event
+/// straight to an `io::Write` instead of materializing the stream.
+///
+/// Sinks must be infallible from the server's point of view; an I/O-backed
+/// sink should stash its first error internally and surface it when the
+/// stream is finalized.
+pub trait TraceSink {
+    /// Observe one recorded event, in run order.
+    fn event(&mut self, event: &TraceEvent);
+}
+
 impl TraceEvent {
     /// The virtual time at which the event was recorded.
     pub fn at(&self) -> SimTime {

@@ -12,9 +12,11 @@
 use crate::scenario::Scenario;
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 use std::sync::Arc;
-use throttledb_engine::{RunMetrics, Server, TraceEvent, WorkloadProfiles};
+use throttledb_engine::{RunMetrics, Server, TraceSink, WorkloadProfiles};
 use throttledb_sim::SimTime;
 
 /// Admission-control counters of one phase, plus the phase's compile-memory
@@ -190,12 +192,24 @@ impl Snapshot {
 /// // The recorded trace replays to the same per-phase reports.
 /// assert_eq!(outcome.trace.unwrap().replay(), outcome.phases);
 /// ```
-#[derive(Debug)]
 pub struct ScenarioRunner {
     scenario: Scenario,
     record: bool,
     profiles: Option<Arc<WorkloadProfiles>>,
     shards: u32,
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl fmt::Debug for ScenarioRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioRunner")
+            .field("scenario", &self.scenario)
+            .field("record", &self.record)
+            .field("profiles", &self.profiles)
+            .field("shards", &self.shards)
+            .field("sink", &self.sink.as_ref().map(|_| "TraceSink"))
+            .finish()
+    }
 }
 
 impl ScenarioRunner {
@@ -206,12 +220,24 @@ impl ScenarioRunner {
             record: false,
             profiles: None,
             shards: 1,
+            sink: None,
         }
     }
 
     /// Enable or disable admission/grant trace recording.
     pub fn record_trace(mut self, record: bool) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Install a streaming trace consumer (see
+    /// [`throttledb_engine::TraceSink`]): every trace event of the run is
+    /// forwarded to it as it happens, independently of the buffered
+    /// recording toggled by [`ScenarioRunner::record_trace`]. This is how
+    /// `scenario_runner --trace-v2` serializes a 10M-arrival run at O(1)
+    /// memory — the sink is a [`crate::TraceWriterV2`] over a file.
+    pub fn with_trace_sink(mut self, sink: Rc<RefCell<dyn TraceSink>>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -240,6 +266,7 @@ impl ScenarioRunner {
             record,
             profiles,
             shards,
+            sink,
         } = self;
         scenario.validate();
 
@@ -254,6 +281,9 @@ impl ScenarioRunner {
         let mut server = Server::new(config, profiles);
         if record {
             server.enable_trace();
+        }
+        if let Some(sink) = sink {
+            server.set_trace_sink(sink);
         }
         // Faults are ordinary timing-wheel events: installed once, before
         // the first phase, they fire at their absolute offsets regardless
@@ -297,13 +327,10 @@ impl ScenarioRunner {
             });
         }
 
-        let trace = if record {
-            let mut events = server.take_trace();
-            events.push(TraceEvent::End { at: server.now() });
-            Some(Trace::new(events))
-        } else {
-            None
-        };
+        // Close the stream through the server so the buffered trace and
+        // any installed sink observe the same final `End` event.
+        server.trace_end();
+        let trace = record.then(|| Trace::new(server.take_trace()));
         let metrics = server.finish();
         for report in &mut phases {
             report.peak_compile_bytes = metrics

@@ -144,6 +144,44 @@ impl Scenario {
         config
     }
 
+    /// A 64-bit FNV digest of the run identity a recorded trace depends
+    /// on: scenario name, seed, admission policy, and the per-phase
+    /// name/duration/client schedule. The v2 binary codec stores this in
+    /// its header frame so `--replay` can refuse a trace recorded under a
+    /// different configuration *before* simulating anything.
+    pub fn config_digest(&self) -> u64 {
+        let mut hash = throttledb_workload::Fnv64::new();
+        let mut fold = |bytes: &[u8]| {
+            hash.update(bytes);
+            // NUL-separate fields so adjacent strings can't collide by
+            // concatenation ("ab"+"c" vs "a"+"bc").
+            hash.update(&[0]);
+        };
+        fold(self.name.as_bytes());
+        fold(&self.base.seed.to_le_bytes());
+        fold(format!("{:?}", self.base.policy).as_bytes());
+        for phase in &self.phases {
+            fold(phase.name.as_bytes());
+            fold(&phase.duration.as_micros().to_le_bytes());
+            fold(&phase.clients.to_le_bytes());
+        }
+        hash.finish()
+    }
+
+    /// The phase-name catalog a v2 trace header interns: every distinct
+    /// phase name, in first-use order. Recording with this catalog turns
+    /// each `PhaseStart` name into a small varint index instead of an
+    /// inline string.
+    pub fn trace_catalog(&self) -> Vec<String> {
+        let mut catalog: Vec<String> = Vec::new();
+        for phase in &self.phases {
+            if !catalog.iter().any(|n| n == &phase.name) {
+                catalog.push(phase.name.clone());
+            }
+        }
+        catalog
+    }
+
     /// Panics on an empty or inconsistent phase schedule, or when the
     /// scenario drives no load at all (every phase has zero closed-loop
     /// clients *and* the base configuration has no arrival sources).

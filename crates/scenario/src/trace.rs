@@ -22,7 +22,280 @@ use throttledb_engine::{BreakerState, FailureKind, TraceEvent};
 use throttledb_sim::SimTime;
 
 /// Header line identifying the format and its version.
-const HEADER: &str = "throttledb-trace v1";
+pub(crate) const HEADER: &str = "throttledb-trace v1";
+
+/// Append the v1 text line for one event to `out` (including the trailing
+/// newline). Shared by [`Trace::encode`], the streaming v1 writer paths,
+/// and the v2→v1 transcoder so every producer emits byte-identical lines.
+pub(crate) fn encode_event_into(out: &mut String, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::PhaseStart { at, name, clients } => {
+            // The free-form name goes last so it may contain spaces.
+            out.push_str(&format!("phase {} {} {}\n", at.as_micros(), clients, name));
+        }
+        TraceEvent::Submitted {
+            at,
+            query,
+            client,
+            class,
+        } => out.push_str(&format!(
+            "submit {} {} {} {}\n",
+            at.as_micros(),
+            query,
+            client,
+            class
+        )),
+        TraceEvent::GatewayBlocked { at, query, level } => {
+            out.push_str(&format!("gateway {} {} {}\n", at.as_micros(), query, level))
+        }
+        TraceEvent::BestEffort { at, query } => {
+            out.push_str(&format!("besteffort {} {}\n", at.as_micros(), query));
+        }
+        TraceEvent::GrantQueued { at, query, bytes } => {
+            out.push_str(&format!("grantq {} {} {}\n", at.as_micros(), query, bytes))
+        }
+        TraceEvent::ExecStarted { at, query, bytes } => {
+            out.push_str(&format!("exec {} {} {}\n", at.as_micros(), query, bytes))
+        }
+        TraceEvent::Completed { at, query } => {
+            out.push_str(&format!("done {} {}\n", at.as_micros(), query));
+        }
+        TraceEvent::Failed { at, query, kind } => {
+            let kind = match kind {
+                FailureKind::OutOfMemory => "oom",
+                FailureKind::CompileTimeout => "compile_timeout",
+                FailureKind::GrantTimeout => "grant_timeout",
+            };
+            out.push_str(&format!("fail {} {} {}\n", at.as_micros(), query, kind));
+        }
+        TraceEvent::CompilePeak { at, bytes } => {
+            out.push_str(&format!("cpeak {} {}\n", at.as_micros(), bytes));
+        }
+        TraceEvent::FaultInjected { at, fault } => {
+            out.push_str(&format!("fault {} {} inject\n", at.as_micros(), fault));
+        }
+        TraceEvent::FaultCleared { at, fault } => {
+            out.push_str(&format!("fault {} {} clear\n", at.as_micros(), fault));
+        }
+        TraceEvent::Shed { at, query } => {
+            out.push_str(&format!("shed {} {}\n", at.as_micros(), query));
+        }
+        TraceEvent::BreakerTransition { at, class, state } => out.push_str(&format!(
+            "breaker {} {} {}\n",
+            at.as_micros(),
+            class,
+            state.name()
+        )),
+        TraceEvent::End { at } => {
+            out.push_str(&format!("end {}\n", at.as_micros()));
+        }
+    }
+}
+
+/// Parse one v1 event line; `None` on any malformed field. Shared by
+/// [`Trace::decode`] and the line-streaming v1→v2 transcoder.
+pub(crate) fn decode_line(line: &str) -> Option<TraceEvent> {
+    let tokens: Vec<&str> = line.split(' ').collect();
+    let num = |i: usize| -> Option<u64> { tokens.get(i)?.parse::<u64>().ok() };
+    let at = |i: usize| -> Option<SimTime> { Some(SimTime::from_micros(num(i)?)) };
+    let arity = |n: usize| -> Option<()> { (tokens.len() == n).then_some(()) };
+    Some(match *tokens.first()? {
+        "phase" => {
+            if tokens.len() < 4 {
+                return None;
+            }
+            TraceEvent::PhaseStart {
+                at: at(1)?,
+                clients: num(2)? as u32,
+                // The free-form name is everything after the counts.
+                name: tokens[3..].join(" "),
+            }
+        }
+        "submit" => {
+            arity(5)?;
+            TraceEvent::Submitted {
+                at: at(1)?,
+                query: num(2)?,
+                client: num(3)? as u32,
+                class: num(4)? as usize,
+            }
+        }
+        "gateway" => {
+            arity(4)?;
+            TraceEvent::GatewayBlocked {
+                at: at(1)?,
+                query: num(2)?,
+                level: num(3)? as usize,
+            }
+        }
+        "besteffort" => {
+            arity(3)?;
+            TraceEvent::BestEffort {
+                at: at(1)?,
+                query: num(2)?,
+            }
+        }
+        "grantq" => {
+            arity(4)?;
+            TraceEvent::GrantQueued {
+                at: at(1)?,
+                query: num(2)?,
+                bytes: num(3)?,
+            }
+        }
+        "exec" => {
+            arity(4)?;
+            TraceEvent::ExecStarted {
+                at: at(1)?,
+                query: num(2)?,
+                bytes: num(3)?,
+            }
+        }
+        "done" => {
+            arity(3)?;
+            TraceEvent::Completed {
+                at: at(1)?,
+                query: num(2)?,
+            }
+        }
+        "fail" => {
+            arity(4)?;
+            let kind = match tokens[3] {
+                "oom" => FailureKind::OutOfMemory,
+                "compile_timeout" => FailureKind::CompileTimeout,
+                "grant_timeout" => FailureKind::GrantTimeout,
+                _ => return None,
+            };
+            TraceEvent::Failed {
+                at: at(1)?,
+                query: num(2)?,
+                kind,
+            }
+        }
+        "cpeak" => {
+            arity(3)?;
+            TraceEvent::CompilePeak {
+                at: at(1)?,
+                bytes: num(2)?,
+            }
+        }
+        "fault" => {
+            arity(4)?;
+            let at = at(1)?;
+            let fault = num(2)? as u32;
+            match tokens[3] {
+                "inject" => TraceEvent::FaultInjected { at, fault },
+                "clear" => TraceEvent::FaultCleared { at, fault },
+                _ => return None,
+            }
+        }
+        "shed" => {
+            arity(3)?;
+            TraceEvent::Shed {
+                at: at(1)?,
+                query: num(2)?,
+            }
+        }
+        "breaker" => {
+            arity(4)?;
+            TraceEvent::BreakerTransition {
+                at: at(1)?,
+                class: num(2)? as usize,
+                state: BreakerState::parse(tokens[3])?,
+            }
+        }
+        "end" => {
+            arity(2)?;
+            TraceEvent::End { at: at(1)? }
+        }
+        _ => return None,
+    })
+}
+
+/// Incremental replay: folds trace events one at a time into per-phase
+/// [`PhaseReport`]s, so a multi-gigabyte stream replays at O(phases)
+/// memory instead of O(events). [`Trace::replay`] is this fold applied to
+/// a buffered trace; the streaming v2 reader feeds it frame by frame.
+#[derive(Debug, Default)]
+pub struct StreamingReplay {
+    reports: Vec<PhaseReport>,
+    open: bool,
+    final_at: Option<SimTime>,
+}
+
+impl StreamingReplay {
+    /// An empty replay: no phases seen yet.
+    pub fn new() -> Self {
+        StreamingReplay::default()
+    }
+
+    /// Fold one event, in stream order.
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::PhaseStart { at, name, clients } = ev {
+            if let (true, Some(last)) = (self.open, self.reports.last_mut()) {
+                last.end = *at;
+            }
+            self.reports.push(PhaseReport {
+                name: name.clone(),
+                start: *at,
+                end: *at,
+                clients: *clients,
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                shed: 0,
+                oom_failures: 0,
+                compile_timeouts: 0,
+                grant_timeouts: 0,
+                best_effort_plans: 0,
+                peak_compile_bytes: 0,
+            });
+            self.open = true;
+            return;
+        }
+        if let TraceEvent::End { at } = ev {
+            self.final_at = Some(*at);
+        }
+        let Some(current) = self.reports.last_mut() else {
+            return;
+        };
+        match ev {
+            TraceEvent::Submitted { .. } => current.submitted += 1,
+            TraceEvent::Completed { .. } => current.completed += 1,
+            TraceEvent::BestEffort { .. } => current.best_effort_plans += 1,
+            TraceEvent::Failed { kind, .. } => {
+                current.failed += 1;
+                match kind {
+                    FailureKind::OutOfMemory => current.oom_failures += 1,
+                    FailureKind::CompileTimeout => current.compile_timeouts += 1,
+                    FailureKind::GrantTimeout => current.grant_timeouts += 1,
+                }
+            }
+            TraceEvent::CompilePeak { bytes, .. } => {
+                current.peak_compile_bytes = current.peak_compile_bytes.max(*bytes);
+            }
+            // A trace recorded before the chaos layer simply has no
+            // `shed` lines, so old goldens replay with `shed: 0`.
+            TraceEvent::Shed { .. } => current.shed += 1,
+            TraceEvent::GatewayBlocked { .. }
+            | TraceEvent::GrantQueued { .. }
+            | TraceEvent::ExecStarted { .. }
+            | TraceEvent::FaultInjected { .. }
+            | TraceEvent::FaultCleared { .. }
+            | TraceEvent::BreakerTransition { .. }
+            | TraceEvent::PhaseStart { .. }
+            | TraceEvent::End { .. } => {}
+        }
+    }
+
+    /// Close the fold and return the per-phase reports.
+    pub fn finish(mut self) -> Vec<PhaseReport> {
+        if let (Some(at), Some(last)) = (self.final_at, self.reports.last_mut()) {
+            last.end = at;
+        }
+        self.reports
+    }
+}
 
 /// A recorded admission/grant event stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +334,11 @@ impl Trace {
         &self.events
     }
 
+    /// The recorded events, by value.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -78,68 +356,7 @@ impl Trace {
         out.push_str(HEADER);
         out.push('\n');
         for ev in &self.events {
-            match ev {
-                TraceEvent::PhaseStart { at, name, clients } => {
-                    // The free-form name goes last so it may contain spaces.
-                    out.push_str(&format!("phase {} {} {}\n", at.as_micros(), clients, name));
-                }
-                TraceEvent::Submitted {
-                    at,
-                    query,
-                    client,
-                    class,
-                } => out.push_str(&format!(
-                    "submit {} {} {} {}\n",
-                    at.as_micros(),
-                    query,
-                    client,
-                    class
-                )),
-                TraceEvent::GatewayBlocked { at, query, level } => {
-                    out.push_str(&format!("gateway {} {} {}\n", at.as_micros(), query, level))
-                }
-                TraceEvent::BestEffort { at, query } => {
-                    out.push_str(&format!("besteffort {} {}\n", at.as_micros(), query));
-                }
-                TraceEvent::GrantQueued { at, query, bytes } => {
-                    out.push_str(&format!("grantq {} {} {}\n", at.as_micros(), query, bytes))
-                }
-                TraceEvent::ExecStarted { at, query, bytes } => {
-                    out.push_str(&format!("exec {} {} {}\n", at.as_micros(), query, bytes))
-                }
-                TraceEvent::Completed { at, query } => {
-                    out.push_str(&format!("done {} {}\n", at.as_micros(), query));
-                }
-                TraceEvent::Failed { at, query, kind } => {
-                    let kind = match kind {
-                        FailureKind::OutOfMemory => "oom",
-                        FailureKind::CompileTimeout => "compile_timeout",
-                        FailureKind::GrantTimeout => "grant_timeout",
-                    };
-                    out.push_str(&format!("fail {} {} {}\n", at.as_micros(), query, kind));
-                }
-                TraceEvent::CompilePeak { at, bytes } => {
-                    out.push_str(&format!("cpeak {} {}\n", at.as_micros(), bytes));
-                }
-                TraceEvent::FaultInjected { at, fault } => {
-                    out.push_str(&format!("fault {} {} inject\n", at.as_micros(), fault));
-                }
-                TraceEvent::FaultCleared { at, fault } => {
-                    out.push_str(&format!("fault {} {} clear\n", at.as_micros(), fault));
-                }
-                TraceEvent::Shed { at, query } => {
-                    out.push_str(&format!("shed {} {}\n", at.as_micros(), query));
-                }
-                TraceEvent::BreakerTransition { at, class, state } => out.push_str(&format!(
-                    "breaker {} {} {}\n",
-                    at.as_micros(),
-                    class,
-                    state.name()
-                )),
-                TraceEvent::End { at } => {
-                    out.push_str(&format!("end {}\n", at.as_micros()));
-                }
-            }
+            encode_event_into(&mut out, ev);
         }
         out
     }
@@ -157,130 +374,10 @@ impl Trace {
                 continue;
             }
             events.push(
-                Self::decode_line(line)
-                    .ok_or_else(|| TraceError::BadLine(idx + 1, line.to_string()))?,
+                decode_line(line).ok_or_else(|| TraceError::BadLine(idx + 1, line.to_string()))?,
             );
         }
         Ok(Trace { events })
-    }
-
-    /// Parse one event line; `None` on any malformed field.
-    fn decode_line(line: &str) -> Option<TraceEvent> {
-        let tokens: Vec<&str> = line.split(' ').collect();
-        let num = |i: usize| -> Option<u64> { tokens.get(i)?.parse::<u64>().ok() };
-        let at = |i: usize| -> Option<SimTime> { Some(SimTime::from_micros(num(i)?)) };
-        let arity = |n: usize| -> Option<()> { (tokens.len() == n).then_some(()) };
-        Some(match *tokens.first()? {
-            "phase" => {
-                if tokens.len() < 4 {
-                    return None;
-                }
-                TraceEvent::PhaseStart {
-                    at: at(1)?,
-                    clients: num(2)? as u32,
-                    // The free-form name is everything after the counts.
-                    name: tokens[3..].join(" "),
-                }
-            }
-            "submit" => {
-                arity(5)?;
-                TraceEvent::Submitted {
-                    at: at(1)?,
-                    query: num(2)?,
-                    client: num(3)? as u32,
-                    class: num(4)? as usize,
-                }
-            }
-            "gateway" => {
-                arity(4)?;
-                TraceEvent::GatewayBlocked {
-                    at: at(1)?,
-                    query: num(2)?,
-                    level: num(3)? as usize,
-                }
-            }
-            "besteffort" => {
-                arity(3)?;
-                TraceEvent::BestEffort {
-                    at: at(1)?,
-                    query: num(2)?,
-                }
-            }
-            "grantq" => {
-                arity(4)?;
-                TraceEvent::GrantQueued {
-                    at: at(1)?,
-                    query: num(2)?,
-                    bytes: num(3)?,
-                }
-            }
-            "exec" => {
-                arity(4)?;
-                TraceEvent::ExecStarted {
-                    at: at(1)?,
-                    query: num(2)?,
-                    bytes: num(3)?,
-                }
-            }
-            "done" => {
-                arity(3)?;
-                TraceEvent::Completed {
-                    at: at(1)?,
-                    query: num(2)?,
-                }
-            }
-            "fail" => {
-                arity(4)?;
-                let kind = match tokens[3] {
-                    "oom" => FailureKind::OutOfMemory,
-                    "compile_timeout" => FailureKind::CompileTimeout,
-                    "grant_timeout" => FailureKind::GrantTimeout,
-                    _ => return None,
-                };
-                TraceEvent::Failed {
-                    at: at(1)?,
-                    query: num(2)?,
-                    kind,
-                }
-            }
-            "cpeak" => {
-                arity(3)?;
-                TraceEvent::CompilePeak {
-                    at: at(1)?,
-                    bytes: num(2)?,
-                }
-            }
-            "fault" => {
-                arity(4)?;
-                let at = at(1)?;
-                let fault = num(2)? as u32;
-                match tokens[3] {
-                    "inject" => TraceEvent::FaultInjected { at, fault },
-                    "clear" => TraceEvent::FaultCleared { at, fault },
-                    _ => return None,
-                }
-            }
-            "shed" => {
-                arity(3)?;
-                TraceEvent::Shed {
-                    at: at(1)?,
-                    query: num(2)?,
-                }
-            }
-            "breaker" => {
-                arity(4)?;
-                TraceEvent::BreakerTransition {
-                    at: at(1)?,
-                    class: num(2)? as usize,
-                    state: BreakerState::parse(tokens[3])?,
-                }
-            }
-            "end" => {
-                arity(2)?;
-                TraceEvent::End { at: at(1)? }
-            }
-            _ => return None,
-        })
     }
 
     /// A 64-bit FNV-1a digest of the encoded form — a compact fingerprint
@@ -295,70 +392,11 @@ impl Trace {
     /// the result equals the live run's reports exactly — the regression
     /// contract a golden trace file enforces.
     pub fn replay(&self) -> Vec<PhaseReport> {
-        let mut reports: Vec<PhaseReport> = Vec::new();
-        let mut open = false;
-        let mut final_at = None;
+        let mut replay = StreamingReplay::new();
         for ev in &self.events {
-            if let TraceEvent::PhaseStart { at, name, clients } = ev {
-                if let (true, Some(last)) = (open, reports.last_mut()) {
-                    last.end = *at;
-                }
-                reports.push(PhaseReport {
-                    name: name.clone(),
-                    start: *at,
-                    end: *at,
-                    clients: *clients,
-                    submitted: 0,
-                    completed: 0,
-                    failed: 0,
-                    shed: 0,
-                    oom_failures: 0,
-                    compile_timeouts: 0,
-                    grant_timeouts: 0,
-                    best_effort_plans: 0,
-                    peak_compile_bytes: 0,
-                });
-                open = true;
-                continue;
-            }
-            if let TraceEvent::End { at } = ev {
-                final_at = Some(*at);
-            }
-            let Some(current) = reports.last_mut() else {
-                continue;
-            };
-            match ev {
-                TraceEvent::Submitted { .. } => current.submitted += 1,
-                TraceEvent::Completed { .. } => current.completed += 1,
-                TraceEvent::BestEffort { .. } => current.best_effort_plans += 1,
-                TraceEvent::Failed { kind, .. } => {
-                    current.failed += 1;
-                    match kind {
-                        FailureKind::OutOfMemory => current.oom_failures += 1,
-                        FailureKind::CompileTimeout => current.compile_timeouts += 1,
-                        FailureKind::GrantTimeout => current.grant_timeouts += 1,
-                    }
-                }
-                TraceEvent::CompilePeak { bytes, .. } => {
-                    current.peak_compile_bytes = current.peak_compile_bytes.max(*bytes);
-                }
-                // A trace recorded before the chaos layer simply has no
-                // `shed` lines, so old goldens replay with `shed: 0`.
-                TraceEvent::Shed { .. } => current.shed += 1,
-                TraceEvent::GatewayBlocked { .. }
-                | TraceEvent::GrantQueued { .. }
-                | TraceEvent::ExecStarted { .. }
-                | TraceEvent::FaultInjected { .. }
-                | TraceEvent::FaultCleared { .. }
-                | TraceEvent::BreakerTransition { .. }
-                | TraceEvent::PhaseStart { .. }
-                | TraceEvent::End { .. } => {}
-            }
+            replay.observe(ev);
         }
-        if let (Some(at), Some(last)) = (final_at, reports.last_mut()) {
-            last.end = at;
-        }
-        reports
+        replay.finish()
     }
 }
 

@@ -56,7 +56,9 @@ impl<T> EpochMailbox<T> {
     /// frontier.
     pub fn push(&mut self, at: SimTime, seq: u64, item: T) {
         debug_assert!(
-            self.queue.back().map_or(true, |b| (b.at, b.seq) <= (at, seq)),
+            self.queue
+                .back()
+                .map_or(true, |b| (b.at, b.seq) <= (at, seq)),
             "mailbox push out of (time, seq) order"
         );
         debug_assert!(at >= self.sealed_until, "push behind the sealed frontier");

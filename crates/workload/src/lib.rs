@@ -38,4 +38,4 @@ pub use mix::WorkloadMix;
 pub use templates::{
     oltp_templates, sales_templates, tpch_like_templates, QueryTemplate, WorkloadKind,
 };
-pub use uniquify::{fnv1a_64, Uniquifier};
+pub use uniquify::{fnv1a_64, Fnv64, Uniquifier};

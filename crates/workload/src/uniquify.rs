@@ -29,12 +29,44 @@ use throttledb_sqlparse::{parse, Literal, SelectStatement};
 /// lookups on (cheap, stable, and good enough for a cache that is designed
 /// to miss).
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        hash ^= *b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut hash = Fnv64::new();
+    hash.update(bytes);
+    hash.finish()
+}
+
+/// Incremental 64-bit FNV-1a: the streaming counterpart of [`fnv1a_64`]
+/// (`Fnv64::new().update(b).finish() == fnv1a_64(b)` for any byte split).
+/// The trace plane folds every encoded frame through one of these so a
+/// multi-gigabyte trace gets a digest without ever being materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis (the empty-input digest).
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
     }
-    hash
+
+    /// Fold `bytes` into the running digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut hash = self.0;
+        for b in bytes {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+
+    /// The digest of everything folded so far (the hasher stays usable).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
 }
 
 /// A template parsed once, with a snapshot of its numeric literals so each
@@ -285,5 +317,14 @@ mod tests {
         assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a_64(b"abc"), fnv1a_64(b"abc"));
         assert_ne!(fnv1a_64(b"abc"), fnv1a_64(b"abd"));
+        // The incremental hasher matches the one-shot function for any
+        // split of the input.
+        let text = b"throttledb-trace v2 streams its digest";
+        for split in 0..=text.len() {
+            let mut h = Fnv64::new();
+            h.update(&text[..split]);
+            h.update(&text[split..]);
+            assert_eq!(h.finish(), fnv1a_64(text), "split at {split}");
+        }
     }
 }
